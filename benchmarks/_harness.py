@@ -1,0 +1,36 @@
+"""Shared helpers for the experiment benches.
+
+Every bench regenerates one experiment of EXPERIMENTS.md: it runs the
+workload, prints a table of measured values next to the paper's claim, and
+writes the same table to ``benchmarks/results/<exp>.txt`` so the results
+survive the pytest run.
+"""
+
+from __future__ import annotations
+
+import os
+from typing import List, Sequence
+
+RESULTS_DIR = os.path.join(os.path.dirname(__file__), "results")
+
+
+def report(exp_id: str, title: str, claim: str, headers: Sequence[str], rows: Sequence[Sequence[object]], notes: str = "") -> str:
+    """Print and persist one experiment table."""
+    from repro.analysis import print_table
+
+    os.makedirs(RESULTS_DIR, exist_ok=True)
+    lines: List[str] = []
+    lines.append("=" * 72)
+    lines.append("{} — {}".format(exp_id, title))
+    lines.append("paper claim: {}".format(claim))
+    lines.append("=" * 72)
+    print("\n".join(lines))
+    table = print_table(headers, rows)
+    text = "\n".join(lines) + "\n" + table
+    if notes:
+        print(notes)
+        text += "\n" + notes
+    path = os.path.join(RESULTS_DIR, exp_id.lower() + ".txt")
+    with open(path, "w") as handle:
+        handle.write(text + "\n")
+    return text

@@ -1,0 +1,64 @@
+"""E1 — Theorem 3.1: LeaderElection elects a unique leader w.h.p.
+
+Claim: a unique leader after O(log n) good iterations, hence O(log^2 n)
+parallel rounds; correctness w.h.p. at every population size.
+"""
+
+import numpy as np
+
+from repro.analysis import fit_polylog, success_rate, summarize
+from repro.protocols import run_leader_election
+
+from _harness import report
+
+SIZES = [64, 256, 1024, 4096, 16384]
+TRIALS = 10
+
+
+def run_experiment():
+    rows = []
+    medians = []
+    for n in SIZES:
+        iterations, rounds, successes = [], [], []
+        for trial in range(TRIALS):
+            ok, iters, rnds = run_leader_election(
+                n, rng=np.random.default_rng(1000 * n + trial)
+            )
+            successes.append(ok)
+            iterations.append(iters)
+            rounds.append(rnds)
+        summary_rounds = summarize(rounds)
+        medians.append(summary_rounds.median)
+        rows.append(
+            [
+                n,
+                "{:.0%}".format(success_rate(successes)),
+                "{:.1f}".format(float(np.median(iterations))),
+                str(summary_rounds),
+                "{:.2f}".format(float(np.median(iterations)) / np.log(n)),
+            ]
+        )
+    fit = fit_polylog(SIZES, medians)
+    notes = (
+        "fitted rounds ~ (ln n)^{:.2f} (R^2={:.3f}); paper claims O(log^2 n)".format(
+            fit.exponent, fit.r_squared
+        )
+    )
+    report(
+        "E1",
+        "LeaderElection (w.h.p.), tier T3",
+        "unique leader w.h.p.; O(log n) iterations; O(log^2 n) rounds",
+        ["n", "success", "iterations (med)", "rounds med [CI]", "iters/ln n"],
+        rows,
+        notes,
+    )
+    return medians
+
+
+def test_e1_leader_election(benchmark):
+    run_experiment()
+    benchmark.pedantic(
+        lambda: run_leader_election(1024, rng=np.random.default_rng(0)),
+        rounds=1,
+        iterations=1,
+    )

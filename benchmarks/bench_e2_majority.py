@@ -1,0 +1,69 @@
+"""E2 — Theorem 3.2: Majority correct w.h.p. regardless of the gap.
+
+Claim: correct output for any initial gap (even 1), in O(log^3 n) rounds.
+"""
+
+import numpy as np
+
+from repro.analysis import fit_polylog, success_rate, summarize
+from repro.protocols import run_majority
+
+from _harness import report
+
+SIZES = [256, 1024, 4096]
+TRIALS = 8
+
+
+def gap_cases(n):
+    third = n // 3
+    return [
+        ("1", third + 1, third),
+        ("sqrt(n)", third + int(np.sqrt(n)), third),
+        ("n/8", third + n // 8, third),
+    ]
+
+
+def run_experiment():
+    rows = []
+    medians = []
+    for n in SIZES:
+        for label, a, b in gap_cases(n):
+            outputs, rounds = [], []
+            for trial in range(TRIALS):
+                out, _, rnds = run_majority(
+                    n, a, b, rng=np.random.default_rng(7 * n + trial)
+                )
+                outputs.append(out is True)
+                rounds.append(rnds)
+            rows.append(
+                [
+                    n,
+                    label,
+                    "{:.0%}".format(success_rate(outputs)),
+                    str(summarize(rounds)),
+                ]
+            )
+            if label == "1":
+                medians.append(float(np.median(rounds)))
+    fit = fit_polylog(SIZES, medians)
+    notes = (
+        "gap-1 rounds ~ (ln n)^{:.2f} (R^2={:.3f}); paper claims O(log^3 n); "
+        "correctness must be independent of the gap".format(fit.exponent, fit.r_squared)
+    )
+    report(
+        "E2",
+        "Majority (w.h.p.), tier T3",
+        "correct w.h.p. regardless of gap; O(log^3 n) rounds",
+        ["n", "gap", "success", "rounds med [CI]"],
+        rows,
+        notes,
+    )
+
+
+def test_e2_majority(benchmark):
+    run_experiment()
+    benchmark.pedantic(
+        lambda: run_majority(1024, 342, 341, rng=np.random.default_rng(0)),
+        rounds=1,
+        iterations=1,
+    )

@@ -1,0 +1,77 @@
+"""E5 — Proposition 5.3: pairwise X-elimination.
+
+Claims: #X >= 1 always; #X(t) ~ n/t (hyperbolic decay); #X <= n^{1-eps}
+after O(n^eps) rounds.
+"""
+
+import numpy as np
+
+from repro.analysis import fit_power, summarize
+from repro.core import Population, V
+from repro.engine import CountEngine, Trace
+from repro.control import make_elimination_protocol
+
+from _harness import report
+
+SIZES = [1000, 10000, 100000]
+TRIALS = 5
+EPS = 0.5
+
+
+def time_to_threshold(n, seed):
+    proto = make_elimination_protocol()
+    pop = Population.uniform(proto.schema, n, {"X": True})
+    eng = CountEngine(proto, pop, rng=np.random.default_rng(seed))
+    target = int(n ** (1 - EPS))
+    eng.run(stop=lambda p: p.count(V("X")) <= target, rounds=1000 * n)
+    return eng.rounds, pop.count(V("X"))
+
+
+def run_experiment():
+    rows = []
+    medians = []
+    for n in SIZES:
+        times, finals = [], []
+        for trial in range(TRIALS):
+            rounds, final = time_to_threshold(n, 17 * n + trial)
+            times.append(rounds)
+            finals.append(final)
+        medians.append(float(np.median(times)))
+        rows.append(
+            [
+                n,
+                str(summarize(times)),
+                "{:.2f}".format(float(np.median(times)) / n ** EPS),
+                min(finals),
+            ]
+        )
+    fit = fit_power(SIZES, medians)
+    # decay-shape check on one large run
+    proto = make_elimination_protocol()
+    pop = Population.uniform(proto.schema, 100000, {"X": True})
+    trace = Trace({"X": V("X")})
+    CountEngine(proto, pop, rng=np.random.default_rng(5)).run(
+        rounds=120, observer=trace, observe_every=4.0
+    )
+    t = trace.times[3:]
+    x = trace.series("X")[3:]
+    decay_fit = fit_power(t, x)
+    notes = (
+        "time-to-threshold ~ n^{:.2f} (claim: n^eps = n^{:.2f}); "
+        "#X(t) ~ t^{:.2f} (claim: t^-1, hyperbolic); #X never hit 0".format(
+            fit.exponent, EPS, decay_fit.exponent
+        )
+    )
+    report(
+        "E5",
+        "X-elimination control process (always-correct framework)",
+        "#X >= 1 always; #X ~ n/t; #X <= n^{1-eps} after O(n^eps) rounds",
+        ["n", "rounds to n^0.5", "rounds/n^0.5", "min final #X"],
+        rows,
+        notes,
+    )
+
+
+def test_e5_elimination(benchmark):
+    run_experiment()
+    benchmark.pedantic(lambda: time_to_threshold(10000, 0), rounds=1, iterations=1)

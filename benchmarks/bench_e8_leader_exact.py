@@ -1,0 +1,71 @@
+"""E8 — Theorems 6.1/6.2: LeaderElectionExact.
+
+Claims: a unique leader w.h.p. within O(log^2 n) rounds after
+initialization; with certainty eventually (witnessed by L = R = single
+agent); the FilteredCoin keeps #F within constant fractions of n.
+"""
+
+import numpy as np
+
+from repro.analysis import fit_polylog, success_rate, summarize
+from repro.core import V
+from repro.lang import IdealInterpreter
+from repro.protocols import leader_election_exact_program, run_leader_election_exact
+from repro.protocols.leader_election_exact import exact_population
+
+from _harness import report
+
+SIZES = [128, 512, 2048]
+TRIALS = 6
+
+
+def run_experiment():
+    rows = []
+    medians = []
+    for n in SIZES:
+        successes, rounds_list, coin_fracs = [], [], []
+        for trial in range(TRIALS):
+            ok, iters, rounds, _ = run_leader_election_exact(
+                n, rng=np.random.default_rng(23 * n + trial)
+            )
+            successes.append(ok)
+            rounds_list.append(rounds)
+        # coin balance on one dedicated run
+        _, pop = exact_population(n)
+        interp = IdealInterpreter(
+            leader_election_exact_program(), pop, rng=np.random.default_rng(n)
+        )
+        for _ in range(6):
+            interp.run_iteration()
+            coin_fracs.append(pop.fraction(V("F")))
+        medians.append(float(np.median(rounds_list)))
+        rows.append(
+            [
+                n,
+                "{:.0%}".format(success_rate(successes)),
+                str(summarize(rounds_list)),
+                "{:.2f}-{:.2f}".format(min(coin_fracs[2:]), max(coin_fracs[2:])),
+            ]
+        )
+    fit = fit_polylog(SIZES, medians)
+    notes = (
+        "rounds ~ (ln n)^{:.2f} (claim O(log^2 n)); paper's coin bounds: "
+        "#F/n in [15/64, 5/8] = [0.23, 0.63]".format(fit.exponent)
+    )
+    report(
+        "E8",
+        "LeaderElectionExact (always correct)",
+        "unique leader; O(log^2 n) rounds w.h.p.; balanced synthetic coin",
+        ["n", "success", "rounds med [CI]", "#F/n range (settled)"],
+        rows,
+        notes,
+    )
+
+
+def test_e8_leader_exact(benchmark):
+    run_experiment()
+    benchmark.pedantic(
+        lambda: run_leader_election_exact(512, rng=np.random.default_rng(0)),
+        rounds=1,
+        iterations=1,
+    )

@@ -1,0 +1,63 @@
+"""E9 — Theorem 6.3: MajorityExact.
+
+Claims: always-correct output (the slow cancellation thread guarantees
+eventual certainty) reached in O(log^3 n) rounds w.h.p. after
+initialization, at any gap.
+"""
+
+import numpy as np
+
+from repro.analysis import fit_polylog, success_rate, summarize
+from repro.protocols import run_majority_exact
+
+from _harness import report
+
+SIZES = [256, 1024, 2048]
+TRIALS = 4
+
+
+def run_experiment():
+    rows = []
+    medians = []
+    for n in SIZES:
+        third = n // 3
+        for label, a, b in (("1", third + 1, third), ("-1", third, third + 1)):
+            successes, rounds_list = [], []
+            for trial in range(TRIALS):
+                out, _, rounds = run_majority_exact(
+                    n, a, b, max_iterations=12,
+                    rng=np.random.default_rng(41 * n + trial),
+                )
+                successes.append(out is (a > b))
+                rounds_list.append(rounds)
+            if label == "1":
+                medians.append(float(np.median(rounds_list)))
+            rows.append(
+                [
+                    n,
+                    label,
+                    "{:.0%}".format(success_rate(successes)),
+                    str(summarize(rounds_list)),
+                ]
+            )
+    fit = fit_polylog(SIZES, medians)
+    notes = "settling rounds ~ (ln n)^{:.2f}; paper claims O(log^3 n) w.h.p.".format(
+        fit.exponent
+    )
+    report(
+        "E9",
+        "MajorityExact (always correct)",
+        "always-correct majority at gap +/-1; O(log^3 n) rounds w.h.p.",
+        ["n", "gap", "correct", "rounds med [CI]"],
+        rows,
+        notes,
+    )
+
+
+def test_e9_majority_exact(benchmark):
+    run_experiment()
+    benchmark.pedantic(
+        lambda: run_majority_exact(1024, 342, 341, rng=np.random.default_rng(0)),
+        rounds=1,
+        iterations=1,
+    )

@@ -1,0 +1,134 @@
+"""Engine ablations (DESIGN.md §6): the design choices that make exact
+simulation of the paper's protocols tractable.
+
+* null-event skipping in the count engine (vs. per-interaction stepping);
+* collision-free batching + dense tables in the array engine;
+* lazy transition tables (reachable pair space vs. packed state space).
+"""
+
+import time
+
+import numpy as np
+
+from repro.core import Population, Rule, StateSchema, V, single_thread
+from repro.engine import ArrayEngine, CountEngine, LazyTable, MatchingEngine
+from repro.control import make_elimination_protocol
+from repro.oscillator import make_oscillator_protocol, weak_value, strong_value
+
+from _harness import report
+
+
+def time_call(func):
+    start = time.perf_counter()
+    func()
+    return time.perf_counter() - start
+
+
+def elimination_workload(n=50000):
+    proto = make_elimination_protocol()
+    pop = Population.uniform(proto.schema, n, {"X": True})
+    eng = CountEngine(proto, pop, rng=np.random.default_rng(0))
+    eng.run(rounds=30)
+    return eng
+
+
+def oscillator_population(schema, n):
+    c1 = int(0.8 * (n - 3))
+    c2 = int(0.17 * (n - 3))
+    return Population.from_groups(
+        schema,
+        [
+            ({"osc": strong_value(0)}, c1),
+            ({"osc": weak_value(1)}, c2),
+            ({"osc": weak_value(2)}, (n - 3) - c1 - c2),
+            ({"osc": weak_value(0), "X": True}, 3),
+        ],
+    )
+
+
+def run_experiment():
+    rows = []
+
+    # 1) null skipping: events vs raw interactions on the elimination process
+    eng = elimination_workload()
+    skipped = eng.interactions - eng.events
+    rows.append(
+        [
+            "null skipping (elimination, n=5e4, 30 rounds)",
+            "events processed",
+            "{} of {} interactions ({:.2%})".format(
+                eng.events, eng.interactions, eng.events / eng.interactions
+            ),
+        ]
+    )
+
+    # 2) array engine vs matching engine throughput on the oscillator
+    proto = make_oscillator_protocol()
+    n = 20000
+    pop = oscillator_population(proto.schema, n)
+    t_array = time_call(
+        lambda: ArrayEngine(proto, pop.copy(), rng=np.random.default_rng(1)).run(rounds=30)
+    )
+    t_match = time_call(
+        lambda: MatchingEngine(proto, pop.copy(), rng=np.random.default_rng(1)).run(rounds=60)
+    )
+    rows.append(
+        [
+            "exact sequential (array engine)",
+            "30 rounds, n=2e4 oscillator",
+            "{:.2f}s".format(t_array),
+        ]
+    )
+    rows.append(
+        [
+            "random matching (vectorized)",
+            "60 steps (= 30 rounds), n=2e4",
+            "{:.2f}s".format(t_match),
+        ]
+    )
+
+    # 3) lazy tables: cached pair space vs packed state space
+    from repro.lang import compile_program
+    from repro.protocols import leader_election_program
+
+    compiled = compile_program(leader_election_program())
+    cpop = compiled.make_population([({}, 150)], x_agents=2)
+    engine = MatchingEngine(compiled.protocol, cpop, rng=np.random.default_rng(2))
+    engine.run(rounds=2000)
+    table = engine.table
+    cached = getattr(table, "cached_pairs", None)
+    if cached is None:
+        cached = len(getattr(table, "_entries", {}))
+    rows.append(
+        [
+            "lazy transition table (compiled LE)",
+            "pairs evaluated vs packed pairs",
+            "{} of {:.1e}".format(cached, float(compiled.schema.num_states) ** 2),
+        ]
+    )
+
+    notes = (
+        "null skipping turns the Theta(n^eps)-round elimination run into "
+        "O(n) processed events; the matching engine's full vectorization "
+        "is the workhorse for clock-scale experiments; lazy tables visit a "
+        "vanishing fraction of the compiled protocol's packed pair space."
+    )
+    report(
+        "ENGINES",
+        "Engine ablations",
+        "exact simulation made tractable (DESIGN.md §6)",
+        ["design choice", "measure", "value"],
+        rows,
+        notes,
+    )
+
+
+def test_engine_ablations(benchmark):
+    run_experiment()
+    proto = make_oscillator_protocol()
+    pop = oscillator_population(proto.schema, 5000)
+
+    def matching_steps():
+        MatchingEngine(proto, pop.copy(), rng=np.random.default_rng(0)).run(rounds=50)
+
+    benchmark.pedantic(matching_steps, rounds=1, iterations=1)

@@ -1,0 +1,6 @@
+"""Make the shared bench harness importable regardless of invocation cwd."""
+
+import os
+import sys
+
+sys.path.insert(0, os.path.dirname(__file__))

@@ -1,0 +1,109 @@
+"""A tour of the programming framework: write a program, inspect every
+compilation stage, and run it at all three execution tiers.
+
+The program is a tiny consensus-flavoured task: "set FLAG for everyone iff
+some agent holds a token" — one branch, one assignment — small enough that
+each stage's output stays readable.
+
+Run:  python examples/framework_tour.py
+"""
+
+import numpy as np
+
+from repro.core import Population, V
+from repro.engine import MatchingEngine
+from repro.lang import (
+    Assign,
+    IfExists,
+    IdealInterpreter,
+    PhasedRunner,
+    Program,
+    Repeat,
+    ThreadDef,
+    VarDecl,
+    compile_program,
+    phased_schema,
+    precompile,
+    program_schema,
+)
+from repro.core.formula import FALSE, TRUE
+
+
+def token_broadcast_program():
+    return Program(
+        "TokenBroadcast",
+        [
+            VarDecl("T", init=False, role="input"),   # token holders
+            VarDecl("FLAG", init=False, role="output"),
+        ],
+        [
+            ThreadDef(
+                "Main",
+                body=Repeat(
+                    [
+                        IfExists(
+                            V("T"),
+                            [Assign("FLAG", TRUE)],
+                            [Assign("FLAG", FALSE)],
+                        )
+                    ]
+                ),
+                uses=("FLAG",),
+                reads=("T",),
+            )
+        ],
+    )
+
+
+def main():
+    program = token_broadcast_program()
+
+    print("=== 1. the program (paper Section 2.1 language) ===")
+    print(program.pretty())
+
+    print("\n=== 2. precompiled tree (Section 4: Figs. 1-2 applied) ===")
+    pre = precompile(program)
+    print(pre.pretty())
+    print("auxiliary flags:", pre.aux_flags)
+
+    print("\n=== 3. tier T3: good-iteration semantics ===")
+    schema = program_schema(program)
+    pop = Population.from_groups(schema, [({"T": True}, 3), ({}, 997)])
+    interp = IdealInterpreter(program, pop, rng=np.random.default_rng(0))
+    interp.run_iteration()
+    print("FLAG set for {} / {} agents".format(pop.count(V("FLAG")), pop.n))
+
+    print("\n=== 4. tier T2: precompiled rules under an oracle clock ===")
+    schema2 = phased_schema(program)
+    pop2 = Population.from_groups(schema2, [({"T": True}, 3), ({}, 497)])
+    runner = PhasedRunner(program, pop2, rng=np.random.default_rng(1))
+    runner.run_iteration()
+    print(
+        "FLAG set for {} / {} agents (w.h.p. construction, ~{:.0f} rounds)".format(
+            pop2.count(V("FLAG")), pop2.n, runner.rounds
+        )
+    )
+
+    print("\n=== 5. tier T1: the real compiled protocol (Theorem 2.4) ===")
+    compiled = compile_program(program)
+    print(
+        "clock module {}, {} hierarchy level(s), packed state space {} states".format(
+            compiled.hierarchy.params.module,
+            compiled.hierarchy.params.levels,
+            compiled.schema.num_states,
+        )
+    )
+    pop3 = compiled.make_population([({"T": True}, 3), ({}, 147)], x_agents=2)
+    engine = MatchingEngine(compiled.protocol, pop3, rng=np.random.default_rng(2))
+    engine.run(rounds=20000)
+    final = engine.population
+    print(
+        "after {} matching steps: FLAG set for {} / {} agents".format(
+            engine.steps, final.count(V("FLAG")), final.n
+        )
+    )
+    print("(the clock hierarchy drove one full pass of the program)")
+
+
+if __name__ == "__main__":
+    main()

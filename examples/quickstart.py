@@ -1,0 +1,59 @@
+"""Quickstart: define a protocol, simulate it, and run the paper's
+leader election.
+
+Run:  python examples/quickstart.py
+"""
+
+import numpy as np
+
+from repro import CountEngine, Population, StateSchema, Trace, rule, single_thread
+from repro.core import V
+from repro.protocols import run_leader_election
+
+
+def epidemic_demo():
+    """A two-state epidemic: the 'hello world' of population protocols."""
+    schema = StateSchema()
+    schema.flag("I")  # informed?
+    epidemic = single_thread(
+        "epidemic",
+        schema,
+        [rule(V("I"), ~V("I"), None, {"I": True}, name="infect")],
+    )
+    population = Population.from_groups(
+        schema, [({"I": True}, 1), ({"I": False}, 9999)]
+    )
+    trace = Trace({"informed": V("I")})
+    engine = CountEngine(epidemic, population, rng=np.random.default_rng(0))
+    engine.run(
+        stop=lambda p: p.all_satisfy(V("I")),
+        rounds=100,
+        observer=trace,
+        observe_every=1.0,
+    )
+    print("epidemic: everyone informed after {:.1f} parallel rounds".format(engine.rounds))
+    print("          (theory: ~2 ln n = {:.1f})".format(2 * np.log(10000)))
+    half = np.searchsorted(trace.series("informed"), 5000)
+    print("          half the population knew by round {:.0f}".format(trace.times[half]))
+
+
+def leader_election_demo():
+    """The paper's headline: leader election with O(1) states in polylog
+    time (tier T3 semantics — see DESIGN.md for the execution tiers)."""
+    print()
+    for n in (100, 10000, 1000000):
+        ok, iterations, rounds = run_leader_election(
+            n, rng=np.random.default_rng(42)
+        )
+        print(
+            "leader election, n={:>8}: unique leader = {}, "
+            "{} good iterations, ~{:.0f} parallel rounds".format(
+                n, ok, iterations, rounds
+            )
+        )
+    print("(iterations grow like log n, rounds like log^2 n — Theorem 3.1)")
+
+
+if __name__ == "__main__":
+    epidemic_demo()
+    leader_election_demo()

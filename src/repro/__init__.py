@@ -1,0 +1,67 @@
+"""repro: reproduction of "Population Protocols Are Fast" (PODC 2018).
+
+A production-quality library for designing, composing, compiling and
+simulating finite-state population protocols, centred on the paper's
+phase-clock hierarchy and its programming framework.
+
+Quick start::
+
+    from repro import StateSchema, Population, rule, single_thread, CountEngine
+    from repro.core import V
+
+    schema = StateSchema()
+    schema.flag("I")
+    epidemic = single_thread("epidemic", schema, [
+        rule(V("I"), ~V("I"), None, {"I": True}, name="infect"),
+    ])
+    pop = Population.from_groups(schema, [({"I": True}, 1), ({"I": False}, 999)])
+    CountEngine(epidemic, pop).run(stop=lambda p: p.all_satisfy(V("I")))
+"""
+
+from .core import (
+    ANY,
+    Formula,
+    Population,
+    Protocol,
+    Rule,
+    State,
+    StateSchema,
+    Thread,
+    V,
+    coin_rule,
+    compose,
+    rule,
+    single_thread,
+)
+from .engine import (
+    ArrayEngine,
+    CountEngine,
+    LazyTable,
+    MatchingEngine,
+    MeanFieldSystem,
+    Trace,
+)
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "ANY",
+    "ArrayEngine",
+    "CountEngine",
+    "Formula",
+    "LazyTable",
+    "MatchingEngine",
+    "MeanFieldSystem",
+    "Population",
+    "Protocol",
+    "Rule",
+    "State",
+    "StateSchema",
+    "Thread",
+    "Trace",
+    "V",
+    "coin_rule",
+    "compose",
+    "rule",
+    "single_thread",
+]

@@ -1,0 +1,213 @@
+"""Command-line interface: run the paper's protocols from a shell.
+
+Examples::
+
+    python -m repro leader-election --n 10000
+    python -m repro majority --n 5000 --a 1667 --b 1666
+    python -m repro plurality --counts 40,30,30
+    python -m repro predicate --kind at-least --count 7 --threshold 5 --n 200
+    python -m repro oscillator --n 4000 --steps 6000
+    python -m repro run-program my_protocol.txt --n 1000 --iterations 20
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+import numpy as np
+
+
+def _rng(args) -> np.random.Generator:
+    return np.random.default_rng(args.seed)
+
+
+def cmd_leader_election(args) -> int:
+    from .protocols import run_leader_election
+
+    ok, iterations, rounds = run_leader_election(args.n, rng=_rng(args))
+    print(
+        "unique leader: {} ({} good iterations, ~{:.0f} parallel rounds)".format(
+            ok, iterations, rounds
+        )
+    )
+    return 0 if ok else 1
+
+
+def cmd_majority(args) -> int:
+    from .protocols import run_majority, run_majority_exact
+
+    runner = run_majority_exact if args.exact else run_majority
+    out, iterations, rounds = runner(args.n, args.a, args.b, rng=_rng(args))
+    expected = args.a > args.b
+    print(
+        "majority says {} (expected {}; {} iterations, ~{:.0f} rounds)".format(
+            "A" if out else "B", "A" if expected else "B", iterations, rounds
+        )
+    )
+    return 0 if out is expected else 1
+
+
+def cmd_plurality(args) -> int:
+    from .protocols import run_plurality
+
+    counts = [int(c) for c in args.counts.split(",")]
+    winner, iterations, rounds = run_plurality(
+        counts, n=args.n, rng=_rng(args)
+    )
+    print(
+        "plurality winner: {} of {} (expected {}; ~{:.0f} rounds)".format(
+            winner, counts, int(np.argmax(counts)), rounds
+        )
+    )
+    return 0 if winner == int(np.argmax(counts)) else 1
+
+
+def cmd_predicate(args) -> int:
+    from .predicates import at_least, majority_predicate, parity, parse_predicate
+    from .protocols import run_semilinear_exact
+
+    if args.expr:
+        predicate = parse_predicate(args.expr)
+    elif args.kind == "at-least":
+        predicate = at_least("A", args.threshold)
+    elif args.kind == "parity":
+        predicate = parity("A", even=True)
+    else:
+        predicate = majority_predicate()
+    groups = [("A", args.count), (None, max(args.n - args.count, 0))]
+    out, want, iterations, rounds = run_semilinear_exact(
+        predicate, groups, rng=_rng(args)
+    )
+    print(
+        "{}: protocol says {}, truth {} (~{:.0f} rounds)".format(
+            predicate.describe(), out, want, rounds
+        )
+    )
+    return 0 if out is want else 1
+
+
+def cmd_oscillator(args) -> int:
+    from .core import Population
+    from .engine import MatchingEngine, Trace
+    from .oscillator import (
+        extract_oscillations,
+        make_oscillator_protocol,
+        species,
+        strong_value,
+        weak_value,
+    )
+
+    protocol = make_oscillator_protocol()
+    schema = protocol.schema
+    n = args.n
+    c1, c2 = int(0.8 * (n - 3)), int(0.17 * (n - 3))
+    population = Population.from_groups(
+        schema,
+        [
+            ({"osc": strong_value(0)}, c1),
+            ({"osc": weak_value(1)}, c2),
+            ({"osc": weak_value(2)}, (n - 3) - c1 - c2),
+            ({"osc": weak_value(0), "X": True}, 3),
+        ],
+    )
+    trace = Trace({"A1": species(0), "A2": species(1), "A3": species(2)})
+    engine = MatchingEngine(protocol, population, rng=_rng(args))
+    engine.run(rounds=args.steps, observer=trace, observe_every=max(args.steps // 800, 1))
+    counts = [trace.series(k) for k in ("A1", "A2", "A3")]
+    summary = extract_oscillations(trace.times, counts, n, threshold=0.7)
+    print(
+        "{} dominance sweeps, cyclic order {}, median period {:.0f} steps "
+        "({:.1f} x ln n)".format(
+            summary.sweeps,
+            "OK" if summary.cyclic_order_ok else "BROKEN",
+            float(np.median(summary.periods)) if len(summary.periods) else float("nan"),
+            float(np.median(summary.periods)) / np.log(n) if len(summary.periods) else float("nan"),
+        )
+    )
+    return 0
+
+
+def cmd_run_program(args) -> int:
+    from .core import Population, V
+    from .lang import IdealInterpreter, parse_program, program_schema
+
+    with open(args.path) as handle:
+        program = parse_program(handle.read())
+    print(program.pretty())
+    schema = program_schema(program)
+    population = Population.uniform(
+        schema, args.n, {decl.name: decl.init for decl in program.variables}
+    )
+    interpreter = IdealInterpreter(program, population, rng=_rng(args))
+    interpreter.run(args.iterations)
+    print("\nafter {} good iterations (~{:.0f} rounds):".format(
+        interpreter.iterations, interpreter.rounds
+    ))
+    for decl in program.variables:
+        print("  #{} = {}".format(decl.name, population.count(V(decl.name))))
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Run the protocols of 'Population Protocols Are Fast'.",
+    )
+    common = argparse.ArgumentParser(add_help=False)
+    common.add_argument("--seed", type=int, default=None, help="RNG seed")
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    def add_parser(name, **kwargs):
+        return sub.add_parser(name, parents=[common], **kwargs)
+
+    p = add_parser("leader-election", help="Theorem 3.1 (tier T3)")
+    p.add_argument("--n", type=int, default=10000)
+    p.set_defaults(func=cmd_leader_election)
+
+    p = add_parser("majority", help="Theorem 3.2 / 6.3")
+    p.add_argument("--n", type=int, default=3000)
+    p.add_argument("--a", type=int, default=1001)
+    p.add_argument("--b", type=int, default=1000)
+    p.add_argument("--exact", action="store_true", help="always-correct variant")
+    p.set_defaults(func=cmd_majority)
+
+    p = add_parser("plurality", help="plurality consensus")
+    p.add_argument("--counts", type=str, default="40,30,30")
+    p.add_argument("--n", type=int, default=None)
+    p.set_defaults(func=cmd_plurality)
+
+    p = add_parser("predicate", help="SemilinearPredicateExact (Thm 6.4)")
+    p.add_argument("--kind", choices=["at-least", "parity", "majority"], default="at-least")
+    p.add_argument(
+        "--expr",
+        type=str,
+        default=None,
+        help="predicate expression over input A, e.g. 'A >= 3 and A %% 2 == 0'",
+    )
+    p.add_argument("--count", type=int, default=7)
+    p.add_argument("--threshold", type=int, default=5)
+    p.add_argument("--n", type=int, default=200)
+    p.set_defaults(func=cmd_predicate)
+
+    p = add_parser("oscillator", help="DK18 oscillator (Thm 5.1)")
+    p.add_argument("--n", type=int, default=4000)
+    p.add_argument("--steps", type=int, default=6000)
+    p.set_defaults(func=cmd_oscillator)
+
+    p = add_parser("run-program", help="parse + run pseudocode (tier T3)")
+    p.add_argument("path", help="path to a paper-style protocol file")
+    p.add_argument("--n", type=int, default=1000)
+    p.add_argument("--iterations", type=int, default=10)
+    p.set_defaults(func=cmd_run_program)
+
+    return parser
+
+
+def main(argv=None) -> int:
+    args = build_parser().parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,38 @@
+"""Analysis toolkit: scaling fits, statistics and convergence helpers."""
+
+from .convergence import (
+    ConvergencePoint,
+    agreement_fraction,
+    convergence_time,
+    is_silent,
+    output_stabilization_time,
+    silence_time,
+)
+from .scaling import (
+    PowerFit,
+    doubling_ratio,
+    fit_polylog,
+    fit_power,
+    fit_stretched_exponential,
+    polylog_degree_estimate,
+)
+from .stats import Summary, print_table, success_rate, summarize
+
+__all__ = [
+    "ConvergencePoint",
+    "PowerFit",
+    "agreement_fraction",
+    "convergence_time",
+    "is_silent",
+    "output_stabilization_time",
+    "silence_time",
+    "Summary",
+    "doubling_ratio",
+    "fit_polylog",
+    "fit_power",
+    "fit_stretched_exponential",
+    "polylog_degree_estimate",
+    "print_table",
+    "success_rate",
+    "summarize",
+]

@@ -1,0 +1,98 @@
+"""Convergence and silence diagnostics.
+
+The paper distinguishes (Section 1.1, "Extensions of results"):
+
+* **convergence** — the time after which every agent's *output* stays
+  fixed forever (not locally detectable, as the paper stresses; these
+  helpers detect it retrospectively from a recorded trace);
+* **silence** — the time after which *no state changes at all* occur
+  (the w.h.p. schemes become silent in polylog time; the always-correct
+  schemes never do).
+
+Both are estimated from output/count traces recorded during a run.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Optional, Sequence
+
+import numpy as np
+
+from ..core.formula import Formula
+from ..core.population import Population
+from ..engine.sequential import CountEngine
+
+
+@dataclass
+class ConvergencePoint:
+    """Result of a retrospective convergence scan."""
+
+    converged: bool
+    time: Optional[float]
+    final_value: Optional[float]
+
+
+def convergence_time(
+    times: Sequence[float], values: Sequence[float]
+) -> ConvergencePoint:
+    """Earliest time from which a recorded series never changes again."""
+    times_arr = np.asarray(times, dtype=float)
+    values_arr = np.asarray(values, dtype=float)
+    if len(values_arr) == 0:
+        return ConvergencePoint(False, None, None)
+    final = values_arr[-1]
+    different = np.nonzero(values_arr != final)[0]
+    if len(different) == 0:
+        return ConvergencePoint(True, float(times_arr[0]), float(final))
+    last_change = different[-1]
+    if last_change + 1 >= len(values_arr):
+        return ConvergencePoint(False, None, float(final))
+    return ConvergencePoint(True, float(times_arr[last_change + 1]), float(final))
+
+
+def output_stabilization_time(
+    times: Sequence[float],
+    series: Sequence[Sequence[float]],
+) -> ConvergencePoint:
+    """Convergence of several output series jointly (max of their times)."""
+    worst: Optional[float] = None
+    for values in series:
+        point = convergence_time(times, values)
+        if not point.converged:
+            return ConvergencePoint(False, None, None)
+        worst = point.time if worst is None else max(worst, point.time)
+    return ConvergencePoint(True, worst, None)
+
+
+def is_silent(engine: CountEngine) -> bool:
+    """Whether no interaction can change the configuration any more.
+
+    This is the paper's *silence*: checked exactly from the engine's
+    change-probability bookkeeping.
+    """
+    return engine._total_change_weight() <= 1e-15  # noqa: SLF001 - deliberate
+
+
+def silence_time(
+    engine: CountEngine,
+    max_rounds: float,
+    check_every: float = 1.0,
+) -> Optional[float]:
+    """Run until the protocol is silent; return the time, or None.
+
+    Uses the count engine's exact change-weight: zero weight means no
+    pair of agents can alter the configuration, i.e. true silence rather
+    than a long quiet stretch.
+    """
+    while engine.rounds < max_rounds:
+        if is_silent(engine):
+            return engine.rounds
+        engine.run(rounds=check_every)
+    return engine.rounds if is_silent(engine) else None
+
+
+def agreement_fraction(population: Population, output: Formula) -> float:
+    """Fraction of agents on the majority side of a boolean output."""
+    yes = population.count(output)
+    return max(yes, population.n - yes) / population.n

@@ -1,0 +1,82 @@
+"""Scaling-law fits for convergence-time experiments.
+
+The paper's claims are asymptotic: convergence in ``O(log^k n)`` rounds,
+control processes decaying like ``n / t`` or ``n exp(-t^{1/k})``, clock
+rate ratios ``Theta(log n)``.  These helpers fit measured series against
+the claimed shapes and report the fitted exponents, so every bench can
+print "claimed exponent vs fitted exponent" rows.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence, Tuple
+
+import numpy as np
+
+
+@dataclass
+class PowerFit:
+    """Fit of ``y = a * x^b`` (log-log least squares)."""
+
+    exponent: float
+    prefactor: float
+    r_squared: float
+
+    def predict(self, x: np.ndarray) -> np.ndarray:
+        return self.prefactor * np.asarray(x, dtype=float) ** self.exponent
+
+
+def fit_power(x: Sequence[float], y: Sequence[float]) -> PowerFit:
+    """Least-squares fit of a power law on positive data."""
+    x_arr = np.asarray(x, dtype=float)
+    y_arr = np.asarray(y, dtype=float)
+    mask = (x_arr > 0) & (y_arr > 0)
+    if mask.sum() < 2:
+        raise ValueError("need at least two positive points for a power fit")
+    lx, ly = np.log(x_arr[mask]), np.log(y_arr[mask])
+    slope, intercept = np.polyfit(lx, ly, 1)
+    residuals = ly - (slope * lx + intercept)
+    total = ly - ly.mean()
+    ss_tot = float(total @ total)
+    r_squared = 1.0 - float(residuals @ residuals) / ss_tot if ss_tot > 0 else 1.0
+    return PowerFit(exponent=float(slope), prefactor=float(np.exp(intercept)), r_squared=r_squared)
+
+
+def fit_polylog(ns: Sequence[float], times: Sequence[float]) -> PowerFit:
+    """Fit ``time = a * (ln n)^b`` — the paper's polylog claims.
+
+    The returned ``exponent`` is the polylog degree b.
+    """
+    logs = np.log(np.asarray(ns, dtype=float))
+    return fit_power(logs, times)
+
+
+def fit_stretched_exponential(
+    t: Sequence[float], y: Sequence[float], n: float
+) -> Tuple[float, float]:
+    """Fit ``y = n * exp(-c * t^alpha)`` (Prop. 5.5's X-signal shape).
+
+    Returns (alpha, c) from a log-log fit of ``-ln(y/n)`` against ``t``.
+    """
+    t_arr = np.asarray(t, dtype=float)
+    y_arr = np.asarray(y, dtype=float)
+    mask = (t_arr > 0) & (y_arr > 0) & (y_arr < n)
+    inner = -np.log(y_arr[mask] / n)
+    fit = fit_power(t_arr[mask], inner)
+    return fit.exponent, fit.prefactor
+
+
+def doubling_ratio(ns: Sequence[float], times: Sequence[float]) -> np.ndarray:
+    """Ratios time(n_{i+1}) / time(n_i) — a scale-free growth summary."""
+    t_arr = np.asarray(times, dtype=float)
+    return t_arr[1:] / t_arr[:-1]
+
+
+def polylog_degree_estimate(ns: Sequence[float], times: Sequence[float]) -> float:
+    """Quick polylog-degree estimate from endpoint ratios."""
+    ns_arr = np.asarray(ns, dtype=float)
+    t_arr = np.asarray(times, dtype=float)
+    num = np.log(t_arr[-1] / t_arr[0])
+    den = np.log(np.log(ns_arr[-1]) / np.log(ns_arr[0]))
+    return float(num / den)

@@ -1,0 +1,68 @@
+"""Small statistics helpers shared by the benches: medians with bootstrap
+confidence intervals and tidy table printing."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Sequence
+
+import numpy as np
+
+
+@dataclass
+class Summary:
+    """Median with a bootstrap confidence interval."""
+
+    median: float
+    low: float
+    high: float
+    trials: int
+
+    def __str__(self) -> str:
+        return "{:.3g} [{:.3g}, {:.3g}]".format(self.median, self.low, self.high)
+
+
+def summarize(
+    values: Sequence[float],
+    confidence: float = 0.9,
+    resamples: int = 1000,
+    rng: Optional[np.random.Generator] = None,
+) -> Summary:
+    """Median and bootstrap CI of a sample."""
+    arr = np.asarray(values, dtype=float)
+    if arr.size == 0:
+        raise ValueError("empty sample")
+    if rng is None:
+        rng = np.random.default_rng(0)
+    medians = np.median(
+        rng.choice(arr, size=(resamples, arr.size), replace=True), axis=1
+    )
+    alpha = (1.0 - confidence) / 2.0
+    low, high = np.quantile(medians, [alpha, 1.0 - alpha])
+    return Summary(
+        median=float(np.median(arr)),
+        low=float(low),
+        high=float(high),
+        trials=int(arr.size),
+    )
+
+
+def success_rate(outcomes: Sequence[bool]) -> float:
+    arr = np.asarray(outcomes, dtype=bool)
+    return float(arr.mean()) if arr.size else float("nan")
+
+
+def print_table(headers: Sequence[str], rows: Sequence[Sequence[object]]) -> str:
+    """Format and print a fixed-width text table; returns the string."""
+    table: List[List[str]] = [[str(cell) for cell in row] for row in rows]
+    widths = [len(h) for h in headers]
+    for row in table:
+        for i, cell in enumerate(row):
+            widths[i] = max(widths[i], len(cell))
+    def fmt(row: Sequence[str]) -> str:
+        return "  ".join(cell.ljust(widths[i]) for i, cell in enumerate(row))
+    lines = [fmt(headers), fmt(["-" * w for w in widths])]
+    lines += [fmt(row) for row in table]
+    text = "\n".join(lines)
+    print(text)
+    return text

@@ -1,0 +1,32 @@
+"""Baseline protocols from the literature the paper compares against."""
+
+from .aag18 import aag18_population, make_aag18_majority, run_aag18_majority
+from .approx_majority import (
+    approx_majority_population,
+    make_approx_majority,
+    run_approx_majority,
+)
+from .four_state_majority import (
+    four_state_population,
+    make_four_state_majority,
+    output_a,
+    run_four_state_majority,
+)
+from .gs18 import GS18ClockParams, coherence, gs18_population, make_gs18_clock
+
+__all__ = [
+    "GS18ClockParams",
+    "aag18_population",
+    "approx_majority_population",
+    "coherence",
+    "four_state_population",
+    "gs18_population",
+    "make_aag18_majority",
+    "make_approx_majority",
+    "make_four_state_majority",
+    "make_gs18_clock",
+    "output_a",
+    "run_aag18_majority",
+    "run_approx_majority",
+    "run_four_state_majority",
+]

@@ -1,0 +1,83 @@
+"""The 3-state approximate majority protocol [AAE08a] (paper Section 1.2).
+
+States: A, B, blank (undecided).  Rules::
+
+    > (A) + (B) -> (A) + (blank)
+    > (B) + (A) -> (B) + (blank)
+    > (A) + (blank) -> (A) + (A)
+    > (B) + (blank) -> (B) + (B)
+
+Converges in O(log n) parallel time, but is only correct w.h.p. when the
+initial gap is Omega(sqrt(n log n)) — the baseline the paper's exact
+majority improves on (E11 measures the failure probability at small
+gaps).
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Tuple
+
+import numpy as np
+
+from ..core.formula import V
+from ..core.population import Population
+from ..core.protocol import Protocol, single_thread
+from ..core.rules import Rule
+from ..core.state import StateSchema
+from ..engine.sequential import CountEngine
+
+#: Values of the single state field.
+VALUES = ("blank", "A", "B")
+
+
+def make_approx_majority(schema: Optional[StateSchema] = None) -> Protocol:
+    if schema is None:
+        schema = StateSchema()
+        schema.enum("am", 3, values=VALUES)
+    a, b, blank = V("am", "A"), V("am", "B"), V("am", "blank")
+    rules = [
+        Rule(a, b, None, {"am": "blank"}, name="A-beats-B"),
+        Rule(b, a, None, {"am": "blank"}, name="B-beats-A"),
+        Rule(a, blank, None, {"am": "A"}, name="A-recruits"),
+        Rule(b, blank, None, {"am": "B"}, name="B-recruits"),
+    ]
+    return single_thread("ApproxMajority", schema, rules)
+
+
+def approx_majority_population(
+    schema: StateSchema, n: int, count_a: int, count_b: int
+) -> Population:
+    groups = []
+    if count_a:
+        groups.append(({"am": "A"}, count_a))
+    if count_b:
+        groups.append(({"am": "B"}, count_b))
+    if n - count_a - count_b:
+        groups.append(({"am": "blank"}, n - count_a - count_b))
+    return Population.from_groups(schema, groups)
+
+
+def run_approx_majority(
+    n: int,
+    count_a: int,
+    count_b: int,
+    rng: Optional[np.random.Generator] = None,
+    max_rounds: float = 500.0,
+) -> Tuple[Optional[bool], float]:
+    """Run to consensus; returns (winner is A, rounds), winner None if
+    no consensus within the budget."""
+    protocol = make_approx_majority()
+    population = approx_majority_population(protocol.schema, n, count_a, count_b)
+    engine = CountEngine(protocol, population, rng=rng)
+
+    def consensus(pop: Population) -> bool:
+        return pop.count(V("am", "A")) in (0, pop.n) or pop.count(V("am", "B")) in (0, pop.n)
+
+    engine.run(rounds=max_rounds, stop=consensus)
+    count_a_final = population.count(V("am", "A"))
+    count_b_final = population.count(V("am", "B"))
+    if count_a_final == population.n or (count_a_final > 0 and count_b_final == 0):
+        return True, engine.rounds
+    if count_b_final == population.n or (count_b_final > 0 and count_a_final == 0):
+        return False, engine.rounds
+    return None, engine.rounds

@@ -1,0 +1,78 @@
+"""The 4-state exact majority protocol [DV12, MNRS14] (Section 1.2).
+
+States: strong A/B and weak a/b.  Rules::
+
+    > (A) + (B) -> (a) + (b)      # strong tokens cancel
+    > (A) + (b) -> (A) + (a)      # strong converts opposite weak
+    > (B) + (a) -> (B) + (b)
+
+Always correct (the minority's strong tokens are annihilated first; the
+surviving colour's strong tokens convert all weak agents), but the
+expected convergence time is Theta(n log n) parallel time in the worst
+case — the "prohibitive polynomial time" row of the comparison table.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Tuple
+
+import numpy as np
+
+from ..core.formula import V, any_of
+from ..core.population import Population
+from ..core.protocol import Protocol, single_thread
+from ..core.rules import Rule
+from ..core.state import StateSchema
+from ..engine.sequential import CountEngine
+
+VALUES = ("A", "B", "a", "b")
+
+
+def make_four_state_majority(schema: Optional[StateSchema] = None) -> Protocol:
+    if schema is None:
+        schema = StateSchema()
+        schema.enum("m4", 4, values=VALUES)
+    strong_a, strong_b = V("m4", "A"), V("m4", "B")
+    weak_a, weak_b = V("m4", "a"), V("m4", "b")
+    rules = [
+        Rule(strong_a, strong_b, {"m4": "a"}, {"m4": "b"}, name="cancel"),
+        Rule(strong_a, weak_b, None, {"m4": "a"}, name="A-converts"),
+        Rule(strong_b, weak_a, None, {"m4": "b"}, name="B-converts"),
+    ]
+    return single_thread("FourStateMajority", schema, rules)
+
+
+def four_state_population(schema: StateSchema, count_a: int, count_b: int) -> Population:
+    groups = []
+    if count_a:
+        groups.append(({"m4": "A"}, count_a))
+    if count_b:
+        groups.append(({"m4": "B"}, count_b))
+    return Population.from_groups(schema, groups)
+
+
+def output_a(population: Population) -> Optional[bool]:
+    """Consensus opinion: True when every agent indicates A."""
+    says_a = population.count(any_of(V("m4", "A"), V("m4", "a")))
+    if says_a == population.n:
+        return True
+    if says_a == 0:
+        return False
+    return None
+
+
+def run_four_state_majority(
+    count_a: int,
+    count_b: int,
+    rng: Optional[np.random.Generator] = None,
+    max_rounds: Optional[float] = None,
+) -> Tuple[Optional[bool], float]:
+    """Run to consensus; returns (majority is A, rounds)."""
+    protocol = make_four_state_majority()
+    population = four_state_population(protocol.schema, count_a, count_b)
+    n = population.n
+    if max_rounds is None:
+        max_rounds = 50.0 * n * max(np.log(n), 1.0)
+    engine = CountEngine(protocol, population, rng=rng)
+    engine.run(rounds=max_rounds, stop=lambda p: output_a(p) is not None)
+    return output_a(population), engine.rounds

@@ -1,0 +1,119 @@
+"""A GS18-style junta-driven phase clock (Sections 1.2 and 5.2).
+
+[GS18] drive a phase clock with a small junta marked ``X``: non-junta
+agents adopt the cyclically larger position (one-way max epidemic within
+a half-window), and a junta agent advances the clock by one when it meets
+an agent that has caught up with it.
+
+The paper's footnote 6 observes the property this baseline exists to
+demonstrate (experiment E12): the clock operates correctly when
+``#X in [1, n^{1-eps}]``, but **if initialized while #X = Theta(n)** the
+positions smear uniformly around the cycle (the central area of the phase
+space) and coherence is only recovered after expected *exponential* time —
+whereas the oscillator-based clock of Section 5.2 escapes its central
+region in O(log n) rounds.  This is exactly why [GS18] needs
+Theta(log log n) states for junta election first, and why the paper
+builds on the DK18 oscillator instead.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Optional, Tuple
+
+import numpy as np
+
+from ..core.formula import V
+from ..core.population import Population
+from ..core.protocol import Protocol, single_thread
+from ..core.rules import DynamicRule
+from ..core.state import StateSchema
+from ..oscillator.dk18 import X_FLAG
+
+
+@dataclass
+class GS18ClockParams:
+    module: int = 12
+    field: str = "pos"
+    x_flag: str = X_FLAG
+
+
+def make_gs18_clock(
+    schema: Optional[StateSchema] = None,
+    params: Optional[GS18ClockParams] = None,
+) -> Protocol:
+    if params is None:
+        params = GS18ClockParams()
+    if schema is None:
+        schema = StateSchema()
+    if not schema.has_field(params.x_flag):
+        schema.flag(params.x_flag)
+    schema.enum(params.field, params.module)
+    m = params.module
+    pos, x_flag = params.field, params.x_flag
+
+    def step(a, b):
+        assign_a: Dict[str, object] = {}
+        d = (b[pos] - a[pos]) % m
+        if 1 <= d <= m // 2:
+            # adopt the cyclically-ahead position
+            assign_a[pos] = b[pos]
+        elif d == 0 and a[x_flag]:
+            # a junta agent whose position is matched advances the clock
+            assign_a[pos] = (a[pos] + 1) % m
+        if not assign_a:
+            return []
+        return [(assign_a, {}, 1.0)]
+
+    return single_thread(
+        "GS18Clock", schema, [DynamicRule(None, None, step, name="gs18-step")]
+    )
+
+
+def coherence(population: Population, params: GS18ClockParams) -> float:
+    """Fraction of agents within the two most common adjacent positions."""
+    schema = population.schema
+    hist: Dict[int, int] = {}
+    for code, count in population.counts.items():
+        p = schema.value_of(code, params.field)
+        hist[p] = hist.get(p, 0) + count
+    m = params.module
+    best = 0
+    for p in range(m):
+        best = max(best, hist.get(p, 0) + hist.get((p + 1) % m, 0))
+    return best / population.n
+
+
+def gs18_population(
+    schema: StateSchema,
+    n: int,
+    junta_size: int,
+    params: Optional[GS18ClockParams] = None,
+    spread_positions: bool = False,
+    rng: Optional[np.random.Generator] = None,
+) -> Population:
+    """Initial population with the given junta size.
+
+    With ``spread_positions`` the clock positions start uniformly smeared
+    (the "central area" configuration of footnote 6); otherwise all agents
+    start at position 0.
+    """
+    if params is None:
+        params = GS18ClockParams()
+    groups = []
+    if spread_positions:
+        if rng is None:
+            rng = np.random.default_rng()
+        counts = rng.multinomial(n - junta_size, [1.0 / params.module] * params.module)
+        junta_counts = rng.multinomial(junta_size, [1.0 / params.module] * params.module)
+        for p in range(params.module):
+            if counts[p]:
+                groups.append(({params.field: p}, int(counts[p])))
+            if junta_counts[p]:
+                groups.append(({params.field: p, params.x_flag: True}, int(junta_counts[p])))
+    else:
+        if junta_size:
+            groups.append(({params.field: 0, params.x_flag: True}, junta_size))
+        if n - junta_size:
+            groups.append(({params.field: 0}, n - junta_size))
+    return Population.from_groups(schema, groups)

@@ -1,0 +1,41 @@
+"""Phase clocks: the base modulo-m clock and the slowed clock hierarchy."""
+
+from .analysis import (
+    TickRecord,
+    extract_ticks,
+    majority_phase,
+    phase_histogram,
+    phase_spread,
+    phases_adjacent,
+)
+from .hierarchy import ClockHierarchy, HierarchyParams, LevelFields
+from .base import (
+    ClockParams,
+    add_clock_field,
+    clock_rules,
+    clock_thread,
+    expected_species,
+    make_clock_protocol,
+    phase_formula,
+    phase_of,
+)
+
+__all__ = [
+    "ClockHierarchy",
+    "ClockParams",
+    "HierarchyParams",
+    "LevelFields",
+    "TickRecord",
+    "add_clock_field",
+    "clock_rules",
+    "clock_thread",
+    "expected_species",
+    "extract_ticks",
+    "majority_phase",
+    "make_clock_protocol",
+    "phase_formula",
+    "phase_histogram",
+    "phase_of",
+    "phase_spread",
+    "phases_adjacent",
+]

@@ -1,0 +1,36 @@
+"""Processes controlling the number of agents in the clock control state X
+(paper Propositions 5.3, 5.4 and 5.5)."""
+
+from .elimination import elimination_rules, elimination_thread, make_elimination_protocol
+from .junta import (
+    JuntaParams,
+    add_junta_fields,
+    junta_rules,
+    junta_thread,
+    make_junta_protocol,
+    recommended_level_cap,
+)
+from .klevel import (
+    KLevelParams,
+    add_klevel_fields,
+    klevel_rules,
+    klevel_thread,
+    make_klevel_protocol,
+)
+
+__all__ = [
+    "JuntaParams",
+    "KLevelParams",
+    "add_junta_fields",
+    "add_klevel_fields",
+    "elimination_rules",
+    "elimination_thread",
+    "junta_rules",
+    "junta_thread",
+    "klevel_rules",
+    "klevel_thread",
+    "make_elimination_protocol",
+    "make_junta_protocol",
+    "make_klevel_protocol",
+    "recommended_level_cap",
+]

@@ -1,0 +1,42 @@
+"""Pairwise X-elimination (Proposition 5.3).
+
+The always-correct framework controls ``#X`` with the single rule::
+
+    > (X) + (X) -> (X) + (~X)
+
+Starting from ``X`` set for all agents this guarantees ``#X >= 1`` forever
+(the rule needs two X agents and spares one) and is non-increasing; the
+mean-field dynamics ``d#X/dt = -(#X/n)^2 * n`` give ``#X(t) ~ n/t``, so
+``#X <= n^{1-eps}`` holds after ``O(n^eps)`` parallel rounds, w.h.p.
+"""
+
+from __future__ import annotations
+
+from ..core.formula import V
+from ..core.protocol import Protocol, Thread
+from ..core.rules import Rule
+from ..core.state import StateSchema
+from ..oscillator.dk18 import X_FLAG
+
+
+def elimination_rules(x_flag: str = X_FLAG):
+    return [
+        Rule(
+            V(x_flag),
+            V(x_flag),
+            update_b={x_flag: False},
+            name="eliminate-x",
+        )
+    ]
+
+
+def elimination_thread(x_flag: str = X_FLAG) -> Thread:
+    return Thread("XElimination", elimination_rules(x_flag), writes=(x_flag,))
+
+
+def make_elimination_protocol(schema: StateSchema = None, x_flag: str = X_FLAG) -> Protocol:
+    """Standalone elimination protocol (2 states)."""
+    if schema is None:
+        schema = StateSchema()
+        schema.flag(x_flag)
+    return Protocol("XElimination", schema, [elimination_thread(x_flag)])

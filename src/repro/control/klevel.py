@@ -1,0 +1,115 @@
+"""The k-level X-decay process (Proposition 5.5).
+
+For w.h.p.-correct protocols the framework needs ``#X`` to fall below
+``n^{1-eps}`` within polylogarithmic time while staying positive long
+enough for polylogarithmically many clock cycles.  The paper's two-stage
+construction:
+
+* A *pacemaker* flag ``Z`` with counter flags ``Z_1..Z_k`` counting
+  consecutive meetings with other ``Z`` agents (reset on meeting a non-Z
+  agent).  A ``Z`` agent that accumulates ``k+1`` consecutive Z-meetings
+  drops ``Z``.  Mean-field: ``d|Z|/dt = -|Z| (|Z|/n)^k``, solving to
+  ``|Z| = Theta(n * t^{-1/k})`` — a polynomially decaying signal.
+
+* The signal ``X`` with counters ``X_1..X_{k-1}``, counting consecutive
+  meetings with ``Z`` agents.  ``X`` drops after ``k`` consecutive
+  Z-meetings, so ``d|X|/dt = -|X| (|Z|/n)^k ~ -|X| / t``, which integrates
+  to a stretched-exponential decay ``|X| ~ n * exp(-c t^{1/k'})`` — fast
+  enough to pass below ``n^{1-eps}`` in polylog time, slow enough that
+  ``#X >= 1`` persists for a further polylog factor.
+
+We represent the one-hot counter flags as enum counters (an equivalent,
+smaller encoding of the same finite-state protocol).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List
+
+from ..core.formula import V
+from ..core.protocol import Protocol, Thread
+from ..core.rules import DynamicRule, Rule
+from ..core.state import StateSchema
+from ..oscillator.dk18 import X_FLAG
+
+
+@dataclass
+class KLevelParams:
+    """``k`` controls the decay exponent; field names are configurable."""
+
+    k: int = 2
+    x_flag: str = X_FLAG
+    z_flag: str = "Z"
+    z_counter: str = "Zc"
+    x_counter: str = "Xc"
+
+    def __post_init__(self) -> None:
+        if self.k < 1:
+            raise ValueError("k must be at least 1")
+
+
+def add_klevel_fields(schema: StateSchema, params: KLevelParams) -> None:
+    if not schema.has_field(params.x_flag):
+        schema.flag(params.x_flag)
+    schema.flag(params.z_flag)
+    schema.enum(params.z_counter, params.k + 1)
+    schema.enum(params.x_counter, max(params.k, 1))
+
+
+def klevel_rules(params: KLevelParams) -> List[Rule]:
+    k = params.k
+    x_flag, z_flag = params.x_flag, params.z_flag
+    zc, xc = params.z_counter, params.x_counter
+
+    def z_step(a, b):
+        """Z-process: count consecutive meetings with Z agents."""
+        if not b[z_flag]:
+            if a[zc] == 0:
+                return []
+            return [({zc: 0}, {}, 1.0)]
+        if not a[z_flag]:
+            return []
+        count = a[zc]
+        if count >= k:
+            return [({z_flag: False, zc: 0}, {}, 1.0)]
+        return [({zc: count + 1}, {}, 1.0)]
+
+    def x_step(a, b):
+        """X-process: X drops after k consecutive meetings with Z agents."""
+        if not b[z_flag]:
+            if a[xc] == 0:
+                return []
+            return [({xc: 0}, {}, 1.0)]
+        if not a[x_flag]:
+            return []
+        count = a[xc]
+        if count >= k - 1:
+            return [({x_flag: False, xc: 0}, {}, 1.0)]
+        return [({xc: count + 1}, {}, 1.0)]
+
+    return [
+        DynamicRule(None, None, z_step, name="z-decay"),
+        DynamicRule(None, None, x_step, name="x-decay"),
+    ]
+
+
+def klevel_thread(params: KLevelParams) -> Thread:
+    return Thread(
+        "KLevelDecay",
+        klevel_rules(params),
+        writes=(params.x_flag, params.z_flag, params.z_counter, params.x_counter),
+    )
+
+
+def make_klevel_protocol(schema: StateSchema = None, params: KLevelParams = None) -> Protocol:
+    """Standalone k-level decay protocol.
+
+    Initialize with ``X`` and ``Z`` set for all agents.
+    """
+    if params is None:
+        params = KLevelParams()
+    if schema is None:
+        schema = StateSchema()
+    add_klevel_fields(schema, params)
+    return Protocol("KLevelDecay", schema, [klevel_thread(params)])

@@ -1,0 +1,284 @@
+"""Boolean formulas over agent state variables.
+
+The paper (Section 1.3) describes agent states as tuples of boolean *state
+variables* and writes rules through bit-masks: four boolean formulas
+``(S1) + (S2) -> (S3) + (S4)``.  This module provides the formula language:
+a tiny AST with ``&``, ``|`` and ``~`` operators, evaluated against a
+:class:`repro.core.state.State` view.
+
+Formulas double as *guards* (left-hand sides, arbitrary boolean structure)
+and, when they are conjunctions of literals, as *updates* (right-hand sides,
+applied as the paper's "minimal update": set exactly the mentioned literals).
+
+Example
+-------
+>>> from repro.core.formula import V
+>>> f = V("L") & ~V("F")
+>>> f.describe()
+'(L & ~F)'
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, Iterator, Optional, Tuple, Union
+
+
+class Formula:
+    """Base class for boolean formulas over state variables."""
+
+    def evaluate(self, state) -> bool:
+        raise NotImplementedError
+
+    def variables(self) -> Iterator[str]:
+        """Yield the names of all variables mentioned in the formula."""
+        raise NotImplementedError
+
+    def describe(self) -> str:
+        raise NotImplementedError
+
+    # -- operator sugar ----------------------------------------------------
+    def __and__(self, other: "Formula") -> "Formula":
+        return And(self, _coerce(other))
+
+    def __or__(self, other: "Formula") -> "Formula":
+        return Or(self, _coerce(other))
+
+    def __invert__(self) -> "Formula":
+        return Not(self)
+
+    def __call__(self, state) -> bool:
+        return self.evaluate(state)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return "{}({!r})".format(type(self).__name__, self.describe())
+
+    # -- update interface --------------------------------------------------
+    def as_assignments(self) -> Dict[str, object]:
+        """Interpret the formula as a conjunction of literals.
+
+        Returns a mapping ``variable -> value`` representing the paper's
+        minimal update semantics.  Raises :class:`ValueError` when the
+        formula has disjunctive structure and therefore does not denote a
+        unique minimal update.
+        """
+        raise ValueError(
+            "formula {!r} is not a conjunction of literals and cannot be "
+            "used as an update".format(self.describe())
+        )
+
+
+class Var(Formula):
+    """Atomic formula: a boolean variable, or an enum variable compared to
+    a value (``Var('phase', 2)`` reads "phase == 2")."""
+
+    __slots__ = ("name", "value")
+
+    def __init__(self, name: str, value: object = True):
+        self.name = name
+        self.value = value
+
+    def evaluate(self, state) -> bool:
+        return state[self.name] == self.value
+
+    def variables(self) -> Iterator[str]:
+        yield self.name
+
+    def describe(self) -> str:
+        if self.value is True:
+            return self.name
+        if self.value is False:
+            return "~" + self.name
+        return "{}={}".format(self.name, self.value)
+
+    def as_assignments(self) -> Dict[str, object]:
+        return {self.name: self.value}
+
+    def __eq__(self, other) -> bool:
+        return (
+            isinstance(other, Var)
+            and other.name == self.name
+            and other.value == self.value
+        )
+
+    def __hash__(self) -> int:
+        return hash((Var, self.name, self.value))
+
+
+class Not(Formula):
+    __slots__ = ("operand",)
+
+    def __init__(self, operand: Formula):
+        self.operand = _coerce(operand)
+
+    def evaluate(self, state) -> bool:
+        return not self.operand.evaluate(state)
+
+    def variables(self) -> Iterator[str]:
+        return self.operand.variables()
+
+    def describe(self) -> str:
+        return "~" + self.operand.describe()
+
+    def as_assignments(self) -> Dict[str, object]:
+        inner = self.operand
+        if isinstance(inner, Var) and inner.value in (True, False):
+            return {inner.name: not inner.value}
+        return super().as_assignments()
+
+
+class And(Formula):
+    __slots__ = ("operands",)
+
+    def __init__(self, *operands: Formula):
+        flat = []
+        for op in operands:
+            op = _coerce(op)
+            if isinstance(op, And):
+                flat.extend(op.operands)
+            else:
+                flat.append(op)
+        self.operands = tuple(flat)
+
+    def evaluate(self, state) -> bool:
+        return all(op.evaluate(state) for op in self.operands)
+
+    def variables(self) -> Iterator[str]:
+        for op in self.operands:
+            yield from op.variables()
+
+    def describe(self) -> str:
+        return "(" + " & ".join(op.describe() for op in self.operands) + ")"
+
+    def as_assignments(self) -> Dict[str, object]:
+        merged: Dict[str, object] = {}
+        for op in self.operands:
+            for name, value in op.as_assignments().items():
+                if name in merged and merged[name] != value:
+                    raise ValueError(
+                        "contradictory literals for {!r} in update".format(name)
+                    )
+                merged[name] = value
+        return merged
+
+
+class Or(Formula):
+    __slots__ = ("operands",)
+
+    def __init__(self, *operands: Formula):
+        flat = []
+        for op in operands:
+            op = _coerce(op)
+            if isinstance(op, Or):
+                flat.extend(op.operands)
+            else:
+                flat.append(op)
+        self.operands = tuple(flat)
+
+    def evaluate(self, state) -> bool:
+        return any(op.evaluate(state) for op in self.operands)
+
+    def variables(self) -> Iterator[str]:
+        for op in self.operands:
+            yield from op.variables()
+
+    def describe(self) -> str:
+        return "(" + " | ".join(op.describe() for op in self.operands) + ")"
+
+
+class _Constant(Formula):
+    __slots__ = ("value",)
+
+    def __init__(self, value: bool):
+        self.value = value
+
+    def evaluate(self, state) -> bool:
+        return self.value
+
+    def variables(self) -> Iterator[str]:
+        return iter(())
+
+    def describe(self) -> str:
+        return "true" if self.value else "false"
+
+    def as_assignments(self) -> Dict[str, object]:
+        if self.value:
+            return {}
+        return super().as_assignments()
+
+
+class Predicate(Formula):
+    """Escape hatch: wrap an arbitrary callable as a formula.
+
+    Useful for guards that are awkward as boolean structure (e.g. arithmetic
+    on enum fields).  ``variables`` must be declared explicitly so that
+    composition machinery can reason about which fields a thread touches.
+    """
+
+    __slots__ = ("func", "_variables", "label")
+
+    def __init__(
+        self,
+        func: Callable[[object], bool],
+        variables: Tuple[str, ...] = (),
+        label: Optional[str] = None,
+    ):
+        self.func = func
+        self._variables = tuple(variables)
+        self.label = label or getattr(func, "__name__", "<predicate>")
+
+    def evaluate(self, state) -> bool:
+        return bool(self.func(state))
+
+    def variables(self) -> Iterator[str]:
+        return iter(self._variables)
+
+    def describe(self) -> str:
+        return self.label
+
+
+#: The paper's ``(.)`` — the empty boolean formula matching any agent.
+ANY = _Constant(True)
+TRUE = ANY
+FALSE = _Constant(False)
+
+FormulaLike = Union[Formula, bool, None]
+
+
+def _coerce(value: FormulaLike) -> Formula:
+    if value is None:
+        return ANY
+    if isinstance(value, bool):
+        return TRUE if value else FALSE
+    if isinstance(value, Formula):
+        return value
+    raise TypeError("cannot interpret {!r} as a formula".format(value))
+
+
+def coerce_formula(value: FormulaLike) -> Formula:
+    """Public coercion entry point: ``None``/``True`` become ``ANY``."""
+    return _coerce(value)
+
+
+def V(name: str, value: object = True) -> Var:
+    """Shorthand constructor for an atomic formula."""
+    return Var(name, value)
+
+
+def all_of(*formulas: FormulaLike) -> Formula:
+    """Conjunction of the given formulas (``ANY`` when empty)."""
+    coerced = [_coerce(f) for f in formulas]
+    if not coerced:
+        return ANY
+    if len(coerced) == 1:
+        return coerced[0]
+    return And(*coerced)
+
+
+def any_of(*formulas: FormulaLike) -> Formula:
+    """Disjunction of the given formulas (``FALSE`` when empty)."""
+    coerced = [_coerce(f) for f in formulas]
+    if not coerced:
+        return FALSE
+    if len(coerced) == 1:
+        return coerced[0]
+    return Or(*coerced)

@@ -1,0 +1,20 @@
+"""Exact and approximate simulation engines for population protocols."""
+
+from .batch import ArrayEngine, apply_pairs
+from .matching import MatchingEngine
+from .meanfield import MeanFieldSystem
+from .recorder import Trace
+from .sequential import CountEngine
+from .table import LazyTable, PairOutcomes, reachable_codes
+
+__all__ = [
+    "ArrayEngine",
+    "CountEngine",
+    "LazyTable",
+    "MatchingEngine",
+    "MeanFieldSystem",
+    "PairOutcomes",
+    "Trace",
+    "apply_pairs",
+    "reachable_codes",
+]

@@ -1,0 +1,139 @@
+"""Dense transition tables with fully vectorized pair application.
+
+For protocols whose packed state space is small (the oscillator's 7
+states, base clocks with a few hundred), outcome distributions can live in
+flat numpy arrays indexed by ``code_a * S + code_b``, allowing an entire
+batch of interactions to be applied without any per-group Python loop.
+Entries are still filled lazily — only pairs that actually occur are ever
+computed.
+"""
+
+from __future__ import annotations
+
+from typing import Tuple
+
+import numpy as np
+
+from ..core.protocol import Protocol
+from .table import LazyTable, PairOutcomes
+
+#: Largest packed state space for which the dense representation is used.
+DENSE_STATE_LIMIT = 2048
+
+
+class DenseTable:
+    """Lazily filled dense outcome arrays for small state spaces.
+
+    Provides both the scalar :meth:`outcomes` interface (shared with
+    :class:`~repro.engine.table.LazyTable`) and the vectorized
+    :meth:`apply` used by the array engines.
+    """
+
+    def __init__(self, protocol: Protocol, max_outcomes: int = 4):
+        size = protocol.schema.num_states
+        if size > DENSE_STATE_LIMIT:
+            raise ValueError(
+                "state space of {} states is too large for DenseTable "
+                "(limit {})".format(size, DENSE_STATE_LIMIT)
+            )
+        self.protocol = protocol
+        self.size = size
+        pairs = size * size
+        self._computed = np.zeros(pairs, dtype=bool)
+        self._p_change = np.zeros(pairs, dtype=np.float64)
+        self._cum = np.zeros((pairs, max_outcomes), dtype=np.float64)
+        self._out_a = np.zeros((pairs, max_outcomes), dtype=np.int64)
+        self._out_b = np.zeros((pairs, max_outcomes), dtype=np.int64)
+        self._entries: dict = {}
+        self.misses = 0
+
+    # -- filling ---------------------------------------------------------------
+    def _grow_outcomes(self, need: int) -> None:
+        have = self._cum.shape[1]
+        extra = need - have
+        pad = np.zeros((self._cum.shape[0], extra))
+        self._cum = np.concatenate([self._cum, pad], axis=1)
+        self._out_a = np.concatenate(
+            [self._out_a, np.zeros((self._out_a.shape[0], extra), dtype=np.int64)],
+            axis=1,
+        )
+        self._out_b = np.concatenate(
+            [self._out_b, np.zeros((self._out_b.shape[0], extra), dtype=np.int64)],
+            axis=1,
+        )
+
+    def _fill(self, flat: int) -> None:
+        code_a, code_b = divmod(flat, self.size)
+        changing, p_change = self.protocol.transition(code_a, code_b)
+        self.misses += 1
+        if len(changing) > self._cum.shape[1]:
+            self._grow_outcomes(len(changing))
+        cum = 0.0
+        for k, (new_a, new_b, p) in enumerate(changing):
+            cum += p
+            self._cum[flat, k] = cum
+            self._out_a[flat, k] = new_a
+            self._out_b[flat, k] = new_b
+        # pad the cumulative row so search never overruns
+        self._cum[flat, len(changing):] = max(cum, p_change) + 1.0
+        if changing:
+            self._out_a[flat, len(changing):] = changing[-1][0]
+            self._out_b[flat, len(changing):] = changing[-1][1]
+        self._p_change[flat] = p_change
+        self._computed[flat] = True
+
+    def ensure(self, flat_ids: np.ndarray) -> None:
+        missing = np.unique(flat_ids[~self._computed[flat_ids]])
+        for flat in missing:
+            self._fill(int(flat))
+
+    # -- scalar interface (LazyTable-compatible) ----------------------------------
+    def outcomes(self, code_a: int, code_b: int) -> PairOutcomes:
+        key = code_a * self.size + code_b
+        entry = self._entries.get(key)
+        if entry is None:
+            changing, _ = self.protocol.transition(code_a, code_b)
+            entry = PairOutcomes(changing)
+            self._entries[key] = entry
+        return entry
+
+    def p_change(self, code_a: int, code_b: int) -> float:
+        return self.outcomes(code_a, code_b).p_change
+
+    # -- vectorized application -----------------------------------------------------
+    def apply(
+        self,
+        agents: np.ndarray,
+        idx_a: np.ndarray,
+        idx_b: np.ndarray,
+        rng: np.random.Generator,
+    ) -> int:
+        """Apply one interaction per index pair (all indices distinct)."""
+        if len(idx_a) == 0:
+            return 0
+        state_a = agents[idx_a]
+        state_b = agents[idx_b]
+        flat = state_a * self.size + state_b
+        self.ensure(flat)
+        u = rng.random(len(flat))
+        changing = u < self._p_change[flat]
+        if not changing.any():
+            return 0
+        hits = np.nonzero(changing)[0]
+        flat_hits = flat[hits]
+        # outcome index: count cumulative cells strictly below the draw
+        idx = (u[hits, None] >= self._cum[flat_hits]).sum(axis=1)
+        agents[idx_a[hits]] = self._out_a[flat_hits, idx]
+        agents[idx_b[hits]] = self._out_b[flat_hits, idx]
+        return int(len(hits))
+
+
+def supports_dense(protocol: Protocol) -> bool:
+    return protocol.schema.num_states <= DENSE_STATE_LIMIT
+
+
+def make_table(protocol: Protocol):
+    """Pick the fastest table representation for a protocol."""
+    if supports_dense(protocol):
+        return DenseTable(protocol)
+    return LazyTable(protocol)

@@ -1,0 +1,101 @@
+"""Random-matching (synchronous) scheduler engine.
+
+Section 5.3 of the paper leans on the equivalence, for the protocols in
+play, between the asynchronous sequential scheduler and a *random-matching*
+parallel scheduler which activates a random matching of the population in
+every step.  The clock hierarchy in fact *emulates* a slowed random-matching
+scheduler.  This engine implements the scheduler directly: each parallel
+step draws a uniformly random perfect matching (one agent idles when ``n``
+is odd) and applies every matched pair's interaction simultaneously.
+
+One matching step counts as one parallel round (n/2 simultaneous
+interactions).
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Optional
+
+import numpy as np
+
+from ..core.population import Population
+from ..core.protocol import Protocol
+from .batch import apply_pairs
+from .dense import make_table
+from .table import LazyTable
+
+Observer = Callable[[float, Population], None]
+StopCondition = Callable[[Population], bool]
+
+
+class MatchingEngine:
+    """Synchronous random-matching scheduler on an explicit agent array."""
+
+    def __init__(
+        self,
+        protocol: Protocol,
+        population: Population,
+        rng: Optional[np.random.Generator] = None,
+        table: Optional[LazyTable] = None,
+    ):
+        if population.schema is not protocol.schema:
+            raise ValueError("population and protocol use different schemas")
+        if population.n < 2:
+            raise ValueError("population protocols need at least two agents")
+        if protocol.schema.num_states >= 2 ** 62:
+            raise ValueError(
+                "packed state space too large for int64 agent arrays; "
+                "use CountEngine instead"
+            )
+        self.protocol = protocol
+        self.rng = rng if rng is not None else np.random.default_rng()
+        self.table = table if table is not None else make_table(protocol)
+        # NOTE: the engine works on a private agent array; unlike
+        # CountEngine it does NOT mutate the passed Population — read the
+        # evolving configuration from the ``population`` property.
+        self.agents = population.to_agent_array(self.rng)
+        self._n = len(self.agents)
+        self.steps = 0
+
+    @property
+    def n(self) -> int:
+        return self._n
+
+    @property
+    def rounds(self) -> float:
+        """One matching activation = one parallel round."""
+        return float(self.steps)
+
+    @property
+    def population(self) -> Population:
+        return Population.from_agent_array(self.protocol.schema, self.agents)
+
+    def step(self) -> int:
+        """Activate one uniformly random (near-)perfect matching.
+
+        Returns the number of interactions that changed an agent.
+        """
+        perm = self.rng.permutation(self._n)
+        usable = self._n - (self._n % 2)
+        idx_a = perm[0:usable:2]
+        idx_b = perm[1:usable:2]
+        changed = apply_pairs(self.agents, idx_a, idx_b, self.table, self.rng)
+        self.steps += 1
+        return changed
+
+    def run(
+        self,
+        rounds: int,
+        stop: Optional[StopCondition] = None,
+        stop_every: int = 1,
+        observer: Optional[Observer] = None,
+        observe_every: int = 1,
+    ) -> "MatchingEngine":
+        for _ in range(int(rounds)):
+            self.step()
+            if observer is not None and self.steps % observe_every == 0:
+                observer(self.rounds, self.population)
+            if stop is not None and self.steps % stop_every == 0:
+                if stop(self.population):
+                    break
+        return self

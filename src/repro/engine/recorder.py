@@ -1,0 +1,63 @@
+"""Trace recording: time series of observables along a simulation.
+
+A :class:`Trace` is the standard observer passed to any engine's ``run``:
+it evaluates a set of named observables (formulas counted over the
+population, or arbitrary callables) at every observation time and stores
+the resulting series as numpy arrays.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List, Mapping, Union
+
+import numpy as np
+
+from ..core.formula import Formula
+from ..core.population import Population
+
+Observable = Union[Formula, Callable[[Population], float]]
+
+
+class Trace:
+    """Records named observables over simulated parallel time."""
+
+    def __init__(self, observables: Mapping[str, Observable]):
+        self.observables: Dict[str, Observable] = dict(observables)
+        self._times: List[float] = []
+        self._values: Dict[str, List[float]] = {name: [] for name in self.observables}
+
+    def __call__(self, time: float, population: Population) -> None:
+        self._times.append(time)
+        for name, obs in self.observables.items():
+            if isinstance(obs, Formula):
+                value: float = population.count(obs)
+            else:
+                value = obs(population)
+            self._values[name].append(float(value))
+
+    @property
+    def times(self) -> np.ndarray:
+        return np.asarray(self._times, dtype=np.float64)
+
+    def series(self, name: str) -> np.ndarray:
+        return np.asarray(self._values[name], dtype=np.float64)
+
+    def last(self, name: str) -> float:
+        values = self._values[name]
+        if not values:
+            raise ValueError("trace is empty")
+        return values[-1]
+
+    def as_dict(self) -> Dict[str, np.ndarray]:
+        out = {"time": self.times}
+        for name in self.observables:
+            out[name] = self.series(name)
+        return out
+
+    def __len__(self) -> int:
+        return len(self._times)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return "Trace({} samples, observables={})".format(
+            len(self._times), sorted(self.observables)
+        )

@@ -1,0 +1,123 @@
+"""Transition tables: memoized per-pair outcome distributions.
+
+Engines never walk a protocol's rule list per interaction.  Instead they ask
+a :class:`LazyTable` for the aggregated outcome distribution of an ordered
+state pair; the table evaluates the protocol's rules once per distinct pair
+and memoizes the result.  The *reachable* pair space of the paper's
+protocols is minuscule compared to the packed state space (the "O(1)
+states" constant is huge, but almost all combinations never occur), which
+is why lazy memoization beats dense precompilation for everything but the
+smallest substrates.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Set, Tuple
+
+import numpy as np
+
+from ..core.protocol import Protocol
+
+
+class PairOutcomes:
+    """Aggregated changing outcomes of one ordered state pair."""
+
+    __slots__ = ("codes_a", "codes_b", "probs", "cum", "p_change")
+
+    def __init__(self, outcomes: List[Tuple[int, int, float]]):
+        self.codes_a = [a for a, _, _ in outcomes]
+        self.codes_b = [b for _, b, _ in outcomes]
+        self.probs = np.array([p for _, _, p in outcomes], dtype=np.float64)
+        self.cum = np.cumsum(self.probs)
+        self.p_change = float(self.cum[-1]) if len(outcomes) else 0.0
+
+    def __len__(self) -> int:
+        return len(self.codes_a)
+
+    def sample(self, rng: np.random.Generator) -> Tuple[int, int, bool]:
+        """Sample an outcome unconditionally; the flag reports a change."""
+        u = rng.random()
+        if u >= self.p_change:
+            return -1, -1, False
+        idx = int(np.searchsorted(self.cum, u, side="right"))
+        return self.codes_a[idx], self.codes_b[idx], True
+
+    def sample_changing(self, rng: np.random.Generator) -> Tuple[int, int]:
+        """Sample an outcome conditioned on the interaction changing state."""
+        if not len(self):
+            raise ValueError("pair has no changing outcomes")
+        u = rng.random() * self.p_change
+        idx = int(np.searchsorted(self.cum, u, side="right"))
+        return self.codes_a[idx], self.codes_b[idx]
+
+
+class LazyTable:
+    """Memoized transition table for a protocol.
+
+    ``outcomes(a, b)`` returns the :class:`PairOutcomes` for the ordered
+    pair of state codes ``(a, b)``, computing and caching it on first use.
+    """
+
+    def __init__(self, protocol: Protocol):
+        self.protocol = protocol
+        self._cache: Dict[Tuple[int, int], PairOutcomes] = {}
+        self.misses = 0
+        self.hits = 0
+
+    def outcomes(self, code_a: int, code_b: int) -> PairOutcomes:
+        key = (code_a, code_b)
+        cached = self._cache.get(key)
+        if cached is not None:
+            self.hits += 1
+            return cached
+        self.misses += 1
+        changing, _ = self.protocol.transition(code_a, code_b)
+        entry = PairOutcomes(changing)
+        self._cache[key] = entry
+        return entry
+
+    def p_change(self, code_a: int, code_b: int) -> float:
+        return self.outcomes(code_a, code_b).p_change
+
+    @property
+    def cached_pairs(self) -> int:
+        return len(self._cache)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return "LazyTable({} pairs cached, {} misses, {} hits)".format(
+            self.cached_pairs, self.misses, self.hits
+        )
+
+
+def reachable_codes(
+    protocol: Protocol, initial_codes: Iterable[int], limit: int = 100000
+) -> List[int]:
+    """Closure of state codes reachable from the initial support.
+
+    Breadth-first exploration over single-interaction transitions.  Useful
+    for sizing mean-field systems and for sanity checks on compiled
+    protocols ("the constant is big, but *this* big?").
+    """
+    table = LazyTable(protocol)
+    seen: Set[int] = set(initial_codes)
+    frontier = list(seen)
+    order = list(frontier)
+    while frontier:
+        new: Set[int] = set()
+        for a in frontier:
+            for b in order:
+                for entry in (table.outcomes(a, b), table.outcomes(b, a)):
+                    for code in entry.codes_a:
+                        if code not in seen:
+                            new.add(code)
+                    for code in entry.codes_b:
+                        if code not in seen:
+                            new.add(code)
+        if len(seen) + len(new) > limit:
+            raise RuntimeError(
+                "reachable state space exceeds limit={} states".format(limit)
+            )
+        seen.update(new)
+        order.extend(sorted(new))
+        frontier = sorted(new)
+    return order

@@ -1,0 +1,46 @@
+"""The paper's programming framework: language, precompiler, compiler and
+execution tiers (Sections 2, 4, 5.4)."""
+
+from .parser import ParseError, parse_formula, parse_program, parse_rule
+from .ast import (
+    Assign,
+    Execute,
+    IfExists,
+    Instruction,
+    Program,
+    Repeat,
+    RepeatLog,
+    ThreadDef,
+    VarDecl,
+)
+from .compile import CompiledProtocol, compile_program
+from .phased import PhasedRunner, phased_schema
+from .precompile import LeafNode, LoopNode, PrecompiledProgram, precompile
+from .runtime import IdealInterpreter, initial_population, program_schema
+
+__all__ = [
+    "Assign",
+    "CompiledProtocol",
+    "Execute",
+    "IdealInterpreter",
+    "IfExists",
+    "Instruction",
+    "LeafNode",
+    "LoopNode",
+    "ParseError",
+    "PhasedRunner",
+    "PrecompiledProgram",
+    "Program",
+    "Repeat",
+    "RepeatLog",
+    "ThreadDef",
+    "VarDecl",
+    "compile_program",
+    "initial_population",
+    "parse_formula",
+    "parse_program",
+    "parse_rule",
+    "phased_schema",
+    "precompile",
+    "program_schema",
+]

@@ -1,0 +1,295 @@
+"""AST of the paper's sequential programming language (Section 2.1).
+
+A *program* is a collection of threads sharing a pool of boolean state
+variables.  Thread bodies are finite-depth branching programs built from:
+
+* ``repeat:`` — the outermost control loop (:class:`Repeat`);
+* ``repeat >= c ln n times:`` — nested bounded loops (:class:`RepeatLog`);
+* ``if exists (condition): ... else: ...`` — population-existential
+  branching (:class:`IfExists`);
+* ``X := condition`` — synchronous assignment (:class:`Assign`), including
+  the randomized form ``X := {on, off} uniformly at random``;
+* ``execute for >= c ln n rounds ruleset: ...`` — a primitive ruleset run
+  under the fair scheduler (:class:`Execute`).
+
+Background threads may instead carry a *perpetual ruleset* (the paper's
+bare ``execute ruleset:`` at thread top level, as in ``FilteredCoin`` and
+``ReduceSets`` of Section 6.1).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field as dataclass_field
+from typing import List, Optional, Sequence, Tuple, Union
+
+from ..core.formula import Formula, coerce_formula
+from ..core.rules import Rule
+
+
+class Instruction:
+    """Base class of all body instructions."""
+
+    def pretty(self, indent: int = 0) -> str:
+        raise NotImplementedError
+
+
+@dataclass
+class Execute(Instruction):
+    """``execute for >= c ln n rounds ruleset: [rules]``."""
+
+    rules: Tuple[Rule, ...]
+    c: int = 1
+    label: str = ""
+
+    def __init__(self, rules: Sequence[Rule], c: int = 1, label: str = ""):
+        self.rules = tuple(rules)
+        self.c = c
+        self.label = label
+
+    def pretty(self, indent: int = 0) -> str:
+        pad = "  " * indent
+        lines = ["{}execute for >= {} ln n rounds ruleset:".format(pad, self.c)]
+        for rule in self.rules:
+            lines.append("  " * (indent + 1) + rule.describe())
+        return "\n".join(lines)
+
+
+@dataclass
+class Assign(Instruction):
+    """``X := condition`` — for every agent, set ``X`` to the value of the
+    boolean condition on its local variables.
+
+    With ``random=True`` the condition is ignored and each agent draws an
+    independent fair coin (the paper's ``{on, off} chosen uniformly at
+    random``).
+    """
+
+    variable: str
+    condition: Optional[Formula] = None
+    random: bool = False
+
+    def __post_init__(self) -> None:
+        if not self.random:
+            if self.condition is None:
+                raise ValueError("assignment needs a condition (or random=True)")
+            self.condition = coerce_formula(self.condition)
+        elif self.condition is not None:
+            raise ValueError("random assignment takes no condition")
+
+    def pretty(self, indent: int = 0) -> str:
+        pad = "  " * indent
+        if self.random:
+            return "{}{} := {{on, off}} uniformly at random".format(pad, self.variable)
+        text = self.condition.describe()
+        text = {"true": "on", "false": "off"}.get(text, text)
+        return "{}{} := {}".format(pad, self.variable, text)
+
+
+@dataclass
+class IfExists(Instruction):
+    """``if exists (condition): [then] else: [else]``."""
+
+    condition: Formula
+    then_block: Tuple[Instruction, ...]
+    else_block: Tuple[Instruction, ...] = ()
+
+    def __init__(
+        self,
+        condition: Formula,
+        then_block: Sequence[Instruction],
+        else_block: Sequence[Instruction] = (),
+    ):
+        self.condition = coerce_formula(condition)
+        self.then_block = tuple(then_block)
+        self.else_block = tuple(else_block)
+
+    def pretty(self, indent: int = 0) -> str:
+        pad = "  " * indent
+        lines = ["{}if exists ({}):".format(pad, self.condition.describe())]
+        for instr in self.then_block:
+            lines.append(instr.pretty(indent + 1))
+        if self.else_block:
+            lines.append("{}else:".format(pad))
+            for instr in self.else_block:
+                lines.append(instr.pretty(indent + 1))
+        return "\n".join(lines)
+
+
+@dataclass
+class RepeatLog(Instruction):
+    """``repeat >= c ln n times: [body]`` — a bounded nested loop."""
+
+    body: Tuple[Instruction, ...]
+    c: int = 1
+
+    def __init__(self, body: Sequence[Instruction], c: int = 1):
+        self.body = tuple(body)
+        self.c = c
+
+    def pretty(self, indent: int = 0) -> str:
+        pad = "  " * indent
+        lines = ["{}repeat >= {} ln n times:".format(pad, self.c)]
+        for instr in self.body:
+            lines.append(instr.pretty(indent + 1))
+        return "\n".join(lines)
+
+
+@dataclass
+class Repeat(Instruction):
+    """``repeat: [body]`` — the outermost (unbounded) loop of a thread."""
+
+    body: Tuple[Instruction, ...]
+
+    def __init__(self, body: Sequence[Instruction]):
+        self.body = tuple(body)
+
+    def pretty(self, indent: int = 0) -> str:
+        pad = "  " * indent
+        lines = ["{}repeat:".format(pad)]
+        for instr in self.body:
+            lines.append(instr.pretty(indent + 1))
+        return "\n".join(lines)
+
+
+@dataclass
+class VarDecl:
+    """Declaration of a boolean state variable.
+
+    ``role`` distinguishes protocol inputs (never written by the program),
+    outputs (read off at convergence) and plain working variables.
+    """
+
+    name: str
+    init: bool = False
+    role: str = "var"  # "var" | "input" | "output"
+
+    def __post_init__(self) -> None:
+        if self.role not in ("var", "input", "output"):
+            raise ValueError("unknown variable role {!r}".format(self.role))
+
+
+@dataclass
+class ThreadDef:
+    """One thread of a program: either a sequential body (rooted at a
+    ``repeat:`` loop) or a perpetual ruleset."""
+
+    name: str
+    body: Optional[Repeat] = None
+    perpetual: Tuple[Rule, ...] = ()
+    uses: Tuple[str, ...] = ()
+    reads: Tuple[str, ...] = ()
+
+    def __init__(
+        self,
+        name: str,
+        body: Optional[Repeat] = None,
+        perpetual: Sequence[Rule] = (),
+        uses: Sequence[str] = (),
+        reads: Sequence[str] = (),
+    ):
+        if (body is None) == (not perpetual):
+            raise ValueError(
+                "thread {!r} must have exactly one of body / perpetual".format(name)
+            )
+        self.name = name
+        self.body = body
+        self.perpetual = tuple(perpetual)
+        self.uses = tuple(uses)
+        self.reads = tuple(reads)
+
+    @property
+    def is_sequential(self) -> bool:
+        return self.body is not None
+
+    def pretty(self) -> str:
+        lines = ["thread {}:".format(self.name)]
+        if self.body is not None:
+            lines.append(self.body.pretty(1))
+        else:
+            lines.append("  execute ruleset:")
+            for rule in self.perpetual:
+                lines.append("    " + rule.describe())
+        return "\n".join(lines)
+
+
+@dataclass
+class Program:
+    """A full protocol formulation in the sequential language."""
+
+    name: str
+    variables: Tuple[VarDecl, ...]
+    threads: Tuple[ThreadDef, ...]
+
+    def __init__(
+        self,
+        name: str,
+        variables: Sequence[VarDecl],
+        threads: Sequence[ThreadDef],
+    ):
+        names = [v.name for v in variables]
+        if len(set(names)) != len(names):
+            raise ValueError("duplicate variable declarations")
+        self.name = name
+        self.variables = tuple(variables)
+        self.threads = tuple(threads)
+        if not any(t.is_sequential for t in self.threads):
+            raise ValueError("program needs at least one sequential thread")
+
+    def variable(self, name: str) -> VarDecl:
+        for decl in self.variables:
+            if decl.name == name:
+                return decl
+        raise KeyError(name)
+
+    @property
+    def inputs(self) -> List[str]:
+        return [v.name for v in self.variables if v.role == "input"]
+
+    @property
+    def outputs(self) -> List[str]:
+        return [v.name for v in self.variables if v.role == "output"]
+
+    @property
+    def main_thread(self) -> ThreadDef:
+        for thread in self.threads:
+            if thread.is_sequential:
+                return thread
+        raise AssertionError("unreachable: validated in __init__")
+
+    @property
+    def background_threads(self) -> List[ThreadDef]:
+        return [t for t in self.threads if not t.is_sequential]
+
+    def loop_depth(self) -> int:
+        """Maximum nesting depth of loops in the sequential threads
+        (the paper's ``l_max``; the outermost ``repeat`` counts as 1)."""
+
+        def depth_of(block: Sequence[Instruction]) -> int:
+            best = 0
+            for instr in block:
+                if isinstance(instr, RepeatLog):
+                    best = max(best, 1 + depth_of(instr.body))
+                elif isinstance(instr, IfExists):
+                    best = max(
+                        best, depth_of(instr.then_block), depth_of(instr.else_block)
+                    )
+            return best
+
+        return max(
+            1 + depth_of(t.body.body) for t in self.threads if t.is_sequential
+        )
+
+    def pretty(self) -> str:
+        lines = ["def protocol {}".format(self.name)]
+        decls = []
+        for v in self.variables:
+            init = "on" if v.init else "off"
+            suffix = {"input": " as input", "output": " as output", "var": ""}[v.role]
+            decls.append("{} <- {}{}".format(v.name, init, suffix))
+        lines.append("var " + ", ".join(decls) + ":")
+        for thread in self.threads:
+            lines.append(thread.pretty())
+        return "\n".join(lines)
+
+
+Block = Sequence[Instruction]

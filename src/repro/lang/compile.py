@@ -1,0 +1,206 @@
+"""Compilation of precompiled programs onto the clock hierarchy (§5.4).
+
+Every leaf of the precompiled tree is identified by its path
+``tau = (tau_{l_max}, ..., tau_1)`` from the root.  The compiled protocol
+guards each leaf rule with the time-path filter::
+
+    Pi_tau = C^(1)@(4*tau_1)  AND  AND_{j>1} C*^(j)@(4*tau_j)
+
+i.e. the live phase of the innermost clock must sit at the leaf's slot
+(phases divisible by 4 are execution slots; odd phases separate slots and
+phases = 2 mod 4 are used by the hierarchy's commit windows), and every
+higher clock's *snapshot* must sit at the corresponding outer-loop slot.
+Agents whose filters match no leaf are idle (time path ⊥).
+
+The compiled protocol composes, in one rule pool:
+
+* the program's guarded leaf rules (one thread),
+* the perpetual background threads of the program,
+* the clock hierarchy threads (level-1 oscillator + ring, one simulation
+  thread per additional level),
+* an X-control thread (Prop. 5.3's elimination by default, or the k-level
+  process of Prop. 5.5 / junta election of Prop. 5.4).
+
+This is the paper's Theorem 2.4 artifact: a single finite-state
+population protocol whose states are the product of all these variables.
+The state count is constant in n — but the constant is enormous, which is
+why this tier is exercised at small populations (see DESIGN.md §3).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
+
+from ..core.formula import Formula, all_of
+from ..core.population import Population
+from ..core.protocol import Protocol, Thread
+from ..core.rules import Rule
+from ..core.state import StateSchema
+from ..clocks.hierarchy import ClockHierarchy, HierarchyParams
+from ..control.elimination import elimination_thread
+from .ast import Program
+from .precompile import PrecompiledProgram, precompile
+
+
+@dataclass
+class CompiledProtocol:
+    """The result of full compilation: protocol + wiring metadata."""
+
+    protocol: Protocol
+    schema: StateSchema
+    program: Program
+    precompiled: PrecompiledProgram
+    hierarchy: ClockHierarchy
+    leaf_guards: List[Tuple[Tuple[int, ...], Formula]]
+
+    def initial_assignment(self, species_value: Optional[str] = None) -> Dict[str, object]:
+        """Default initial values for all non-program fields."""
+        from ..oscillator.dk18 import weak_value
+
+        if species_value is None:
+            species_value = weak_value(0)
+        assignment = self.hierarchy.initial_assignment(species_value)
+        for decl in self.program.variables:
+            assignment[decl.name] = decl.init
+        for flag in self.precompiled.aux_flags:
+            assignment[flag] = False
+        assignment[self.hierarchy.params.x_flag] = False
+        return assignment
+
+    def make_population(
+        self,
+        groups: Sequence[Tuple[Dict[str, object], int]],
+        x_agents: int = 1,
+        deep_start: bool = True,
+    ) -> Population:
+        """Build an initial population.
+
+        ``groups`` carries per-group overrides of *program* variables; the
+        clock stack is initialized synchronized.  ``x_agents`` agents get
+        the control flag.  With ``deep_start`` the oscillators start at
+        the amplitude Theorem 5.2 assumes (a_min < n/10) rather than the
+        uniform centre.
+        """
+        from ..oscillator.dk18 import strong_value, weak_value
+
+        n = sum(count for _, count in groups)
+        if x_agents >= n:
+            raise ValueError("x_agents must be smaller than the population")
+        merged: List[Tuple[Dict[str, object], int]] = []
+        x_left = x_agents
+        for overrides, count in groups:
+            # split the group over oscillator species for a deep start
+            splits: List[Tuple[Dict[str, object], int]]
+            if deep_start:
+                c1 = int(0.8 * count)
+                c2 = int(0.17 * count)
+                c3 = count - c1 - c2
+                splits = []
+                for species, sub in (
+                    (strong_value(0), c1),
+                    (weak_value(1), c2),
+                    (weak_value(2), c3),
+                ):
+                    if sub:
+                        splits.append((species, sub))
+            else:
+                third = count // 3
+                splits = [
+                    (weak_value(0), third),
+                    (weak_value(1), third),
+                    (weak_value(2), count - 2 * third),
+                ]
+            for species, sub in splits:
+                if not sub:
+                    continue
+                assignment = self.initial_assignment(species)
+                assignment.update(overrides)
+                take_x = min(x_left, sub) if x_left else 0
+                if take_x:
+                    with_x = dict(assignment)
+                    with_x[self.hierarchy.params.x_flag] = True
+                    merged.append((with_x, take_x))
+                    x_left -= take_x
+                    sub -= take_x
+                if sub:
+                    merged.append((assignment, sub))
+        return Population.from_groups(self.schema, merged)
+
+
+def compile_program(
+    program: Program,
+    default_c: int = 2,
+    hierarchy_params: Optional[HierarchyParams] = None,
+    control_thread_factory: Optional[Callable[[str], Thread]] = None,
+) -> CompiledProtocol:
+    """Compile a program into a single population protocol (Theorem 2.4).
+
+    The hierarchy depth equals the program's loop depth; the clock module
+    is the smallest multiple of 12 with at least ``4 * w_max + 2`` phases
+    (the paper sets m = 4 w_max + 2; we round up for species alignment).
+    """
+    pre = precompile(program, default_c=default_c)
+    width = pre.width
+    depth = pre.depth
+    module = 4 * width + 2
+    module += (-module) % 12
+    if hierarchy_params is None:
+        hierarchy_params = HierarchyParams(levels=depth, module=module)
+    elif hierarchy_params.levels < depth:
+        raise ValueError(
+            "hierarchy has {} levels but the program needs {}".format(
+                hierarchy_params.levels, depth
+            )
+        )
+
+    schema = StateSchema()
+    for decl in program.variables:
+        schema.flag(decl.name)
+    for flag in pre.aux_flags:
+        schema.flag(flag)
+    hierarchy = ClockHierarchy(schema, hierarchy_params)
+
+    # guard every leaf's rules by its time-path filter Pi_tau
+    leaf_guards: List[Tuple[Tuple[int, ...], Formula]] = []
+    program_rules: List[Rule] = []
+    for path, leaf in pre.leaves():
+        if leaf.is_nil:
+            continue
+        # path[0] indexes the outermost loop level (clock depth), path[-1]
+        # the innermost; clock level 1 is the innermost.
+        guards: List[Formula] = []
+        for loop_level, child_index in enumerate(path):
+            clock_level = depth - loop_level  # innermost loop -> clock 1
+            phase = 4 * child_index
+            if clock_level == 1:
+                guards.append(hierarchy.phase_formula(1, phase))
+            else:
+                guards.append(hierarchy.snapshot_formula(clock_level, phase))
+        guard = all_of(*guards)
+        leaf_guards.append((path, guard))
+        for rule in leaf.rules:
+            program_rules.append(
+                rule.guarded(guard, guard, name_suffix="@" + str(path))
+            )
+
+    threads: List[Thread] = []
+    if program_rules:
+        threads.append(Thread("Program", program_rules))
+    for bg in program.background_threads:
+        threads.append(Thread(bg.name, bg.perpetual, writes=bg.uses, reads=bg.reads))
+    threads.extend(hierarchy.threads)
+    if control_thread_factory is None:
+        threads.append(elimination_thread(hierarchy_params.x_flag))
+    else:
+        threads.append(control_thread_factory(hierarchy_params.x_flag))
+
+    protocol = Protocol("compiled-" + program.name, schema, threads)
+    return CompiledProtocol(
+        protocol=protocol,
+        schema=schema,
+        program=program,
+        precompiled=pre,
+        hierarchy=hierarchy,
+        leaf_guards=leaf_guards,
+    )

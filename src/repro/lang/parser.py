@@ -1,0 +1,399 @@
+"""A text parser for the paper's protocol pseudocode.
+
+Programs can be written exactly the way the paper prints them (Sections
+3.1, 3.2, 6.1, 6.2), parsed into the :mod:`repro.lang.ast` structures, and
+round-tripped through :meth:`~repro.lang.ast.Program.pretty`::
+
+    def protocol LeaderElection
+    var L <- on as output, D <- off, F <- on:
+    thread Main uses L:
+      repeat:
+        if exists (L):
+          F := {on, off} uniformly at random
+          D := L & F
+          if exists (D):
+            L := D
+        else:
+          L := on
+
+Supported constructs:
+
+* ``def protocol NAME`` header;
+* ``var NAME <- on|off [as input|output], ...:`` declarations (may span
+  several ``var`` lines);
+* ``thread NAME [uses V1, V2] [reads V3]:`` sections; a thread body is
+  either a ``repeat:`` loop (sequential thread) or a bare
+  ``execute ruleset:`` block (perpetual thread);
+* ``repeat:``, ``repeat >= c ln n times:``, ``if exists (...): / else:``,
+  ``X := formula``, ``X := {on, off} uniformly at random``,
+  ``execute [for >= c ln n rounds] ruleset:`` followed by rule lines;
+* rule lines ``> (F1) + (F2) -> (F3) + (F4)`` with ``.`` for the paper's
+  empty formula, and boolean formulas over ``~ & |`` with parentheses.
+
+Blocks are indentation-delimited (any consistent widths).
+"""
+
+from __future__ import annotations
+
+import re
+from typing import List, Optional, Sequence, Tuple
+
+from ..core.formula import ANY, Formula, V
+from ..core.rules import Rule
+from .ast import (
+    Assign,
+    Execute,
+    IfExists,
+    Instruction,
+    Program,
+    Repeat,
+    RepeatLog,
+    ThreadDef,
+    VarDecl,
+)
+
+
+class ParseError(ValueError):
+    """Raised with a line number when the pseudocode cannot be parsed."""
+
+    def __init__(self, message: str, line_no: Optional[int] = None):
+        if line_no is not None:
+            message = "line {}: {}".format(line_no, message)
+        super().__init__(message)
+
+
+# -- formula parsing (precedence: ~  >  &  >  |) -----------------------------------
+class _FormulaParser:
+    TOKEN_RE = re.compile(r"\s*(\(|\)|~|&|\||[A-Za-z_][A-Za-z_0-9]*)")
+
+    def __init__(self, text: str, line_no: Optional[int] = None):
+        self.tokens = self._tokenize(text, line_no)
+        self.pos = 0
+        self.line_no = line_no
+
+    def _tokenize(self, text: str, line_no) -> List[str]:
+        tokens, index = [], 0
+        while index < len(text):
+            if text[index].isspace():
+                index += 1
+                continue
+            match = self.TOKEN_RE.match(text, index - 1 if False else index)
+            match = self.TOKEN_RE.match(text[index:])
+            if not match:
+                raise ParseError(
+                    "cannot tokenize formula at {!r}".format(text[index:]), line_no
+                )
+            tokens.append(match.group(1))
+            index += match.end()
+        return tokens
+
+    def _peek(self) -> Optional[str]:
+        return self.tokens[self.pos] if self.pos < len(self.tokens) else None
+
+    def _next(self) -> str:
+        token = self._peek()
+        if token is None:
+            raise ParseError("unexpected end of formula", self.line_no)
+        self.pos += 1
+        return token
+
+    def parse(self) -> Formula:
+        formula = self._or()
+        if self._peek() is not None:
+            raise ParseError(
+                "trailing tokens in formula: {!r}".format(self.tokens[self.pos:]),
+                self.line_no,
+            )
+        return formula
+
+    def _or(self) -> Formula:
+        left = self._and()
+        while self._peek() == "|":
+            self._next()
+            left = left | self._and()
+        return left
+
+    def _and(self) -> Formula:
+        left = self._unary()
+        while self._peek() == "&":
+            self._next()
+            left = left & self._unary()
+        return left
+
+    def _unary(self) -> Formula:
+        token = self._next()
+        if token == "~":
+            return ~self._unary()
+        if token == "(":
+            inner = self._or()
+            if self._next() != ")":
+                raise ParseError("missing ')' in formula", self.line_no)
+            return inner
+        if token in ("(", ")", "&", "|"):
+            raise ParseError("unexpected {!r} in formula".format(token), self.line_no)
+        return V(token)
+
+
+def parse_formula(text: str, line_no: Optional[int] = None) -> Formula:
+    """Parse a boolean formula; ``.`` is the paper's match-anything."""
+    text = text.strip()
+    if text in (".", ""):
+        return ANY
+    return _FormulaParser(text, line_no).parse()
+
+
+# -- rule parsing --------------------------------------------------------------------
+_RULE_RE = re.compile(
+    r"^>\s*\((?P<g1>[^)]*)\)\s*\+\s*\((?P<g2>[^)]*)\)\s*->\s*"
+    r"\((?P<u1>[^)]*)\)\s*\+\s*\((?P<u2>[^)]*)\)\s*$"
+)
+
+
+def parse_rule(text: str, line_no: Optional[int] = None) -> Rule:
+    """Parse ``> (S1) + (S2) -> (S3) + (S4)``."""
+    match = _RULE_RE.match(text.strip())
+    if not match:
+        raise ParseError("malformed rule: {!r}".format(text.strip()), line_no)
+
+    def guard(src: str) -> Optional[Formula]:
+        formula = parse_formula(src, line_no)
+        return None if formula is ANY else formula
+
+    def update(src: str):
+        formula = parse_formula(src, line_no)
+        if formula is ANY:
+            return None
+        try:
+            return formula.as_assignments()
+        except ValueError as exc:
+            raise ParseError(str(exc), line_no) from exc
+
+    return Rule(
+        guard(match.group("g1")),
+        guard(match.group("g2")),
+        update(match.group("u1")),
+        update(match.group("u2")),
+    )
+
+
+# -- line structure ----------------------------------------------------------------------
+class _Line:
+    __slots__ = ("indent", "text", "no")
+
+    def __init__(self, indent: int, text: str, no: int):
+        self.indent = indent
+        self.text = text
+        self.no = no
+
+
+def _split_lines(source: str) -> List[_Line]:
+    lines = []
+    for no, raw in enumerate(source.splitlines(), start=1):
+        stripped = raw.split("#", 1)[0].rstrip()
+        if not stripped.strip():
+            continue
+        indent = len(stripped) - len(stripped.lstrip())
+        lines.append(_Line(indent, stripped.strip(), no))
+    return lines
+
+
+_LOG_COUNT_RE = re.compile(r">=\s*(\d+)\s*ln\s*n")
+_RANDOM_ASSIGN_RE = re.compile(
+    r"^(?P<var>[A-Za-z_][A-Za-z_0-9]*)\s*:=\s*\{\s*on\s*,\s*off\s*\}", re.IGNORECASE
+)
+_ASSIGN_RE = re.compile(r"^(?P<var>[A-Za-z_][A-Za-z_0-9]*)\s*:=\s*(?P<expr>.+)$")
+_VAR_DECL_RE = re.compile(
+    r"^(?P<name>[A-Za-z_][A-Za-z_0-9]*)\s*<-\s*(?P<init>on|off)"
+    r"(?:\s+as\s+(?P<role>input|output))?$"
+)
+_VAR_DECL_NO_INIT_RE = re.compile(
+    r"^(?P<name>[A-Za-z_][A-Za-z_0-9]*)\s+as\s+(?P<role>input|output)$"
+)
+_THREAD_RE = re.compile(
+    r"^thread\s+(?P<name>[A-Za-z_][A-Za-z_0-9]*)"
+    r"(?:\s+uses\s+(?P<uses>[A-Za-z_0-9,\s]*?))?"
+    r"(?:\s*,?\s*reads\s+(?P<reads>[A-Za-z_0-9,\s]*?))?\s*:$"
+)
+
+
+class _BlockParser:
+    """Parses a list of lines into instruction blocks by indentation."""
+
+    def __init__(self, lines: List[_Line]):
+        self.lines = lines
+        self.pos = 0
+
+    def peek(self) -> Optional[_Line]:
+        return self.lines[self.pos] if self.pos < len(self.lines) else None
+
+    def advance(self) -> _Line:
+        line = self.lines[self.pos]
+        self.pos += 1
+        return line
+
+    def block_lines(self, parent_indent: int) -> List[_Line]:
+        """Consume all lines strictly more indented than the parent."""
+        collected = []
+        while True:
+            line = self.peek()
+            if line is None or line.indent <= parent_indent:
+                return collected
+            collected.append(self.advance())
+
+    # -- instructions -----------------------------------------------------------
+    def parse_block(self, parent_indent: int) -> List[Instruction]:
+        instructions: List[Instruction] = []
+        while True:
+            line = self.peek()
+            if line is None or line.indent <= parent_indent:
+                return instructions
+            instructions.append(self.parse_instruction())
+
+    def parse_instruction(self) -> Instruction:
+        line = self.advance()
+        text = line.text
+        if text.startswith("if exists"):
+            return self._parse_if(line)
+        if text.startswith("repeat"):
+            return self._parse_repeat(line)
+        if text.startswith("execute"):
+            return self._parse_execute(line)
+        random_match = _RANDOM_ASSIGN_RE.match(text)
+        if random_match:
+            return Assign(random_match.group("var"), random=True)
+        assign_match = _ASSIGN_RE.match(text)
+        if assign_match:
+            expr = assign_match.group("expr").strip()
+            condition = self._parse_assign_expr(expr, line.no)
+            return Assign(assign_match.group("var"), condition)
+        raise ParseError("unrecognized instruction: {!r}".format(text), line.no)
+
+    @staticmethod
+    def _parse_assign_expr(expr: str, line_no: int) -> Formula:
+        from ..core.formula import FALSE, TRUE
+
+        lowered = expr.lower()
+        if lowered == "on":
+            return TRUE
+        if lowered == "off":
+            return FALSE
+        return parse_formula(expr, line_no)
+
+    def _parse_if(self, line: _Line) -> IfExists:
+        match = re.match(r"^if exists\s*\((?P<cond>.*)\)\s*:$", line.text)
+        if not match:
+            raise ParseError("malformed 'if exists'", line.no)
+        condition = parse_formula(match.group("cond"), line.no)
+        then_block = self.parse_block(line.indent)
+        else_block: List[Instruction] = []
+        next_line = self.peek()
+        if next_line is not None and next_line.indent == line.indent and next_line.text == "else:":
+            self.advance()
+            else_block = self.parse_block(line.indent)
+        return IfExists(condition, then_block, else_block)
+
+    def _parse_repeat(self, line: _Line) -> Instruction:
+        if line.text == "repeat:":
+            return Repeat(self.parse_block(line.indent))
+        match = _LOG_COUNT_RE.search(line.text)
+        if match and line.text.endswith("times:"):
+            return RepeatLog(self.parse_block(line.indent), c=int(match.group(1)))
+        raise ParseError("malformed 'repeat'", line.no)
+
+    def _parse_execute(self, line: _Line) -> Execute:
+        match = _LOG_COUNT_RE.search(line.text)
+        c = int(match.group(1)) if match else 1
+        if not line.text.endswith("ruleset:"):
+            raise ParseError("malformed 'execute ... ruleset:'", line.no)
+        rules = [parse_rule(l.text, l.no) for l in self.block_lines(line.indent)]
+        if not rules:
+            raise ParseError("empty ruleset", line.no)
+        return Execute(rules, c=c)
+
+
+def _parse_var_decls(text: str, line_no: int) -> List[VarDecl]:
+    body = text[len("var"):].rstrip(":").strip()
+    decls = []
+    for part in body.split(","):
+        part = part.strip()
+        if not part:
+            continue
+        match = _VAR_DECL_RE.match(part)
+        if match:
+            decls.append(
+                VarDecl(
+                    match.group("name"),
+                    init=match.group("init") == "on",
+                    role=match.group("role") or "var",
+                )
+            )
+            continue
+        match = _VAR_DECL_NO_INIT_RE.match(part)
+        if match:
+            decls.append(VarDecl(match.group("name"), init=False, role=match.group("role")))
+            continue
+        raise ParseError("malformed variable declaration {!r}".format(part), line_no)
+    return decls
+
+
+def parse_program(source: str) -> Program:
+    """Parse paper-style pseudocode into a :class:`Program`."""
+    lines = _split_lines(source)
+    if not lines:
+        raise ParseError("empty program")
+    parser = _BlockParser(lines)
+
+    header = parser.advance()
+    match = re.match(r"^def protocol\s+(?P<name>[A-Za-z_][A-Za-z_0-9]*)", header.text)
+    if not match:
+        raise ParseError("expected 'def protocol NAME'", header.no)
+    name = match.group("name")
+
+    variables: List[VarDecl] = []
+    while parser.peek() is not None and parser.peek().text.startswith("var "):
+        line = parser.advance()
+        variables.extend(_parse_var_decls(line.text, line.no))
+    if not variables:
+        raise ParseError("program declares no variables", header.no)
+
+    threads: List[ThreadDef] = []
+    while parser.peek() is not None:
+        line = parser.advance()
+        match = _THREAD_RE.match(line.text)
+        if not match:
+            raise ParseError("expected 'thread NAME ...:'", line.no)
+        uses = tuple(
+            v.strip() for v in (match.group("uses") or "").split(",") if v.strip()
+        )
+        reads = tuple(
+            v.strip() for v in (match.group("reads") or "").split(",") if v.strip()
+        )
+        # local 'var' lines inside a thread add working variables
+        while parser.peek() is not None and parser.peek().indent > line.indent and parser.peek().text.startswith("var "):
+            var_line = parser.advance()
+            variables.extend(_parse_var_decls(var_line.text, var_line.no))
+        body_line = parser.peek()
+        if body_line is None or body_line.indent <= line.indent:
+            raise ParseError("thread {!r} has no body".format(match.group("name")), line.no)
+        if body_line.text == "repeat:":
+            parser.advance()
+            body = Repeat(parser.parse_block(body_line.indent))
+            threads.append(ThreadDef(match.group("name"), body=body, uses=uses, reads=reads))
+        elif body_line.text.startswith("execute") and body_line.text.endswith("ruleset:"):
+            parser.advance()
+            rules = [
+                parse_rule(l.text, l.no)
+                for l in parser.block_lines(body_line.indent)
+            ]
+            if not rules:
+                raise ParseError("perpetual thread with empty ruleset", body_line.no)
+            threads.append(
+                ThreadDef(match.group("name"), perpetual=rules, uses=uses, reads=reads)
+            )
+        else:
+            raise ParseError(
+                "thread body must start with 'repeat:' or 'execute ruleset:'",
+                body_line.no,
+            )
+
+    return Program(name, variables, threads)

@@ -1,0 +1,124 @@
+"""Tier T2: the precompiled program under an oracle clock (DESIGN.md §3).
+
+Runs the *precompiled* tree (assignments and branching already lowered to
+the trigger/flag rule constructions of Figures 1-2) under the exact
+sequential scheduler, with phase boundaries supplied by an oracle instead
+of the clock hierarchy: each leaf window lasts at least ``c ln n`` parallel
+rounds, leaves are visited in exactly the order of the non-deterministic
+pseudocode of the paper's Fig. 1 (nested loops of Theta(log n)
+repetitions), and background threads run during every window.
+
+Validating T2 against T3 checks the Fig. 1/Fig. 2 constructions; T1
+additionally replaces the oracle with the real clock hierarchy.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Callable, List, Optional, Union
+
+import numpy as np
+
+from ..core.population import Population
+from ..core.protocol import Protocol, Thread
+from ..engine.sequential import CountEngine
+from ..engine.table import LazyTable
+from .ast import Program
+from .precompile import LeafNode, LoopNode, PrecompiledProgram, precompile
+
+
+class PhasedRunner:
+    """Execute a precompiled program with oracle-provided phases."""
+
+    def __init__(
+        self,
+        program: Program,
+        population: Population,
+        c: float = 6.0,
+        rng: Optional[np.random.Generator] = None,
+        loop_factor: Optional[float] = None,
+    ):
+        self.program = program
+        self.precompiled: PrecompiledProgram = precompile(program, default_c=int(c))
+        self.population = population
+        self.c = float(c)
+        self.rng = rng if rng is not None else np.random.default_rng()
+        self.rounds = 0.0
+        self.iterations = 0
+        self._ln_n = math.log(max(population.n, 2))
+        # number of repetitions of inner loops (the pseudocode's RandInt
+        # in [gamma ln n, delta ln n]; the oracle uses the lower bound)
+        self._loop_reps = max(
+            1, int(math.ceil((loop_factor or self.c) * self._ln_n))
+        )
+        self._background = [
+            Thread(t.name, t.perpetual, writes=t.uses, reads=t.reads)
+            for t in program.background_threads
+        ]
+        self._protocols: dict = {}
+        self._tables: dict = {}
+
+    def _protocol_for(self, leaf: LeafNode) -> Optional[Protocol]:
+        key = id(leaf)
+        if key not in self._protocols:
+            threads = list(self._background)
+            if leaf.rules:
+                threads.append(Thread("leaf", leaf.rules))
+            self._protocols[key] = (
+                Protocol("phased-leaf", self.population.schema, threads)
+                if threads
+                else None
+            )
+        return self._protocols[key]
+
+    def _run_leaf(self, leaf: LeafNode) -> None:
+        protocol = self._protocol_for(leaf)
+        duration = max(leaf.c, self.c) * self._ln_n
+        if protocol is not None:
+            key = id(protocol)
+            table = self._tables.get(key)
+            if table is None:
+                table = LazyTable(protocol)
+                self._tables[key] = table
+            CountEngine(protocol, self.population, rng=self.rng, table=table).run(
+                rounds=duration
+            )
+        self.rounds += duration
+
+    def _run_node(self, node: Union[LeafNode, LoopNode]) -> None:
+        if isinstance(node, LeafNode):
+            self._run_leaf(node)
+            return
+        for _ in range(self._loop_reps):
+            for child in node.children:
+                self._run_node(child)
+
+    def run_iteration(self) -> None:
+        """One pass of the outermost loop (one candidate good iteration)."""
+        for child in self.precompiled.root.children:
+            self._run_node(child)
+        self.iterations += 1
+
+    def run(
+        self,
+        max_iterations: int,
+        stop: Optional[Callable[[Population], bool]] = None,
+    ) -> int:
+        for _ in range(max_iterations):
+            self.run_iteration()
+            if stop is not None and stop(self.population):
+                break
+        return self.iterations
+
+
+def phased_schema(program: Program, default_c: int = 2):
+    """Schema for T2: program variables plus the precompilation aux flags."""
+    from ..core.state import StateSchema
+
+    pre = precompile(program, default_c=default_c)
+    schema = StateSchema()
+    for decl in program.variables:
+        schema.flag(decl.name)
+    for flag in pre.aux_flags:
+        schema.flag(flag)
+    return schema

@@ -1,0 +1,350 @@
+"""Precompilation of sequential code into a loop/leaf tree (Section 4).
+
+The language is first lowered into a subset with a simple tree grammar:
+every leaf is an ``execute for >= c ln n rounds ruleset`` instruction,
+every internal node a loop.  The constructs eliminated here:
+
+* **Assignments** (Fig. 1): ``X := Sigma`` becomes two leaves using an
+  auxiliary trigger flag ``K_#`` — first every agent arms its trigger,
+  then every armed agent performs the assignment and disarms.  The
+  construction guarantees that X only ever changes in the direction
+  dictated by Sigma, and that under correct operation each agent assigns
+  exactly once.
+
+* **Branching** (Fig. 2): ``if exists (X):`` becomes two evaluation
+  leaves using an auxiliary flag ``Z_#`` — unset ``Z_#`` everywhere, then
+  run an epidemic with source ``X`` on ``Z_#`` — after which the rules of
+  the two branches are *compacted* into shared leaves, each rule guarded
+  by ``Z_#`` (then-branch) or ``~Z_#`` (else-branch) on both interacting
+  agents.  The two branch subtrees are first unified to an isomorphic
+  shape (padding with nil leaves, wrapping mismatched leaves in loops —
+  legal because leaves only promise a *lower* bound on execution time).
+
+* **Tree padding**: the final tree is padded to a complete ``w_max``-ary
+  tree of uniform depth ``l_max`` by inserting artificial loops and nil
+  leaves, as required by the time-path compilation of Section 5.4.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field as dataclass_field
+from typing import List, Optional, Sequence, Tuple, Union
+
+from ..core.formula import Formula, Not, V
+from ..core.rules import Branch, Rule
+from .ast import Assign, Execute, IfExists, Instruction, Program, Repeat, RepeatLog
+
+
+@dataclass
+class LeafNode:
+    """``execute for >= c ln n rounds ruleset`` — a tree leaf."""
+
+    rules: Tuple[Rule, ...]
+    c: int = 1
+    label: str = ""
+
+    def __init__(self, rules: Sequence[Rule], c: int = 1, label: str = ""):
+        self.rules = tuple(rules)
+        self.c = c
+        self.label = label
+
+    @property
+    def is_nil(self) -> bool:
+        return not self.rules
+
+    def guarded(self, guard: Formula, suffix: str) -> "LeafNode":
+        return LeafNode(
+            [r.guarded(guard, guard, name_suffix=suffix) for r in self.rules],
+            c=self.c,
+            label=self.label + suffix,
+        )
+
+
+@dataclass
+class LoopNode:
+    """``repeat >= c ln n times`` over child nodes (in program order)."""
+
+    children: List[Union["LoopNode", LeafNode]]
+    c: int = 1
+    label: str = ""
+
+    def __init__(self, children, c: int = 1, label: str = ""):
+        self.children = list(children)
+        self.c = c
+        self.label = label
+
+
+Node = Union[LoopNode, LeafNode]
+
+NIL = LeafNode((), label="nil")
+
+
+@dataclass
+class PrecompiledProgram:
+    """The precompilation result: a uniform tree plus bookkeeping."""
+
+    program: Program
+    root: LoopNode  # the outermost `repeat:` (infinite)
+    aux_flags: List[str]
+    depth: int  # l_max: number of loop levels including the root
+    width: int  # w_max: children per internal node after padding
+
+    def leaves(self) -> List[Tuple[Tuple[int, ...], LeafNode]]:
+        """All leaves with their child-index paths from the root."""
+        found: List[Tuple[Tuple[int, ...], LeafNode]] = []
+
+        def visit(node: Node, path: Tuple[int, ...]) -> None:
+            if isinstance(node, LeafNode):
+                found.append((path, node))
+                return
+            for index, child in enumerate(node.children):
+                visit(child, path + (index,))
+
+        visit(self.root, ())
+        return found
+
+    def pretty(self) -> str:
+        lines: List[str] = []
+
+        def visit(node: Node, indent: int) -> None:
+            pad = "  " * indent
+            if isinstance(node, LeafNode):
+                name = node.label or "leaf"
+                lines.append(
+                    "{}[{}] x{} ({} rules)".format(pad, name, node.c, len(node.rules))
+                )
+                return
+            lines.append("{}loop x{} ({}):".format(pad, node.c, node.label or "?"))
+            for child in node.children:
+                visit(child, indent + 1)
+
+        visit(self.root, 0)
+        return "\n".join(lines)
+
+
+class _Lowerer:
+    """Stateful lowering pass: allocates the auxiliary K/Z flags."""
+
+    def __init__(self, default_c: int):
+        self.default_c = default_c
+        self.aux_flags: List[str] = []
+        self._counter = 0
+
+    def _fresh(self, prefix: str) -> str:
+        self._counter += 1
+        name = "{}{}".format(prefix, self._counter)
+        self.aux_flags.append(name)
+        return name
+
+    # -- instruction lowering ----------------------------------------------------
+    def lower_block(self, block: Sequence[Instruction]) -> List[Node]:
+        nodes: List[Node] = []
+        for instr in block:
+            nodes.extend(self.lower_instruction(instr))
+        return nodes
+
+    def lower_instruction(self, instr: Instruction) -> List[Node]:
+        if isinstance(instr, Execute):
+            return [
+                LeafNode(instr.rules, c=max(instr.c, self.default_c), label=instr.label or "execute")
+            ]
+        if isinstance(instr, Assign):
+            return self._lower_assign(instr)
+        if isinstance(instr, IfExists):
+            return self._lower_if(instr)
+        if isinstance(instr, RepeatLog):
+            return [
+                LoopNode(
+                    self.lower_block(instr.body),
+                    c=max(instr.c, self.default_c),
+                    label="repeat",
+                )
+            ]
+        raise TypeError("cannot lower {!r}".format(instr))
+
+    def _lower_assign(self, instr: Assign) -> List[Node]:
+        trigger = self._fresh("K")
+        c = self.default_c
+        arm = LeafNode(
+            [Rule(~V(trigger), None, {trigger: True}, name="arm-" + trigger)],
+            c=c,
+            label="arm:" + instr.variable,
+        )
+        if instr.random:
+            fire_rules = [
+                Rule(
+                    V(trigger),
+                    None,
+                    branches=[
+                        Branch(0.5, {instr.variable: True, trigger: False}),
+                        Branch(0.5, {instr.variable: False, trigger: False}),
+                    ],
+                    name="coin-" + instr.variable,
+                )
+            ]
+        else:
+            condition = instr.condition
+            fire_rules = [
+                Rule(
+                    condition & V(trigger),
+                    None,
+                    {instr.variable: True, trigger: False},
+                    name="set-" + instr.variable,
+                ),
+                Rule(
+                    Not(condition) & V(trigger),
+                    None,
+                    {instr.variable: False, trigger: False},
+                    name="unset-" + instr.variable,
+                ),
+            ]
+        fire = LeafNode(fire_rules, c=c, label="assign:" + instr.variable)
+        return [arm, fire]
+
+    def _lower_if(self, instr: IfExists) -> List[Node]:
+        flag = self._fresh("Z")
+        c = self.default_c
+        clear = LeafNode(
+            [Rule(V(flag), None, {flag: False}, name="clear-" + flag)],
+            c=c,
+            label="clear:" + flag,
+        )
+        spread = LeafNode(
+            [
+                Rule(~V(flag), instr.condition, {flag: True}, name="seed-" + flag),
+                Rule(~V(flag), V(flag), {flag: True}, name="spread-" + flag),
+            ],
+            c=c,
+            label="eval:" + flag,
+        )
+        then_nodes = [
+            _guard_node(node, V(flag), "+" + flag)
+            for node in self.lower_block(instr.then_block)
+        ]
+        else_nodes = [
+            _guard_node(node, ~V(flag), "-" + flag)
+            for node in self.lower_block(instr.else_block)
+        ]
+        merged = _unify(then_nodes, else_nodes)
+        return [clear, spread] + merged
+
+
+def _guard_node(node: Node, guard: Formula, suffix: str) -> Node:
+    if isinstance(node, LeafNode):
+        return node.guarded(guard, suffix)
+    return LoopNode(
+        [_guard_node(child, guard, suffix) for child in node.children],
+        c=node.c,
+        label=node.label + suffix,
+    )
+
+
+def _unify(left: List[Node], right: List[Node]) -> List[Node]:
+    """Merge two already-guarded branch bodies into one shared body.
+
+    The rules of the two sides are disjoint by construction (opposite
+    ``Z`` guards), so a merged leaf simply unions the rulesets.
+    """
+    size = max(len(left), len(right))
+    left = left + [NIL] * (size - len(left))
+    right = right + [NIL] * (size - len(right))
+    merged: List[Node] = []
+    for a, b in zip(left, right):
+        merged.append(_unify_pair(a, b))
+    return merged
+
+
+def _unify_pair(a: Node, b: Node) -> Node:
+    if isinstance(a, LeafNode) and isinstance(b, LeafNode):
+        return LeafNode(
+            a.rules + b.rules,
+            c=max(a.c, b.c),
+            label="|".join(x for x in (a.label, b.label) if x and x != "nil") or "nil",
+        )
+    if isinstance(a, LeafNode):
+        a = LoopNode([a], c=b.c if isinstance(b, LoopNode) else 1, label=a.label)
+    if isinstance(b, LeafNode):
+        b = LoopNode([b], c=a.c, label=b.label)
+    return LoopNode(
+        _unify(a.children, b.children),
+        c=max(a.c, b.c),
+        label="|".join(x for x in (a.label, b.label) if x) or "merged",
+    )
+
+
+def _tree_depth(node: Node) -> int:
+    if isinstance(node, LeafNode):
+        return 0
+    if not node.children:
+        return 1
+    return 1 + max(_tree_depth(child) for child in node.children)
+
+
+def _tree_width(node: Node) -> int:
+    if isinstance(node, LeafNode):
+        return 1
+    width = len(node.children)
+    for child in node.children:
+        width = max(width, _tree_width(child))
+    return width
+
+
+def _pad(node: Node, depth: int, width: int, default_c: int) -> Node:
+    """Pad to a complete ``width``-ary tree with ``depth`` loop levels."""
+    if depth == 0:
+        assert isinstance(node, LeafNode)
+        return node
+    if isinstance(node, LeafNode):
+        # wrap a shallow leaf in artificial repeat loops (c=1: executing a
+        # leaf for longer than requested is always legal)
+        wrapped: Node = node
+        for _ in range(depth):
+            wrapped = _pad_children(LoopNode([wrapped], c=1, label="pad"), width)
+        return wrapped
+    children = [
+        _pad(child, depth - 1, width, default_c) for child in node.children
+    ]
+    node = LoopNode(children, c=node.c, label=node.label)
+    return _pad_children(node, width)
+
+
+def _pad_children(node: LoopNode, width: int) -> LoopNode:
+    while len(node.children) < width:
+        filler: Node = NIL
+        if node.children and isinstance(node.children[0], LoopNode):
+            filler = _nil_subtree(node.children[0])
+        node.children.append(filler)
+    return node
+
+
+def _nil_subtree(template: Node) -> Node:
+    if isinstance(template, LeafNode):
+        return NIL
+    return LoopNode(
+        [_nil_subtree(child) for child in template.children],
+        c=template.c,
+        label="pad",
+    )
+
+
+def precompile(program: Program, default_c: int = 2) -> PrecompiledProgram:
+    """Lower a program's main thread to a uniform loop/leaf tree."""
+    lowerer = _Lowerer(default_c)
+    body = program.main_thread.body
+    assert isinstance(body, Repeat)
+    children = lowerer.lower_block(body.body)
+    root = LoopNode(children, c=0, label="repeat-forever")
+    depth = _tree_depth(root)  # loop levels including the root
+    width = _tree_width(root)
+    padded_children = [
+        _pad(child, depth - 1, width, default_c) for child in root.children
+    ]
+    root = LoopNode(padded_children, c=0, label="repeat-forever")
+    root = _pad_children(root, width)
+    return PrecompiledProgram(
+        program=program,
+        root=root,
+        aux_flags=list(lowerer.aux_flags),
+        depth=depth,
+        width=width,
+    )

@@ -1,0 +1,234 @@
+"""Execution tiers for programs in the sequential language.
+
+Theorem 2.4 guarantees that a compiled program, after an initialization
+phase, performs a sequence of *good iterations*: the population behaves as
+if the sequential code were executed line by line, with every ``execute``
+leaf running for at least ``c ln n`` rounds under a fair scheduler and
+every assignment / branch reaching its intended outcome.  The library
+exposes this contract at three fidelity levels (DESIGN.md Section 3):
+
+* :class:`IdealInterpreter` (tier T3) executes the good-iteration
+  semantics of Definition 2.3 directly: ``execute`` leaves run on the
+  exact sequential engine; assignments and existential branches take their
+  intended outcome synchronously.  Background (perpetual) threads run
+  concurrently during every primitive instruction.  This tier is exact at
+  the level the paper's protocol proofs operate (Theorems 3.1, 3.2, 6.x
+  argue about good iterations, not individual compiled rules), and scales
+  to large n.
+
+* :class:`~repro.lang.phased.PhasedRunner` (tier T2) executes the
+  *precompiled* program — assignments and branching replaced by the
+  trigger/flag rule constructions of Figures 1-2 — under the exact
+  scheduler with an oracle providing the phase boundaries the clock
+  hierarchy would provide.
+
+* :func:`~repro.lang.compile.compile_program` (tier T1) emits the real
+  compiled protocol: program rules filtered by time paths and composed
+  with the clock hierarchy of Section 5 and an X-control thread.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Callable, Dict, List, Optional, Sequence
+
+import numpy as np
+
+from ..core.formula import Formula
+from ..core.population import Population
+from ..core.protocol import Protocol, Thread
+from ..core.rules import Rule
+from ..engine.sequential import CountEngine
+from ..engine.table import LazyTable
+from .ast import Assign, Execute, IfExists, Instruction, Program, Repeat, RepeatLog
+
+IterationCallback = Callable[[int, Population], bool]
+
+
+@dataclass
+class IterationStats:
+    """Cost accounting for one iteration of the outermost loop."""
+
+    index: int
+    rounds: float
+    instructions: int
+    leaf_rounds: float
+
+
+class IdealInterpreter:
+    """Tier T3: direct execution of good-iteration semantics.
+
+    Parameters
+    ----------
+    program:
+        The program to execute.  Exactly one sequential thread is
+        interpreted; perpetual threads run concurrently on the engine.
+    population:
+        Initial configuration (on the program's schema).
+    c:
+        The round multiplier of ``execute`` leaves and of the implicit
+        duration of assignments/branches: every primitive instruction
+        advances time by ``max(c, instr.c) * ln n`` parallel rounds.
+    rng:
+        Source of randomness for the engine and randomized assignments.
+    """
+
+    def __init__(
+        self,
+        program: Program,
+        population: Population,
+        c: float = 2.0,
+        rng: Optional[np.random.Generator] = None,
+    ):
+        self.program = program
+        self.population = population
+        self.c = float(c)
+        self.rng = rng if rng is not None else np.random.default_rng()
+        self.rounds = 0.0
+        self.iterations = 0
+        self._ln_n = math.log(max(population.n, 2))
+        self._background = [
+            Thread(t.name, t.perpetual, writes=t.uses, reads=t.reads)
+            for t in program.background_threads
+        ]
+        self._protocol_cache: Dict[int, Protocol] = {}
+        self._table_cache: Dict[int, LazyTable] = {}
+
+    # -- engine plumbing ------------------------------------------------------------
+    def _protocol_for(self, leaf: Optional[Execute]) -> Protocol:
+        key = id(leaf) if leaf is not None else 0
+        cached = self._protocol_cache.get(key)
+        if cached is not None:
+            return cached
+        threads = list(self._background)
+        if leaf is not None:
+            threads.append(Thread("leaf-{}".format(key), leaf.rules))
+        if not threads:
+            proto = None
+        else:
+            proto = Protocol(
+                "{}-leaf".format(self.program.name),
+                self.population.schema,
+                threads,
+            )
+        self._protocol_cache[key] = proto
+        return proto
+
+    def _advance(self, leaf: Optional[Execute], c: float) -> None:
+        """Run the engine for the instruction's time window."""
+        duration = c * self._ln_n
+        protocol = self._protocol_for(leaf)
+        if protocol is not None:
+            key = id(protocol)
+            table = self._table_cache.get(key)
+            if table is None:
+                table = LazyTable(protocol)
+                self._table_cache[key] = table
+            engine = CountEngine(protocol, self.population, rng=self.rng, table=table)
+            engine.run(rounds=duration)
+        self.rounds += duration
+
+    # -- instruction semantics ----------------------------------------------------------
+    def _exec_block(self, block: Sequence[Instruction]) -> None:
+        for instr in block:
+            self._exec_instruction(instr)
+
+    def _exec_instruction(self, instr: Instruction) -> None:
+        if isinstance(instr, Execute):
+            self._advance(instr, max(self.c, instr.c))
+        elif isinstance(instr, Assign):
+            # the compiled assignment occupies ~2 leaf windows (Fig. 1)
+            self._advance(None, self.c)
+            if instr.random:
+                self._assign_random(instr.variable)
+            else:
+                self.population.assign_all(instr.variable, instr.condition)
+        elif isinstance(instr, IfExists):
+            self._advance(None, self.c)  # condition evaluation epidemic (Fig. 2)
+            if self.population.exists(instr.condition):
+                self._exec_block(instr.then_block)
+            else:
+                self._exec_block(instr.else_block)
+        elif isinstance(instr, RepeatLog):
+            count = max(1, int(math.ceil(max(self.c, instr.c) * self._ln_n)))
+            for _ in range(count):
+                self._exec_block(instr.body)
+        else:
+            raise TypeError("cannot interpret {!r}".format(instr))
+
+    def _assign_random(self, variable: str) -> None:
+        """Each agent draws an independent fair coin into ``variable``."""
+        schema = self.population.schema
+        for code in list(self.population.counts):
+            count = self.population.counts.get(code, 0)
+            if not count:
+                continue
+            heads = int(self.rng.binomial(count, 0.5))
+            on_code = schema.with_values(code, {variable: True})
+            off_code = schema.with_values(code, {variable: False})
+            self.population.remove(code, count)
+            self.population.add(on_code, heads)
+            self.population.add(off_code, count - heads)
+
+    # -- main loop -----------------------------------------------------------------
+    def run_iteration(self) -> IterationStats:
+        """Execute one good iteration of the outermost loop."""
+        body = self.program.main_thread.body
+        assert isinstance(body, Repeat)
+        start_rounds = self.rounds
+        self._exec_block(body.body)
+        self.iterations += 1
+        return IterationStats(
+            index=self.iterations,
+            rounds=self.rounds - start_rounds,
+            instructions=len(body.body),
+            leaf_rounds=self.rounds - start_rounds,
+        )
+
+    def run(
+        self,
+        max_iterations: int,
+        stop: Optional[Callable[[Population], bool]] = None,
+    ) -> int:
+        """Run up to ``max_iterations`` good iterations.
+
+        Returns the number of iterations executed; stops early when
+        ``stop(population)`` holds after an iteration.
+        """
+        for _ in range(max_iterations):
+            self.run_iteration()
+            if stop is not None and stop(self.population):
+                break
+        return self.iterations
+
+
+def initial_population(
+    program: Program,
+    schema,
+    groups: Sequence,
+) -> Population:
+    """Build an initial population honouring the declared variable inits.
+
+    ``groups`` is a sequence of ``(overrides, count)`` where overrides is a
+    partial assignment layered over the program's declared initial values.
+    """
+    base = {decl.name: decl.init for decl in program.variables}
+    merged = []
+    for overrides, count in groups:
+        assignment = dict(base)
+        assignment.update(overrides)
+        merged.append((assignment, count))
+    return Population.from_groups(schema, merged)
+
+
+def program_schema(program: Program, extra_fields: Sequence[str] = ()):
+    """Create a schema with one boolean flag per declared variable."""
+    from ..core.state import StateSchema
+
+    schema = StateSchema()
+    for decl in program.variables:
+        schema.flag(decl.name)
+    for name in extra_fields:
+        schema.flag(name)
+    return schema

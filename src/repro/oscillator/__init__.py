@@ -1,0 +1,50 @@
+"""The DK18-style self-organizing oscillator substrate (paper Section 5.2)."""
+
+from .analysis import (
+    OscillationSummary,
+    a_min,
+    dominant_species,
+    extract_oscillations,
+    species_counts,
+)
+from .dk18 import (
+    NUM_SPECIES,
+    OSC_VALUES,
+    OscillatorParams,
+    X_FLAG,
+    add_oscillator_fields,
+    is_oscillating,
+    is_x,
+    make_oscillator_protocol,
+    oscillator_rules,
+    oscillator_thread,
+    species,
+    strong_value,
+    weak_value,
+)
+from .rps import add_rps_field, make_rps_protocol, rps_rules, species_formula
+
+__all__ = [
+    "NUM_SPECIES",
+    "OSC_VALUES",
+    "OscillationSummary",
+    "OscillatorParams",
+    "X_FLAG",
+    "a_min",
+    "add_oscillator_fields",
+    "add_rps_field",
+    "dominant_species",
+    "extract_oscillations",
+    "is_oscillating",
+    "is_x",
+    "make_oscillator_protocol",
+    "make_rps_protocol",
+    "oscillator_rules",
+    "oscillator_thread",
+    "rps_rules",
+    "species",
+    "species_counts",
+    "species_formula",
+    "strong_value",
+    "weak_value",
+]

@@ -1,0 +1,108 @@
+"""Analysis helpers for oscillatory dynamics (Theorem 5.1's observables).
+
+Provides the quantities the paper's clock construction relies on:
+
+* ``a_min`` — the size of the currently smallest species;
+* the *dominant* species (held by all but o(n) agents) over time;
+* oscillation periods and the cyclic order of dominance sweeps.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from ..core.population import Population
+from .dk18 import NUM_SPECIES, species
+
+
+def species_counts(population: Population, field_name: str = "osc") -> Tuple[int, ...]:
+    """Counts of the three species (either strength level)."""
+    return tuple(
+        population.count(species(i, field_name)) for i in range(NUM_SPECIES)
+    )
+
+
+def a_min(population: Population, field_name: str = "osc") -> int:
+    """The paper's ``a_min = min_i |A_i|``."""
+    return min(species_counts(population, field_name))
+
+
+def dominant_species(
+    population: Population,
+    threshold: float = 0.7,
+    field_name: str = "osc",
+) -> Optional[int]:
+    """Index of the species holding > ``threshold`` of the population, if any."""
+    n = population.n
+    counts = species_counts(population, field_name)
+    for i, count in enumerate(counts):
+        if count > threshold * n:
+            return i
+    return None
+
+
+@dataclass
+class OscillationSummary:
+    """Dominance sweeps extracted from a species-count trace."""
+
+    times: np.ndarray
+    dominance_times: List[float] = field(default_factory=list)
+    dominance_species: List[int] = field(default_factory=list)
+
+    @property
+    def periods(self) -> np.ndarray:
+        """Durations of full cycles (same species dominant again)."""
+        by_species: dict = {}
+        periods = []
+        for t, s in zip(self.dominance_times, self.dominance_species):
+            if s in by_species:
+                periods.append(t - by_species[s])
+            by_species[s] = t
+        return np.asarray(periods, dtype=np.float64)
+
+    @property
+    def cyclic_order_ok(self) -> bool:
+        """Whether dominance advanced in the order A1 -> A2 -> A3 -> A1."""
+        seq = self.dominance_species
+        return all(
+            (b - a) % NUM_SPECIES == 1 for a, b in zip(seq, seq[1:])
+        )
+
+    @property
+    def sweeps(self) -> int:
+        return len(self.dominance_species)
+
+
+def extract_oscillations(
+    times: Sequence[float],
+    counts: Sequence[Sequence[float]],
+    n: int,
+    threshold: float = 0.7,
+) -> OscillationSummary:
+    """Detect dominance sweeps in a trace of per-species counts.
+
+    ``counts`` is indexable as ``counts[i][t]`` for species ``i``.  A sweep
+    is recorded at the first time a species exceeds ``threshold * n`` while
+    a different species was dominant before (or none was).
+    """
+    times_arr = np.asarray(times, dtype=np.float64)
+    summary = OscillationSummary(times=times_arr)
+    current: Optional[int] = None
+    for step, t in enumerate(times_arr):
+        values = [counts[i][step] for i in range(NUM_SPECIES)]
+        winner = None
+        for i, value in enumerate(values):
+            if value > threshold * n:
+                winner = i
+                break
+        if winner is not None and winner != current:
+            summary.dominance_times.append(float(t))
+            summary.dominance_species.append(winner)
+            current = winner
+        elif winner is None and current is not None and values[current] < 0.5 * n:
+            # dominance clearly lost; await the next sweep
+            current = None
+    return summary

@@ -1,0 +1,193 @@
+"""The DK18-style self-organizing oscillator protocol P_o (Section 5.2).
+
+Seven states: six oscillator states ``A_i^+`` (weak) and ``A_i^++``
+(strong) for species ``i in {1,2,3}``, plus an optional control (source)
+state ``X``.  We represent the six oscillator states as one enum field
+(``osc``) and the control state as a shared boolean flag ``X``: the paper
+uses *the same* control state to drive every clock of the hierarchy and to
+interface with the ``#X`` control processes of Propositions 5.3-5.5, so
+``X`` must be a variable other threads can read and write.
+
+The core is the rock-paper-scissors predator-prey rule, with conversion
+probability depending on the predator's strength level (the paper: "this
+rule works with slightly different probability for the states ``A_i^+``
+and ``A_i^++`` within species ``A_i``"):
+
+* a **strong** predator converts encountered prey with probability 1, then
+  relaxes to weak (strength is *spent* on a conversion);
+* a **weak** predator converts prey only with probability ``weak_rate``
+  (default 1/2);
+* converts always enter the predator's species in the *weak* state;
+* a weak agent meeting an agent of its *own* species upgrades to strong
+  (strength is *earned* from density).
+
+Why this destabilizes the centre: writing ``x_i`` for the species
+fractions, the quasi-steady strong fraction of species ``i`` is
+``x_i / (x_i + x_{i-1})``, so the effective conversion rate
+``g(x_i) = q + (1-q) x_i/(x_i + x_{i-1})`` *increases* with the predator's
+own density.  For RPS dynamics ``dx_i/dt = x_i x_{i-1} g(x_i) -
+x_i x_{i+1} g(x_{i+1})`` the conserved quantity of the neutral case,
+``V = x_1 x_2 x_3``, then satisfies ``dV/(V dt) ~ -(3/2) g'(1/3)
+sum_i eps_i^2 < 0`` near the centre: the centre is linearly unstable and a
+perturbation of the stochastic size ``n^{-1/2}`` amplifies to constant
+relative size within ``O(log n)`` rounds — Theorem 5.1(i)'s escape from
+the central region.  The instability is verified numerically in
+``tests/test_oscillator.py`` via the Jacobian of
+:class:`repro.engine.meanfield.MeanFieldSystem`.
+
+The control state ``X`` converts any encountered oscillator agent to a
+uniformly random species (weak).  Its role is reseeding: once an
+oscillation sweep annihilates a species, only ``X`` can reintroduce it,
+which is why correct cycling (Theorem 5.1(ii)) requires ``#X >= 1``; and
+because each ``X`` agent injects noise at a constant rate,
+``#X <= n^{1-eps}`` keeps the injected noise from drowning the
+oscillation.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional
+
+from ..core.formula import Formula, V, any_of
+from ..core.protocol import Protocol, Thread
+from ..core.rules import Branch, Rule
+from ..core.state import StateSchema
+
+NUM_SPECIES = 3
+
+#: Enum values of the ``osc`` field: weak ("+") / strong ("s") per species.
+OSC_VALUES = ("A1+", "A1s", "A2+", "A2s", "A3+", "A3s")
+
+#: Name of the shared control-state flag.
+X_FLAG = "X"
+
+
+def weak_value(i: int) -> str:
+    return OSC_VALUES[2 * (i % NUM_SPECIES)]
+
+
+def strong_value(i: int) -> str:
+    return OSC_VALUES[2 * (i % NUM_SPECIES) + 1]
+
+
+@dataclass
+class OscillatorParams:
+    """Tunable constants of P_o.
+
+    ``weak_rate`` is the conversion probability of a weak predator (the
+    strong predator always converts).  ``field`` / ``x_flag`` name the
+    state variables so that several independent oscillators (one per
+    hierarchy level) can coexist on one schema while sharing ``X``.
+    """
+
+    weak_rate: float = 0.5
+    field: str = "osc"
+    x_flag: str = X_FLAG
+
+
+def add_oscillator_fields(schema: StateSchema, params: Optional[OscillatorParams] = None) -> None:
+    """Declare the species field (and the shared X flag if absent)."""
+    if params is None:
+        params = OscillatorParams()
+    schema.enum(params.field, len(OSC_VALUES), values=OSC_VALUES)
+    if not schema.has_field(params.x_flag):
+        schema.flag(params.x_flag)
+
+
+def species(i: int, field: str = "osc", x_flag: str = X_FLAG) -> Formula:
+    """Formula matching non-X agents of species ``A_{i+1}``."""
+    return ~V(x_flag) & any_of(V(field, weak_value(i)), V(field, strong_value(i)))
+
+
+def is_x(x_flag: str = X_FLAG) -> Formula:
+    """Formula matching the control (source) state ``X``."""
+    return V(x_flag)
+
+
+def is_oscillating(x_flag: str = X_FLAG) -> Formula:
+    """Formula matching any non-X oscillator agent."""
+    return ~V(x_flag)
+
+
+def oscillator_rules(params: Optional[OscillatorParams] = None) -> List[Rule]:
+    """The ruleset of P_o."""
+    if params is None:
+        params = OscillatorParams()
+    field, x_flag = params.field, params.x_flag
+    not_x = ~V(x_flag)
+    rules: List[Rule] = []
+    for i in range(NUM_SPECIES):
+        predator = (i + 1) % NUM_SPECIES
+        prey = species(i, field, x_flag)
+        # strong predator: always converts, then relaxes to weak
+        rules.append(
+            Rule(
+                not_x & V(field, strong_value(predator)),
+                prey,
+                update_a={field: weak_value(predator)},
+                update_b={field: weak_value(predator)},
+                name="eat-strong-A{}".format(predator + 1),
+            )
+        )
+        # weak predator: converts with probability weak_rate
+        rules.append(
+            Rule(
+                not_x & V(field, weak_value(predator)),
+                prey,
+                branches=[
+                    Branch(
+                        params.weak_rate,
+                        update_b={field: weak_value(predator)},
+                    )
+                ],
+                name="eat-weak-A{}".format(predator + 1),
+            )
+        )
+        # meeting own species upgrades a weak agent to strong
+        rules.append(
+            Rule(
+                not_x & V(field, weak_value(i)),
+                species(i, field, x_flag),
+                update_a={field: strong_value(i)},
+                name="upgrade-A{}".format(i + 1),
+            )
+        )
+    # the control state reseeds a uniformly random species
+    rules.append(
+        Rule(
+            V(x_flag),
+            not_x,
+            branches=[
+                Branch(1.0 / NUM_SPECIES, update_b={field: weak_value(i)})
+                for i in range(NUM_SPECIES)
+            ],
+            name="reseed",
+        )
+    )
+    return rules
+
+
+def oscillator_thread(params: Optional[OscillatorParams] = None) -> Thread:
+    """P_o as a composable thread (for stacking clocks on top)."""
+    if params is None:
+        params = OscillatorParams()
+    return Thread(
+        "P_o[{}]".format(params.field),
+        oscillator_rules(params),
+        writes=(params.field,),
+        reads=(params.x_flag,),
+    )
+
+
+def make_oscillator_protocol(
+    schema: Optional[StateSchema] = None,
+    params: Optional[OscillatorParams] = None,
+) -> Protocol:
+    """Standalone P_o protocol (7 effective states)."""
+    if params is None:
+        params = OscillatorParams()
+    if schema is None:
+        schema = StateSchema()
+        add_oscillator_fields(schema, params)
+    return Protocol("P_o", schema, [oscillator_thread(params)])

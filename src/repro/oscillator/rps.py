@@ -1,0 +1,65 @@
+"""Plain rock-paper-scissors dynamics (3 species, no strength levels).
+
+This is the textbook predator-prey rule the paper cites as the inspiration
+for the DK18 oscillator P_o::
+
+    > (A_i) + (A_{i-1 mod 3}) -> (A_i) + (A_i)
+
+Kept as a baseline: its mean-field dynamics conserve ``x_1 x_2 x_3`` (the
+centre is *neutrally* stable), so escape from the central region relies on
+stochastic drift and is far slower than the DK18 design — exactly the gap
+the two-strength construction closes.  The ablation bench contrasts the
+two (EXPERIMENTS.md, E3).
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+from ..core.formula import V, Var
+from ..core.protocol import Protocol, single_thread
+from ..core.rules import Rule
+from ..core.state import StateSchema
+
+NUM_SPECIES = 3
+
+#: Enum values of the ``rps`` field.
+SPECIES_VALUES = ("A1", "A2", "A3")
+
+
+def add_rps_field(schema: StateSchema, field: str = "rps") -> None:
+    """Declare the plain-RPS species field on a shared schema."""
+    schema.enum(field, NUM_SPECIES, values=SPECIES_VALUES)
+
+
+def species_formula(index: int, field: str = "rps") -> Var:
+    """Formula matching agents of species ``index`` (0-based)."""
+    return V(field, SPECIES_VALUES[index % NUM_SPECIES])
+
+
+def rps_rules(field: str = "rps") -> List[Rule]:
+    """The three predator-prey conversion rules.
+
+    Species ``i+1`` preys on species ``i`` so that dominance cycles in the
+    order A1 -> A2 -> A3 -> A1, matching Theorem 5.1(ii).
+    """
+    rules = []
+    for i in range(NUM_SPECIES):
+        predator = (i + 1) % NUM_SPECIES
+        rules.append(
+            Rule(
+                species_formula(predator, field),
+                species_formula(i, field),
+                update_b={field: SPECIES_VALUES[predator]},
+                name="rps-eat-{}".format(SPECIES_VALUES[i]),
+            )
+        )
+    return rules
+
+
+def make_rps_protocol(schema: Optional[StateSchema] = None, field: str = "rps") -> Protocol:
+    """Standalone plain-RPS protocol (3 states)."""
+    if schema is None:
+        schema = StateSchema()
+        add_rps_field(schema, field)
+    return single_thread("rps", schema, rps_rules(field))

@@ -1,0 +1,33 @@
+"""Semi-linear predicates and the protocols computing them (Section 6.3)."""
+
+from .expr import PredicateSyntaxError, parse_predicate
+from .fast_blackbox import FastThresholdBlock
+from .semilinear import (
+    Atom,
+    BooleanCombination,
+    Remainder,
+    SemilinearPredicate,
+    Threshold,
+    at_least,
+    evaluate_with_atoms,
+    majority_predicate,
+    parity,
+)
+from .slow_blackbox import AtomProtocol, SlowBlackbox
+
+__all__ = [
+    "Atom",
+    "AtomProtocol",
+    "BooleanCombination",
+    "FastThresholdBlock",
+    "PredicateSyntaxError",
+    "parse_predicate",
+    "Remainder",
+    "SemilinearPredicate",
+    "SlowBlackbox",
+    "Threshold",
+    "at_least",
+    "evaluate_with_atoms",
+    "majority_predicate",
+    "parity",
+]

@@ -1,0 +1,206 @@
+"""A small expression language for semi-linear predicates.
+
+Lets users (and the CLI) write predicates as text instead of building the
+algebra by hand::
+
+    parse_predicate("A > B")
+    parse_predicate("2*A - B >= 3 and A % 2 == 0")
+    parse_predicate("not (A >= 10) or B % 3 == 1")
+
+Grammar (precedence low to high): ``or`` < ``and`` < ``not`` < atom.
+Atoms are either comparisons of an integer linear combination against a
+constant (``<=, <, >=, >, ==`` on sums of ``k*NAME`` terms) or modular
+constraints ``<linear> % m == r``.  Strict inequalities and ``<=`` are
+normalized to the canonical ``>=`` threshold form (integer arithmetic
+makes this exact).
+"""
+
+from __future__ import annotations
+
+import re
+from typing import Dict, List, Optional, Tuple
+
+from .semilinear import BooleanCombination, Remainder, SemilinearPredicate, Threshold
+
+
+class PredicateSyntaxError(ValueError):
+    pass
+
+
+_TOKEN_RE = re.compile(
+    r"\s*(?:(?P<num>\d+)|(?P<name>[A-Za-z_][A-Za-z_0-9]*)"
+    r"|(?P<op><=|>=|==|<|>|%|\*|\+|-|\(|\)))"
+)
+_KEYWORDS = {"and", "or", "not"}
+
+
+def _tokenize(text: str) -> List[Tuple[str, str]]:
+    tokens: List[Tuple[str, str]] = []
+    index = 0
+    while index < len(text):
+        if text[index].isspace():
+            index += 1
+            continue
+        match = _TOKEN_RE.match(text[index:])
+        if not match:
+            raise PredicateSyntaxError(
+                "cannot tokenize {!r}".format(text[index:])
+            )
+        if match.group("num"):
+            tokens.append(("num", match.group("num")))
+        elif match.group("name"):
+            name = match.group("name")
+            if name.lower() in _KEYWORDS:
+                tokens.append(("kw", name.lower()))
+            else:
+                tokens.append(("name", name))
+        else:
+            tokens.append(("op", match.group("op")))
+        index += match.end()
+    return tokens
+
+
+class _Parser:
+    def __init__(self, text: str):
+        self.tokens = _tokenize(text)
+        self.pos = 0
+
+    def _peek(self) -> Optional[Tuple[str, str]]:
+        return self.tokens[self.pos] if self.pos < len(self.tokens) else None
+
+    def _next(self) -> Tuple[str, str]:
+        token = self._peek()
+        if token is None:
+            raise PredicateSyntaxError("unexpected end of predicate")
+        self.pos += 1
+        return token
+
+    def _accept(self, kind: str, value: Optional[str] = None) -> bool:
+        token = self._peek()
+        if token is None or token[0] != kind:
+            return False
+        if value is not None and token[1] != value:
+            return False
+        self.pos += 1
+        return True
+
+    # -- boolean layer ----------------------------------------------------------
+    def parse(self) -> SemilinearPredicate:
+        predicate = self._or()
+        if self._peek() is not None:
+            raise PredicateSyntaxError(
+                "trailing tokens: {!r}".format(self.tokens[self.pos:])
+            )
+        return predicate
+
+    def _or(self) -> SemilinearPredicate:
+        operands = [self._and()]
+        while self._accept("kw", "or"):
+            operands.append(self._and())
+        return operands[0] if len(operands) == 1 else BooleanCombination("or", operands)
+
+    def _and(self) -> SemilinearPredicate:
+        operands = [self._not()]
+        while self._accept("kw", "and"):
+            operands.append(self._not())
+        return operands[0] if len(operands) == 1 else BooleanCombination("and", operands)
+
+    def _not(self) -> SemilinearPredicate:
+        if self._accept("kw", "not"):
+            return BooleanCombination("not", [self._not()])
+        if self._accept("op", "("):
+            inner = self._or()
+            if not self._accept("op", ")"):
+                raise PredicateSyntaxError("missing ')'")
+            return inner
+        return self._atom()
+
+    # -- arithmetic layer --------------------------------------------------------
+    def _linear(self) -> Tuple[Dict[str, int], int]:
+        """Parse a sum of ``k*NAME`` / ``NAME`` / integer terms."""
+        coefficients: Dict[str, int] = {}
+        constant = 0
+        sign = 1
+        while True:
+            if self._accept("op", "-"):
+                sign = -sign
+            coeff = 1
+            token = self._next()
+            if token[0] == "num":
+                if self._accept("op", "*"):
+                    coeff = int(token[1])
+                    token = self._next()
+                    if token[0] != "name":
+                        raise PredicateSyntaxError("expected input name after '*'")
+                    name = token[1]
+                    coefficients[name] = coefficients.get(name, 0) + sign * coeff
+                else:
+                    constant += sign * int(token[1])
+            elif token[0] == "name":
+                coefficients[token[1]] = coefficients.get(token[1], 0) + sign
+            else:
+                raise PredicateSyntaxError(
+                    "expected a term, got {!r}".format(token[1])
+                )
+            if self._accept("op", "+"):
+                sign = 1
+                continue
+            if self._accept("op", "-"):
+                sign = -1
+                continue
+            return coefficients, constant
+
+    def _atom(self) -> SemilinearPredicate:
+        coefficients, constant = self._linear()
+        token = self._next()
+        if token != ("op", "%") and token[0] != "op":
+            raise PredicateSyntaxError("expected comparison operator")
+        if token == ("op", "%"):
+            modulus_token = self._next()
+            if modulus_token[0] != "num":
+                raise PredicateSyntaxError("expected modulus after '%'")
+            if not self._accept("op", "=="):
+                raise PredicateSyntaxError("modular atoms use '=='")
+            remainder_token = self._next()
+            if remainder_token[0] != "num":
+                raise PredicateSyntaxError("expected remainder")
+            if not coefficients:
+                raise PredicateSyntaxError("modular atom needs an input term")
+            return Remainder(
+                coefficients,
+                int(remainder_token[1]) - constant,
+                int(modulus_token[1]),
+            )
+        op = token[1]
+        rhs_coeffs, rhs_const = self._linear()
+        # move everything to the left-hand side
+        for name, coeff in rhs_coeffs.items():
+            coefficients[name] = coefficients.get(name, 0) - coeff
+        coefficients = {k: v for k, v in coefficients.items() if v}
+        bound = rhs_const - constant
+        if not coefficients:
+            raise PredicateSyntaxError("comparison has no input terms")
+        if op == ">=":
+            return Threshold(coefficients, bound)
+        if op == ">":
+            return Threshold(coefficients, bound + 1)
+        if op == "<":
+            return BooleanCombination("not", [Threshold(coefficients, bound)])
+        if op == "<=":
+            return BooleanCombination("not", [Threshold(coefficients, bound + 1)])
+        if op == "==":
+            return BooleanCombination(
+                "and",
+                [
+                    Threshold(dict(coefficients), bound),
+                    BooleanCombination(
+                        "not", [Threshold(dict(coefficients), bound + 1)]
+                    ),
+                ],
+            )
+        raise PredicateSyntaxError("unsupported operator {!r}".format(op))
+
+
+def parse_predicate(text: str) -> SemilinearPredicate:
+    """Parse a predicate expression into the semi-linear algebra."""
+    return _Parser(text).parse()

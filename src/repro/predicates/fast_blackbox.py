@@ -1,0 +1,148 @@
+"""The fast blackbox: leader-driven w.h.p. predicate computation.
+
+Section 6.3 uses the protocol of [AAE08b] as a black box: given a unique
+leader, it writes the predicate's value to all agents w.h.p. within
+polylogarithmic time.  The full AAE08b construction simulates a register
+machine on the population; as documented in DESIGN.md, we substitute a
+functional equivalent with the same interface contract for **threshold**
+atoms: the sign-test cancellation/doubling scheme (the same engine as the
+paper's own Majority protocol, Section 3.2), generalized to weighted
+tokens, with the atom's additive constant planted on the leader.
+
+The block below is a *program fragment* (a list of instructions in the
+sequential language): the framework's loop structure provides exactly the
+synchronization the scheme needs, so the fast blackbox inherits the
+O(log^2 n) rounds of the Majority inner loop.
+
+Remainder atoms are not covered by this substitute (merging-based modulo
+counting is inherently sequential without AAE08b's register machinery);
+predicates containing them fall back to the slow blackbox's timing while
+retaining correctness.  See DESIGN.md §2 for the substitution note.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Tuple
+
+from ..core.formula import FALSE, Formula, Predicate, TRUE, V
+from ..core.rules import DynamicRule, Rule
+from ..core.state import StateSchema
+from ..lang.ast import Assign, Execute, IfExists, Instruction, RepeatLog
+from .semilinear import Threshold
+
+
+class FastThresholdBlock:
+    """Instructions computing one threshold atom into an output flag."""
+
+    def __init__(
+        self,
+        atom: Threshold,
+        index: int,
+        schema: StateSchema,
+        leader_flag: str = "L",
+        c: int = 2,
+    ):
+        self.atom = atom
+        self.index = index
+        self.leader_flag = leader_flag
+        self.c = c
+        self.cap = abs(atom.constant) + max(abs(a) for a in atom.coefficients.values())
+        self.value_field = "fv{}".format(index)
+        self.seed_flag = "fseed{}".format(index)
+        self.double_flag = "fK{}".format(index)
+        self.out_flag = "fP{}".format(index)
+        schema.enum(
+            self.value_field, 2 * self.cap + 1, values=tuple(range(-self.cap, self.cap + 1))
+        )
+        schema.flag(self.seed_flag)
+        schema.flag(self.double_flag)
+        schema.flag(self.out_flag)
+
+    # -- formulas -----------------------------------------------------------------
+    def positive(self) -> Formula:
+        field = self.value_field
+        return Predicate(lambda s: s[field] > 0, variables=(field,), label=field + ">0")
+
+    def negative(self) -> Formula:
+        field = self.value_field
+        return Predicate(lambda s: s[field] < 0, variables=(field,), label=field + "<0")
+
+    # -- rules --------------------------------------------------------------------
+    def _seed_rules(self) -> List[Rule]:
+        field, seed, leader = self.value_field, self.seed_flag, self.leader_flag
+        atom = self.atom
+        coefficients = atom.coefficients
+        constant = atom.constant
+
+        def fire(a, b):
+            if not a[seed]:
+                return []
+            value = 0
+            for name, coeff in coefficients.items():
+                if a[name]:
+                    value += coeff
+            if a[leader]:
+                value -= constant
+            assign: Dict[str, object] = {seed: False}
+            if a[field] != value:
+                assign[field] = value
+            return [(assign, {}, 1.0)]
+
+        return [DynamicRule(None, None, fire, name="fast-seed{}".format(self.index))]
+
+    def _cancel_rules(self) -> List[Rule]:
+        field = self.value_field
+
+        def cancel(a, b):
+            u, v = a[field], b[field]
+            if u == 0 or v == 0 or (u > 0) == (v > 0):
+                return []
+            return [({field: u + v}, {field: 0}, 1.0)]
+
+        return [DynamicRule(None, None, cancel, name="fast-cancel{}".format(self.index))]
+
+    def _double_rules(self) -> List[Rule]:
+        field, kd = self.value_field, self.double_flag
+
+        def double(a, b):
+            u, v = a[field], b[field]
+            if v != 0 or u == 0:
+                return []
+            if abs(u) > 1:
+                # shed one unit onto the blank responder (no K cost)
+                unit = 1 if u > 0 else -1
+                return [({field: u - unit}, {field: unit}, 1.0)]
+            if a[kd] or b[kd]:
+                return []
+            return [({kd: True}, {field: u, kd: True}, 1.0)]
+
+        return [DynamicRule(None, None, double, name="fast-double{}".format(self.index))]
+
+    # -- the program fragment ----------------------------------------------------------
+    def instructions(self) -> List[Instruction]:
+        c = self.c
+        seed_arm = Execute(
+            [
+                Rule(
+                    ~V(self.seed_flag),
+                    None,
+                    {self.seed_flag: True},
+                    name="arm-fast-seed{}".format(self.index),
+                )
+            ],
+            c=c,
+            label="fast-seed-arm{}".format(self.index),
+        )
+        seed_fire = Execute(self._seed_rules(), c=c, label="fast-seed{}".format(self.index))
+        loop = RepeatLog(
+            [
+                Execute(self._cancel_rules(), c=c, label="fast-cancel{}".format(self.index)),
+                Assign(self.double_flag, FALSE),
+                Execute(self._double_rules(), c=c, label="fast-double{}".format(self.index)),
+            ],
+            c=c,
+        )
+        write_output = [
+            IfExists(self.negative(), [Assign(self.out_flag, FALSE)], [Assign(self.out_flag, TRUE)]),
+        ]
+        return [seed_arm, seed_fire, loop] + write_output

@@ -1,0 +1,192 @@
+"""Semi-linear predicates over input multiplicities (paper Section 6.3).
+
+The predicates computable by finite-state population protocols under the
+stability assumption are exactly the semi-linear ones [AAD+06] —
+equivalently, boolean combinations of
+
+* **threshold** atoms  ``sum_i a_i x_i >= c``, and
+* **remainder** atoms  ``sum_i a_i x_i = r (mod m)``,
+
+where ``x_i`` is the number of agents holding input ``i`` and the ``a_i``,
+``c``, ``r``, ``m`` are integer constants.  This module provides the
+predicate algebra (construction, evaluation on counts, normalization
+helpers); the protocols computing them live in
+:mod:`repro.predicates.slow_blackbox` and
+:mod:`repro.predicates.fast_blackbox`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Mapping, Sequence, Tuple
+
+
+class SemilinearPredicate:
+    """Base class: a predicate over input-name -> count mappings."""
+
+    def evaluate(self, counts: Mapping[str, int]) -> bool:
+        raise NotImplementedError
+
+    def atoms(self) -> List["Atom"]:
+        raise NotImplementedError
+
+    def inputs(self) -> List[str]:
+        names: List[str] = []
+        for atom in self.atoms():
+            for name in atom.coefficients:
+                if name not in names:
+                    names.append(name)
+        return names
+
+    def __and__(self, other: "SemilinearPredicate") -> "SemilinearPredicate":
+        return BooleanCombination("and", [self, other])
+
+    def __or__(self, other: "SemilinearPredicate") -> "SemilinearPredicate":
+        return BooleanCombination("or", [self, other])
+
+    def __invert__(self) -> "SemilinearPredicate":
+        return BooleanCombination("not", [self])
+
+    def describe(self) -> str:
+        raise NotImplementedError
+
+
+class Atom(SemilinearPredicate):
+    """Common base of the two atom kinds."""
+
+    coefficients: Dict[str, int]
+
+    def weighted_sum(self, counts: Mapping[str, int]) -> int:
+        return sum(
+            coeff * counts.get(name, 0)
+            for name, coeff in self.coefficients.items()
+        )
+
+    def atoms(self) -> List["Atom"]:
+        return [self]
+
+
+@dataclass
+class Threshold(Atom):
+    """``sum_i a_i x_i >= c``."""
+
+    coefficients: Dict[str, int]
+    constant: int
+
+    def __init__(self, coefficients: Mapping[str, int], constant: int):
+        self.coefficients = dict(coefficients)
+        self.constant = int(constant)
+        if not self.coefficients:
+            raise ValueError("threshold atom needs at least one input")
+
+    def evaluate(self, counts: Mapping[str, int]) -> bool:
+        return self.weighted_sum(counts) >= self.constant
+
+    def describe(self) -> str:
+        terms = " + ".join(
+            "{}*{}".format(coeff, name) for name, coeff in self.coefficients.items()
+        )
+        return "({} >= {})".format(terms, self.constant)
+
+
+@dataclass
+class Remainder(Atom):
+    """``sum_i a_i x_i = r (mod m)``."""
+
+    coefficients: Dict[str, int]
+    remainder: int
+    modulus: int
+
+    def __init__(self, coefficients: Mapping[str, int], remainder: int, modulus: int):
+        if modulus < 2:
+            raise ValueError("modulus must be at least 2")
+        self.coefficients = dict(coefficients)
+        self.remainder = int(remainder) % modulus
+        self.modulus = int(modulus)
+        if not self.coefficients:
+            raise ValueError("remainder atom needs at least one input")
+
+    def evaluate(self, counts: Mapping[str, int]) -> bool:
+        return self.weighted_sum(counts) % self.modulus == self.remainder
+
+    def describe(self) -> str:
+        terms = " + ".join(
+            "{}*{}".format(coeff, name) for name, coeff in self.coefficients.items()
+        )
+        return "({} = {} mod {})".format(terms, self.remainder, self.modulus)
+
+
+class BooleanCombination(SemilinearPredicate):
+    """``and`` / ``or`` / ``not`` over sub-predicates."""
+
+    def __init__(self, op: str, operands: Sequence[SemilinearPredicate]):
+        if op not in ("and", "or", "not"):
+            raise ValueError("unknown boolean operator {!r}".format(op))
+        if op == "not" and len(operands) != 1:
+            raise ValueError("'not' takes exactly one operand")
+        if op != "not" and len(operands) < 2:
+            raise ValueError("{!r} takes at least two operands".format(op))
+        self.op = op
+        self.operands = list(operands)
+
+    def evaluate(self, counts: Mapping[str, int]) -> bool:
+        values = [operand.evaluate(counts) for operand in self.operands]
+        if self.op == "and":
+            return all(values)
+        if self.op == "or":
+            return any(values)
+        return not values[0]
+
+    def atoms(self) -> List[Atom]:
+        out: List[Atom] = []
+        for operand in self.operands:
+            out.extend(operand.atoms())
+        return out
+
+    def evaluate_from_atoms(self, atom_values: Dict[int, bool]) -> bool:
+        """Evaluate given truth values keyed by ``id(atom)``."""
+
+        def rec(p: SemilinearPredicate) -> bool:
+            if isinstance(p, Atom):
+                return atom_values[id(p)]
+            assert isinstance(p, BooleanCombination)
+            values = [rec(o) for o in p.operands]
+            if p.op == "and":
+                return all(values)
+            if p.op == "or":
+                return any(values)
+            return not values[0]
+
+        return rec(self)
+
+    def describe(self) -> str:
+        if self.op == "not":
+            return "~" + self.operands[0].describe()
+        joiner = " & " if self.op == "and" else " | "
+        return "(" + joiner.join(o.describe() for o in self.operands) + ")"
+
+
+def evaluate_with_atoms(
+    predicate: SemilinearPredicate, atom_values: Dict[int, bool]
+) -> bool:
+    """Evaluate any predicate from pre-computed atom truth values."""
+    if isinstance(predicate, Atom):
+        return atom_values[id(predicate)]
+    assert isinstance(predicate, BooleanCombination)
+    return predicate.evaluate_from_atoms(atom_values)
+
+
+# -- convenience constructors -----------------------------------------------------
+def majority_predicate(a: str = "A", b: str = "B") -> Threshold:
+    """``x_A > x_B``, the comparison version of majority."""
+    return Threshold({a: 1, b: -1}, 1)
+
+
+def at_least(name: str, c: int) -> Threshold:
+    """``x_name >= c`` — an absolute threshold."""
+    return Threshold({name: 1}, c)
+
+
+def parity(name: str, even: bool = True) -> Remainder:
+    """``x_name`` is even / odd."""
+    return Remainder({name: 1}, 0 if even else 1, 2)

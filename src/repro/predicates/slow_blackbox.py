@@ -1,0 +1,279 @@
+"""The slow blackbox: stable computation of semi-linear predicates
+([AAD+06], used in Section 6.3 as ``SemLinearSlow``).
+
+For each atom we implement an always-correct protocol in the style of the
+classical constructions:
+
+* **Threshold** ``sum a_i x_i >= c``: rewritten as a sign test on the
+  adjusted sum ``sum a_i x_i - c`` (the constant is planted as a ``-c``
+  token on one designated agent at initialization — see
+  :meth:`SlowBlackbox.populate`).  Agents carry signed token values with a
+  *holder* flag; holders of opposite signs cancel (the pair's values are
+  summed onto the initiator, the responder is drained), same-sign holders
+  ignore each other, and a zero-valued holder defers to any signed
+  holder.  The total absolute token mass strictly decreases on every
+  cancellation, so eventually all holders carry the same sign (or a lone
+  zero): the verdict ``value >= 0`` is then unanimous among holders and
+  spreads to drained agents, never to change again — stable computation,
+  exactly like the 4-state exact-majority protocol it generalizes.
+
+* **Remainder** ``sum a_i x_i = r (mod m)``: agents carry values in Z_m
+  plus a holder flag; two holders merge (initiator takes the sum mod m,
+  responder is drained); drained agents adopt the opinion of holders.
+  Eventually exactly one holder remains and its opinion spreads.
+
+Boolean combinations run their atoms' protocols as parallel threads and
+evaluate the combination on the local opinion bits.
+
+Both protocols converge in expected polynomial time (the cancellation
+phase is the same dynamics as Proposition 5.3), which is all Theorem 6.4
+needs from the slow thread.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Mapping, Optional, Sequence, Tuple
+
+from ..core.formula import Predicate, V
+from ..core.population import Population
+from ..core.protocol import Protocol, Thread
+from ..core.rules import DynamicRule, Rule
+from ..core.state import StateSchema
+from .semilinear import Atom, Remainder, SemilinearPredicate, Threshold, evaluate_with_atoms
+
+
+class AtomProtocol:
+    """Fields + thread + opinion accessors for one atom."""
+
+    def __init__(self, atom: Atom, index: int, schema: StateSchema):
+        self.atom = atom
+        self.index = index
+        self.schema = schema
+        self.opinion_flag = "P{}".format(index)
+        self.value_field = "v{}".format(index)
+        self.holder_flag = "h{}".format(index)
+        if isinstance(atom, Threshold):
+            self._build_threshold(schema, atom)
+        elif isinstance(atom, Remainder):
+            self._build_remainder(schema, atom)
+        else:
+            raise TypeError("unknown atom type {!r}".format(atom))
+
+    # -- threshold -----------------------------------------------------------
+    def _build_threshold(self, schema: StateSchema, atom: Threshold) -> None:
+        cap = abs(atom.constant) + max(abs(a) for a in atom.coefficients.values())
+        self.cap = cap
+        schema.enum(self.value_field, 2 * cap + 1, values=tuple(range(-cap, cap + 1)))
+        schema.flag(self.holder_flag)
+        schema.flag(self.opinion_flag)
+        value_field, holder, opinion = self.value_field, self.holder_flag, self.opinion_flag
+
+        def interact(a, b):
+            assign_a: Dict[str, object] = {}
+            assign_b: Dict[str, object] = {}
+            u, v = a[value_field], b[value_field]
+            if a[holder] and b[holder]:
+                if u * v < 0:
+                    # opposite signs cancel onto the initiator
+                    total = u + v
+                    assign_a[value_field] = total
+                    assign_b[value_field] = 0
+                    assign_b[holder] = False
+                    verdict = total >= 0
+                    u = total
+                elif u == 0 and v != 0:
+                    # a zero holder defers to a signed holder
+                    assign_a[holder] = False
+                    verdict = v >= 0
+                elif v == 0 and u != 0:
+                    assign_b[holder] = False
+                    verdict = u >= 0
+                else:
+                    verdict = u >= 0
+            elif a[holder]:
+                verdict = u >= 0
+            elif b[holder]:
+                verdict = v >= 0
+            else:
+                return []
+            if a[opinion] != verdict:
+                assign_a[opinion] = verdict
+            if b[opinion] != verdict:
+                assign_b[opinion] = verdict
+            if not assign_a and not assign_b:
+                return []
+            return [(assign_a, assign_b, 1.0)]
+
+        self.rules = [DynamicRule(None, None, interact, name="thr{}".format(self.index))]
+
+    # -- remainder -------------------------------------------------------------
+    def _build_remainder(self, schema: StateSchema, atom: Remainder) -> None:
+        m = atom.modulus
+        schema.enum(self.value_field, m)
+        schema.flag(self.holder_flag)
+        schema.flag(self.opinion_flag)
+        value_field, holder, opinion = self.value_field, self.holder_flag, self.opinion_flag
+        remainder = atom.remainder
+
+        def interact(a, b):
+            assign_a: Dict[str, object] = {}
+            assign_b: Dict[str, object] = {}
+            if a[holder] and b[holder]:
+                total = (a[value_field] + b[value_field]) % m
+                if total != a[value_field]:
+                    assign_a[value_field] = total
+                if b[value_field] != 0:
+                    assign_b[value_field] = 0
+                assign_b[holder] = False
+                verdict = total == remainder
+            elif a[holder]:
+                verdict = a[value_field] == remainder
+            elif b[holder]:
+                verdict = b[value_field] == remainder
+            else:
+                return []
+            if a[opinion] != verdict:
+                assign_a[opinion] = verdict
+            if b[opinion] != verdict:
+                assign_b[opinion] = verdict
+            if not assign_a and not assign_b:
+                return []
+            return [(assign_a, assign_b, 1.0)]
+
+        self.rules = [DynamicRule(None, None, interact, name="mod{}".format(self.index))]
+
+    # -- accessors -----------------------------------------------------------------
+    def thread(self) -> Thread:
+        return Thread(
+            "SlowAtom{}".format(self.index),
+            self.rules,
+            writes=(self.value_field, self.holder_flag, self.opinion_flag),
+        )
+
+    def initial_assignment(
+        self, input_name: Optional[str], plant_constant: bool = False
+    ) -> Dict[str, object]:
+        """Initial fields for an agent holding ``input_name`` (or blank).
+
+        ``plant_constant`` adds the threshold atom's ``-c`` token to this
+        agent (exactly one agent per population must plant it).
+        """
+        coeff = self.atom.coefficients.get(input_name, 0) if input_name else 0
+        if isinstance(self.atom, Threshold):
+            value = coeff - (self.atom.constant if plant_constant else 0)
+            if abs(value) > self.cap:
+                raise ValueError("initial token exceeds the cap")
+            return {
+                self.value_field: value,
+                self.holder_flag: True,
+                self.opinion_flag: value >= 0,
+            }
+        value = coeff % self.atom.modulus
+        return {
+            self.value_field: value,
+            self.holder_flag: True,
+            self.opinion_flag: value == self.atom.remainder,
+        }
+
+
+class SlowBlackbox:
+    """Stable computation of a full semi-linear predicate."""
+
+    def __init__(self, predicate: SemilinearPredicate, schema: Optional[StateSchema] = None):
+        self.predicate = predicate
+        self.schema = schema if schema is not None else StateSchema()
+        self.atom_protocols = [
+            AtomProtocol(atom, i, self.schema)
+            for i, atom in enumerate(predicate.atoms())
+        ]
+
+    def threads(self) -> List[Thread]:
+        return [ap.thread() for ap in self.atom_protocols]
+
+    def protocol(self) -> Protocol:
+        return Protocol("SlowBlackbox", self.schema, self.threads())
+
+    def initial_assignment(
+        self, input_name: Optional[str], plant_constant: bool = False
+    ) -> Dict[str, object]:
+        assignment: Dict[str, object] = {}
+        for ap in self.atom_protocols:
+            assignment.update(ap.initial_assignment(input_name, plant_constant))
+        return assignment
+
+    def populate(
+        self,
+        groups: Sequence[Tuple[Optional[str], int]],
+        extra: Optional[Mapping[str, object]] = None,
+    ) -> Population:
+        """Build the initial population from ``(input name or None, count)``
+        groups.  The first agent of the first nonempty group carries the
+        threshold atoms' constant tokens."""
+        merged: List[Tuple[Dict[str, object], int]] = []
+        planted = False
+        for input_name, count in groups:
+            if count <= 0:
+                continue
+            if not planted:
+                assignment = self.initial_assignment(input_name, plant_constant=True)
+                if extra:
+                    assignment.update(extra)
+                merged.append((assignment, 1))
+                count -= 1
+                planted = True
+            if count:
+                assignment = self.initial_assignment(input_name)
+                if extra:
+                    assignment.update(extra)
+                merged.append((assignment, count))
+        if not planted:
+            raise ValueError("population is empty")
+        return Population.from_groups(self.schema, merged)
+
+    def opinion_formula(self) -> Predicate:
+        """Formula: the local evaluation of the predicate from opinions."""
+        atom_list = [ap.atom for ap in self.atom_protocols]
+        flags = [ap.opinion_flag for ap in self.atom_protocols]
+        predicate = self.predicate
+
+        def check(state) -> bool:
+            atom_values = {
+                id(atom): bool(state[flag]) for atom, flag in zip(atom_list, flags)
+            }
+            return evaluate_with_atoms(predicate, atom_values)
+
+        return Predicate(check, variables=tuple(flags), label="slow-opinion")
+
+    def unanimous_output(self, population: Population) -> Optional[bool]:
+        """The population-wide output, or None while agents disagree."""
+        yes = population.count(self.opinion_formula())
+        if yes == population.n:
+            return True
+        if yes == 0:
+            return False
+        return None
+
+    def stabilized(self, population: Population) -> bool:
+        """Whether every atom's token dynamics has settled (no two holders
+        that could still interact non-trivially)."""
+        schema = population.schema
+        for ap in self.atom_protocols:
+            if isinstance(ap.atom, Remainder):
+                if population.count(V(ap.holder_flag)) != 1:
+                    return False
+            else:
+                signs = set()
+                zero_holders = 0
+                for code, cnt in population.counts.items():
+                    if not schema.value_of(code, ap.holder_flag):
+                        continue
+                    value = schema.value_of(code, ap.value_field)
+                    if value > 0:
+                        signs.add(1)
+                    elif value < 0:
+                        signs.add(-1)
+                    else:
+                        zero_holders += cnt
+                if len(signs) > 1 or (signs and zero_holders):
+                    return False
+        return True

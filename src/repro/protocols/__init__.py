@@ -1,0 +1,54 @@
+"""The paper's protocols, expressed in the programming framework."""
+
+from .leader_election import (
+    has_unique_leader,
+    leader_count,
+    leader_election_program,
+    run_leader_election,
+)
+from .leader_election_exact import (
+    leader_election_exact_program,
+    run_leader_election_exact,
+    unique_leader_is_r,
+)
+from .majority import (
+    majority_output,
+    majority_population,
+    majority_program,
+    run_majority,
+)
+from .majority_exact import (
+    majority_exact_population,
+    majority_exact_program,
+    run_majority_exact,
+)
+from .plurality import (
+    plurality_population,
+    plurality_program,
+    plurality_winner,
+    run_plurality,
+)
+from .semilinear import SemilinearExact, run_semilinear_exact
+
+__all__ = [
+    "SemilinearExact",
+    "has_unique_leader",
+    "leader_count",
+    "leader_election_exact_program",
+    "leader_election_program",
+    "majority_exact_population",
+    "majority_exact_program",
+    "majority_output",
+    "majority_population",
+    "majority_program",
+    "plurality_population",
+    "plurality_program",
+    "plurality_winner",
+    "run_leader_election",
+    "run_leader_election_exact",
+    "run_majority",
+    "run_majority_exact",
+    "run_plurality",
+    "run_semilinear_exact",
+    "unique_leader_is_r",
+]

@@ -1,0 +1,156 @@
+"""The always-correct leader election protocol (paper Section 6.1).
+
+``LeaderElectionExact`` combines the fast w.h.p. Main thread with two
+perpetual background threads:
+
+* **FilteredCoin** maintains a "synthetic coin" flag ``F``: starting from
+  an all-on set ``I``, pairwise annihilation builds a balanced set ``S``,
+  whose mixing keeps ``#F`` within constant fractions of n for a long
+  stretch (Theorem 6.2 shows ``15n/64 <= #F <= 5n/8`` w.h.p.) — and,
+  crucially for exactness, ``F`` eventually empties forever (the last
+  rule only ever unsets it once ``I`` and the S-dynamics die out).
+* **ReduceSets** maintains a nonempty, slowly shrinking set ``R`` which
+  eventually has exactly one element with certainty.
+
+Main repeatedly halves the leader set using ``F`` as its coin; once ``F``
+is empty forever, ``D`` stays empty, and Main deterministically settles on
+``L := R`` — the unique ``R`` member becomes the leader with certainty
+(Theorem 6.1).  Convergence takes O(log^2 n) rounds w.h.p. after
+initialization, O(poly n) with certainty.
+
+Pseudocode (paper, Section 6.1)::
+
+    thread Main uses L, reads R, F:
+      var D <- off
+      repeat:
+        if exists (L):
+          D := L and F
+        if exists (D):
+          L := L and D
+        else:
+          L := R
+    thread FilteredCoin uses F:
+      var I <- on, S <- on
+      execute ruleset:
+        > (I) + (I) -> (~I & S) + (~I & ~S)
+        > (I) + (~I) -> (~I) + (~I)
+        > (S) + (~S) -> (S & F) + (S & F)
+        > (~S) + (S) -> (~S & F) + (~S & F)
+        > (F) + (.) -> (~F) + (.)
+    thread ReduceSets uses R, reads L:
+      execute ruleset:
+        > (R) + (R & ~L) -> (R) + (~R & ~L)
+        > (R & L) + (R & L) -> (R & L) + (~R & ~L)
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Tuple
+
+import numpy as np
+
+from ..core.formula import TRUE, V
+from ..core.population import Population
+from ..core.rules import Rule
+from ..core.state import StateSchema
+from ..lang.ast import Assign, IfExists, Program, Repeat, ThreadDef, VarDecl
+from ..lang.runtime import IdealInterpreter
+
+
+def filtered_coin_rules():
+    return [
+        Rule(V("I"), V("I"), {"I": False, "S": True}, {"I": False, "S": False},
+             name="coin-split"),
+        Rule(V("I"), ~V("I"), {"I": False}, None, name="coin-drain"),
+        Rule(V("S"), ~V("S"), {"F": True}, {"F": True}, name="coin-set-F"),
+        Rule(~V("S"), V("S"), {"F": True}, {"F": True}, name="coin-set-F2"),
+        Rule(V("F"), None, {"F": False}, None, name="coin-unset-F"),
+    ]
+
+
+def reduce_sets_rules():
+    return [
+        Rule(V("R"), V("R") & ~V("L"), None, {"R": False}, name="reduce-nonleader"),
+        Rule(V("R") & V("L"), V("R") & V("L"), None, {"R": False, "L": False},
+             name="reduce-leader"),
+    ]
+
+
+def leader_election_exact_program() -> Program:
+    """The paper's ``LeaderElectionExact`` program."""
+    return Program(
+        name="LeaderElectionExact",
+        variables=[
+            VarDecl("L", init=True, role="output"),
+            VarDecl("R", init=True),
+            VarDecl("F", init=True),
+            VarDecl("D", init=False),
+            VarDecl("I", init=True),
+            VarDecl("S", init=True),
+        ],
+        threads=[
+            ThreadDef(
+                "Main",
+                body=Repeat(
+                    [
+                        IfExists(V("L"), [Assign("D", V("L") & V("F"))]),
+                        IfExists(
+                            V("D"),
+                            [Assign("L", V("L") & V("D"))],
+                            [Assign("L", V("R"))],
+                        ),
+                    ]
+                ),
+                uses=("L", "D"),
+                reads=("R", "F"),
+            ),
+            ThreadDef("FilteredCoin", perpetual=filtered_coin_rules(), uses=("F", "I", "S")),
+            ThreadDef("ReduceSets", perpetual=reduce_sets_rules(), uses=("R", "L")),
+        ],
+    )
+
+
+def exact_population(n: int) -> Tuple[StateSchema, Population]:
+    program = leader_election_exact_program()
+    schema = StateSchema()
+    for decl in program.variables:
+        schema.flag(decl.name)
+    population = Population.uniform(
+        schema, n, {decl.name: decl.init for decl in program.variables}
+    )
+    return schema, population
+
+
+def has_unique_leader(population: Population) -> bool:
+    return population.count(V("L")) == 1
+
+
+def unique_leader_is_r(population: Population) -> bool:
+    """Convergence-with-certainty witness: L = R = a single agent."""
+    return (
+        population.count(V("L")) == 1
+        and population.count(V("R")) == 1
+        and population.count(V("L") & V("R")) == 1
+    )
+
+
+def run_leader_election_exact(
+    n: int,
+    max_iterations: Optional[int] = None,
+    rng: Optional[np.random.Generator] = None,
+    c: float = 2.0,
+) -> Tuple[bool, int, float, int]:
+    """Run to a unique leader; returns (unique, iterations, rounds, #R)."""
+    _, population = exact_population(n)
+    interp = IdealInterpreter(
+        leader_election_exact_program(), population, c=c, rng=rng
+    )
+    if max_iterations is None:
+        max_iterations = max(16, int(4 * np.log(n)))
+    interp.run(max_iterations, stop=has_unique_leader)
+    return (
+        has_unique_leader(interp.population),
+        interp.iterations,
+        interp.rounds,
+        interp.population.count(V("R")),
+    )

@@ -1,0 +1,183 @@
+"""The w.h.p. exact majority protocol (paper Section 3.2, Theorem 3.2).
+
+Pseudocode from the paper::
+
+    def protocol Majority
+      var Y_A as output, A, B as input:
+      thread Main uses Y_A, reads A, B:
+        var A* <- off, B* <- off, K <- off
+        repeat:
+          A* := A
+          B* := B
+          repeat >= c ln n times:
+            execute for >= c ln n rounds ruleset:
+              > (A*) + (B*) -> (~A*) + (~B*)
+              K := off
+            execute for >= c ln n rounds ruleset:
+              > (A* & ~K) + (~A* & ~B*) -> (A* & K) + (A* & K)
+              > (B* & ~K) + (~A* & ~B*) -> (B* & K) + (B* & K)
+          if exists (A*):
+            Y_A := on
+          if exists (B*):
+            Y_A := off
+
+Mechanism (the cancellation/doubling scheme of [AAG18], simplified by the
+framework): each pass of the inner loop first cancels A*/B* tokens
+pairwise — afterwards only the majority colour retains tokens — then lets
+surviving tokens double onto blank agents (the K flag limits each token to
+one doubling per pass, keeping the token count below n).  After
+O(log n) passes the minority tokens are extinct w.h.p. *regardless of the
+initial gap*, and the surviving colour writes the output.  One iteration
+costs O(log^2 n) rounds, so majority converges in O(log^3 n) rounds.
+
+Note the pseudocode's ``K := off`` inside the first ruleset: the paper
+resets ``K`` between doubling phases; we express it as an assignment
+instruction between the two leaves (the framework's := lowers to rules in
+the same window).
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Tuple
+
+import numpy as np
+
+from ..core.formula import FALSE, TRUE, V
+from ..core.population import Population
+from ..core.rules import Rule
+from ..core.state import StateSchema
+from ..lang.ast import (
+    Assign,
+    Execute,
+    IfExists,
+    Program,
+    Repeat,
+    RepeatLog,
+    ThreadDef,
+    VarDecl,
+)
+from ..lang.runtime import IdealInterpreter
+
+
+def majority_program(c: int = 2) -> Program:
+    """The paper's generalized-comparison ``Majority`` program."""
+    cancel = Execute(
+        [
+            Rule(
+                V("As"),
+                V("Bs"),
+                {"As": False},
+                {"Bs": False},
+                name="cancel",
+            )
+        ],
+        c=c,
+        label="cancel",
+    )
+    double = Execute(
+        [
+            Rule(
+                V("As") & ~V("K"),
+                ~V("As") & ~V("Bs"),
+                {"K": True},
+                {"As": True, "K": True},
+                name="double-A",
+            ),
+            Rule(
+                V("Bs") & ~V("K"),
+                ~V("As") & ~V("Bs"),
+                {"K": True},
+                {"Bs": True, "K": True},
+                name="double-B",
+            ),
+        ],
+        c=c,
+        label="double",
+    )
+    return Program(
+        name="Majority",
+        variables=[
+            VarDecl("YA", init=False, role="output"),
+            VarDecl("A", init=False, role="input"),
+            VarDecl("B", init=False, role="input"),
+            VarDecl("As", init=False),
+            VarDecl("Bs", init=False),
+            VarDecl("K", init=False),
+        ],
+        threads=[
+            ThreadDef(
+                "Main",
+                body=Repeat(
+                    [
+                        Assign("As", V("A")),
+                        Assign("Bs", V("B")),
+                        RepeatLog(
+                            [cancel, Assign("K", FALSE), double],
+                            c=c,
+                        ),
+                        IfExists(V("As"), [Assign("YA", TRUE)]),
+                        IfExists(V("Bs"), [Assign("YA", FALSE)]),
+                    ]
+                ),
+                uses=("YA", "As", "Bs", "K"),
+                reads=("A", "B"),
+            )
+        ],
+    )
+
+
+def majority_population(
+    n: int,
+    count_a: int,
+    count_b: int,
+    schema: Optional[StateSchema] = None,
+) -> Tuple[StateSchema, Population]:
+    """Initial population: ``count_a`` agents in A, ``count_b`` in B, the
+    rest blank (the paper's generalized version allows uncoloured agents)."""
+    if count_a + count_b > n:
+        raise ValueError("more coloured agents than population size")
+    program = majority_program()
+    if schema is None:
+        schema = StateSchema()
+        for decl in program.variables:
+            schema.flag(decl.name)
+    base = {decl.name: decl.init for decl in program.variables}
+    groups = []
+    if count_a:
+        groups.append((dict(base, A=True), count_a))
+    if count_b:
+        groups.append((dict(base, B=True), count_b))
+    blank = n - count_a - count_b
+    if blank:
+        groups.append((base, blank))
+    return schema, Population.from_groups(schema, groups)
+
+
+def majority_output(population: Population) -> Optional[bool]:
+    """The population's output, or None if agents disagree on ``YA``."""
+    yes = population.count(V("YA"))
+    if yes == 0:
+        return False
+    if yes == population.n:
+        return True
+    return None
+
+
+def run_majority(
+    n: int,
+    count_a: int,
+    count_b: int,
+    max_iterations: int = 6,
+    rng: Optional[np.random.Generator] = None,
+    c: float = 2.0,
+) -> Tuple[Optional[bool], int, float]:
+    """Run Majority; returns (output, iterations, rounds)."""
+    _, population = majority_population(n, count_a, count_b)
+    interp = IdealInterpreter(majority_program(), population, c=c, rng=rng)
+    expected = count_a > count_b
+
+    def stop(pop: Population) -> bool:
+        return majority_output(pop) is not None
+
+    interp.run(max_iterations, stop=stop)
+    return majority_output(interp.population), interp.iterations, interp.rounds

@@ -1,0 +1,148 @@
+"""The always-correct exact majority protocol (paper Section 6.2).
+
+``MajorityExact`` modifies ``Majority`` so that the working tokens are
+re-seeded from the *inputs* at the top of every outer iteration, and adds
+the slow always-correct cancellation on the inputs themselves running in
+the background: the rule ``(A) + (B) -> (~A) + (~B)`` eventually destroys
+the minority input tokens with certainty, after which every future
+iteration of Main recomputes the (now unambiguous) answer.  The branch
+construction's one-way property (Definition 2.1's guaranteed behavior)
+ensures the output can then never flip back (Theorem 6.3).
+
+Convergence: O(log^3 n) rounds w.h.p. after initialization; correct with
+certainty in expected polynomial time.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Tuple
+
+import numpy as np
+
+from ..core.formula import FALSE, TRUE, V
+from ..core.population import Population
+from ..core.rules import Rule
+from ..core.state import StateSchema
+from ..lang.ast import (
+    Assign,
+    Execute,
+    IfExists,
+    Program,
+    Repeat,
+    RepeatLog,
+    ThreadDef,
+    VarDecl,
+)
+from ..lang.runtime import IdealInterpreter
+from .majority import majority_output
+
+
+def slow_cancellation_rules():
+    """The deterministic background thread: inputs cancel pairwise."""
+    return [
+        Rule(V("A"), V("B"), {"A": False}, {"B": False}, name="slow-cancel"),
+    ]
+
+
+def majority_exact_program(c: int = 2) -> Program:
+    cancel = Execute(
+        [Rule(V("As"), V("Bs"), {"As": False}, {"Bs": False}, name="cancel")],
+        c=c,
+        label="cancel",
+    )
+    double = Execute(
+        [
+            Rule(
+                V("As") & ~V("K"),
+                ~V("As") & ~V("Bs"),
+                {"K": True},
+                {"As": True, "K": True},
+                name="double-A",
+            ),
+            Rule(
+                V("Bs") & ~V("K"),
+                ~V("As") & ~V("Bs"),
+                {"K": True},
+                {"Bs": True, "K": True},
+                name="double-B",
+            ),
+        ],
+        c=c,
+        label="double",
+    )
+    return Program(
+        name="MajorityExact",
+        variables=[
+            VarDecl("YA", init=False, role="output"),
+            VarDecl("A", init=False, role="input"),
+            VarDecl("B", init=False, role="input"),
+            VarDecl("As", init=False),
+            VarDecl("Bs", init=False),
+            VarDecl("K", init=False),
+        ],
+        threads=[
+            ThreadDef(
+                "Main",
+                body=Repeat(
+                    [
+                        Assign("As", V("A")),
+                        Assign("Bs", V("B")),
+                        RepeatLog([cancel, Assign("K", FALSE), double], c=c),
+                        IfExists(V("As"), [Assign("YA", TRUE)]),
+                        IfExists(V("Bs"), [Assign("YA", FALSE)]),
+                    ]
+                ),
+                uses=("YA", "As", "Bs", "K"),
+                reads=("A", "B"),
+            ),
+            ThreadDef("SlowCancel", perpetual=slow_cancellation_rules(), uses=("A", "B")),
+        ],
+    )
+
+
+def majority_exact_population(n: int, count_a: int, count_b: int) -> Tuple[StateSchema, Population]:
+    if count_a + count_b > n:
+        raise ValueError("more coloured agents than population size")
+    program = majority_exact_program()
+    schema = StateSchema()
+    for decl in program.variables:
+        schema.flag(decl.name)
+    base = {decl.name: decl.init for decl in program.variables}
+    groups = []
+    if count_a:
+        groups.append((dict(base, A=True), count_a))
+    if count_b:
+        groups.append((dict(base, B=True), count_b))
+    if n - count_a - count_b:
+        groups.append((base, n - count_a - count_b))
+    return schema, Population.from_groups(schema, groups)
+
+
+def run_majority_exact(
+    n: int,
+    count_a: int,
+    count_b: int,
+    max_iterations: int = 6,
+    rng: Optional[np.random.Generator] = None,
+    c: float = 2.0,
+) -> Tuple[Optional[bool], int, float]:
+    """Run MajorityExact; returns (output, iterations, rounds)."""
+    _, population = majority_exact_population(n, count_a, count_b)
+    interp = IdealInterpreter(majority_exact_program(), population, c=c, rng=rng)
+
+    def settled(pop: Population) -> bool:
+        # slow thread finished (one input colour extinct) and the output is
+        # unanimous and agrees with the surviving colour
+        a_alive = pop.exists(V("A"))
+        b_alive = pop.exists(V("B"))
+        if a_alive and b_alive:
+            return False
+        out = majority_output(pop)
+        if out is None:
+            return False
+        if a_alive != b_alive:
+            return out is a_alive
+        return True  # tie: both extinct, any unanimous output is final
+
+    interp.run(max_iterations, stop=settled)
+    return majority_output(interp.population), interp.iterations, interp.rounds

@@ -1,0 +1,183 @@
+"""Plurality consensus via pairwise majorities (paper Section 1.1).
+
+The task: identify the largest of ``l`` input sets.  The paper notes that
+plurality consensus "is obtained with a straightforward adaptation of our
+protocol for majority, with the same convergence time", using ``O(l^2)``
+states after optimization.
+
+Because set sizes are totally ordered, the plurality winner beats every
+other colour in a pairwise size comparison.  The program therefore runs
+the Majority inner loop once for each ordered pair ``i < j`` (sequentially,
+reusing the working tokens — this is where the ``O(l^2)`` states go: one
+comparison-outcome bit ``W_{ij}`` per pair), then declares colour ``i``
+the winner iff it won all its comparisons.  Each comparison costs
+O(log^2 n) rounds; with constant ``l`` the total stays O(log^3 n) per
+outer iteration, the same order as Majority.
+
+Ties: if two colours tie for the maximum, neither wins its mutual
+comparison and no winner flag is set for them — detectable by the caller
+(the paper assumes distinct cardinalities, as in its majority setting).
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Tuple
+
+import numpy as np
+
+from ..core.formula import FALSE, TRUE, V, all_of
+from ..core.population import Population
+from ..core.rules import Rule
+from ..core.state import StateSchema
+from ..lang.ast import (
+    Assign,
+    Execute,
+    IfExists,
+    Instruction,
+    Program,
+    Repeat,
+    RepeatLog,
+    ThreadDef,
+    VarDecl,
+)
+from ..lang.runtime import IdealInterpreter
+
+
+def color_var(i: int) -> str:
+    return "C{}".format(i)
+
+
+def beats_var(i: int, j: int) -> str:
+    return "B{}_{}".format(i, j)
+
+
+def winner_var(i: int) -> str:
+    return "W{}".format(i)
+
+
+def _comparison_block(i: int, j: int, c: int) -> List[Instruction]:
+    """Majority inner computation comparing colours i and j."""
+    cancel = Execute(
+        [Rule(V("As"), V("Bs"), {"As": False}, {"Bs": False}, name="cancel")],
+        c=c,
+        label="cancel-{}v{}".format(i, j),
+    )
+    double = Execute(
+        [
+            Rule(
+                V("As") & ~V("K"),
+                ~V("As") & ~V("Bs"),
+                {"K": True},
+                {"As": True, "K": True},
+                name="double-A",
+            ),
+            Rule(
+                V("Bs") & ~V("K"),
+                ~V("As") & ~V("Bs"),
+                {"K": True},
+                {"Bs": True, "K": True},
+                name="double-B",
+            ),
+        ],
+        c=c,
+        label="double-{}v{}".format(i, j),
+    )
+    return [
+        Assign("As", V(color_var(i))),
+        Assign("Bs", V(color_var(j))),
+        RepeatLog([cancel, Assign("K", FALSE), double], c=c),
+        IfExists(V("As"), [Assign(beats_var(i, j), TRUE)]),
+        IfExists(V("Bs"), [Assign(beats_var(i, j), FALSE)]),
+    ]
+
+
+def plurality_program(l: int, c: int = 2) -> Program:
+    """Plurality consensus over ``l`` colours."""
+    if l < 2:
+        raise ValueError("plurality needs at least two colours")
+    variables = [VarDecl(color_var(i), init=False, role="input") for i in range(l)]
+    variables += [VarDecl(winner_var(i), init=False, role="output") for i in range(l)]
+    variables += [
+        VarDecl("As", init=False),
+        VarDecl("Bs", init=False),
+        VarDecl("K", init=False),
+    ]
+    body: List[Instruction] = []
+    for i in range(l):
+        for j in range(i + 1, l):
+            variables.append(VarDecl(beats_var(i, j), init=False))
+            body.extend(_comparison_block(i, j, c))
+    # a colour wins iff it beat every other colour
+    for i in range(l):
+        terms = []
+        for j in range(l):
+            if j == i:
+                continue
+            a, b = min(i, j), max(i, j)
+            bit = V(beats_var(a, b))
+            terms.append(bit if i == a else ~bit)
+        body.append(Assign(winner_var(i), all_of(*terms)))
+    return Program(
+        name="Plurality{}".format(l),
+        variables=variables,
+        threads=[ThreadDef("Main", body=Repeat(body), uses=tuple(v.name for v in variables))],
+    )
+
+
+def plurality_population(counts: List[int], n: Optional[int] = None) -> Tuple[StateSchema, Population]:
+    """Population with ``counts[i]`` agents of colour i; rest blank."""
+    l = len(counts)
+    program = plurality_program(l)
+    schema = StateSchema()
+    for decl in program.variables:
+        schema.flag(decl.name)
+    total = sum(counts)
+    if n is None:
+        n = total
+    if total > n:
+        raise ValueError("colour counts exceed population size")
+    base = {decl.name: decl.init for decl in program.variables}
+    groups = []
+    for i, count in enumerate(counts):
+        if count:
+            groups.append((dict(base, **{color_var(i): True}), count))
+    if n - total:
+        groups.append((base, n - total))
+    return schema, Population.from_groups(schema, groups)
+
+
+def plurality_winner(population: Population, l: int) -> Optional[int]:
+    """The unanimous winner colour, or None."""
+    winners = [
+        i
+        for i in range(l)
+        if population.count(V(winner_var(i))) == population.n
+    ]
+    if len(winners) == 1:
+        losers_clear = all(
+            population.count(V(winner_var(j))) == 0
+            for j in range(l)
+            if j != winners[0]
+        )
+        if losers_clear:
+            return winners[0]
+    return None
+
+
+def run_plurality(
+    counts: List[int],
+    n: Optional[int] = None,
+    max_iterations: int = 4,
+    rng: Optional[np.random.Generator] = None,
+    c: float = 2.0,
+) -> Tuple[Optional[int], int, float]:
+    """Run plurality consensus; returns (winner, iterations, rounds)."""
+    l = len(counts)
+    _, population = plurality_population(counts, n)
+    interp = IdealInterpreter(plurality_program(l), population, c=c, rng=rng)
+
+    def stop(pop: Population) -> bool:
+        return plurality_winner(pop, l) is not None
+
+    interp.run(max_iterations, stop=stop)
+    return plurality_winner(interp.population, l), interp.iterations, interp.rounds

@@ -1,0 +1,229 @@
+"""``SemilinearPredicateExact`` (paper Section 6.3, Theorem 6.4).
+
+Computes an arbitrary semi-linear predicate, always correctly, by
+combining:
+
+* the **leader election** machinery of Section 6.1 (inlined into the Main
+  thread, with the FilteredCoin / ReduceSets background threads) — the
+  paper imports all threads of ``LeaderElectionExact``;
+* the **fast blackbox** (leader-driven w.h.p. computation, our
+  cancellation/doubling substitute for [AAE08b] — threshold atoms only,
+  see :mod:`repro.predicates.fast_blackbox`);
+* the **slow blackbox** (stable computation, [AAD+06] style) running as
+  perpetual background threads;
+* the reconciliation logic of the paper's ``SemLinear`` thread: the fast
+  result ``P*`` may update the output ``P`` only in the direction not yet
+  excluded by the slow blackbox's (eventually permanent) verdict::
+
+      if exists (P*):   if exists (~P_D^0):             P := on
+      if exists (~P*):  if exists (~P_D^1): if exists (P): P := off
+
+Once the slow blackbox has converged, one direction is forever blocked,
+and the first subsequent good iteration writes the correct value of ``P``
+permanently.  Convergence: O(log^5 n) rounds w.h.p. for threshold
+predicates; correct with certainty in expected polynomial time.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from ..core.formula import FALSE, Formula, Predicate, TRUE, V
+from ..core.population import Population
+from ..core.state import StateSchema
+from ..lang.ast import Assign, IfExists, Instruction, Program, Repeat, ThreadDef, VarDecl
+from ..lang.runtime import IdealInterpreter
+from ..predicates.fast_blackbox import FastThresholdBlock
+from ..predicates.semilinear import Remainder, SemilinearPredicate, Threshold
+from ..predicates.slow_blackbox import SlowBlackbox
+from .leader_election_exact import filtered_coin_rules, reduce_sets_rules
+
+
+class SemilinearExact:
+    """Builder tying the predicate, schema, program and populations together."""
+
+    def __init__(self, predicate: SemilinearPredicate, c: int = 2):
+        self.predicate = predicate
+        self.c = c
+        self.schema = StateSchema()
+        self.input_names = predicate.inputs()
+
+        self.bool_vars: List[VarDecl] = [
+            VarDecl("P", init=True, role="output"),
+            VarDecl("L", init=True),
+            VarDecl("R", init=True),
+            VarDecl("F", init=True),
+            VarDecl("D", init=False),
+            VarDecl("I", init=True),
+            VarDecl("S", init=True),
+        ]
+        self.bool_vars += [
+            VarDecl(name, init=False, role="input") for name in self.input_names
+        ]
+        for decl in self.bool_vars:
+            self.schema.flag(decl.name)
+
+        # slow blackbox fields + threads
+        self.slow = SlowBlackbox(predicate, schema=self.schema)
+        # fast blocks for the threshold atoms
+        self.fast_blocks: List[Optional[FastThresholdBlock]] = []
+        for index, atom in enumerate(predicate.atoms()):
+            if isinstance(atom, Threshold):
+                self.fast_blocks.append(
+                    FastThresholdBlock(atom, index, self.schema, leader_flag="L", c=c)
+                )
+            else:
+                self.fast_blocks.append(None)
+        self.program = self._build_program()
+
+    # -- P* -----------------------------------------------------------------------
+    def pstar_formula(self) -> Formula:
+        """Local evaluation of the predicate from the fast results (falling
+        back to the slow opinion for atoms the fast substitute does not
+        cover)."""
+        from ..predicates.semilinear import evaluate_with_atoms
+
+        atoms = self.predicate.atoms()
+        flags = []
+        for block, ap in zip(self.fast_blocks, self.slow.atom_protocols):
+            flags.append(block.out_flag if block is not None else ap.opinion_flag)
+        predicate = self.predicate
+
+        def check(state) -> bool:
+            atom_values = {
+                id(atom): bool(state[flag]) for atom, flag in zip(atoms, flags)
+            }
+            return evaluate_with_atoms(predicate, atom_values)
+
+        return Predicate(check, variables=tuple(flags), label="P*")
+
+    # -- program -------------------------------------------------------------------
+    def _leader_election_body(self) -> List[Instruction]:
+        return [
+            IfExists(V("L"), [Assign("D", V("L") & V("F"))]),
+            IfExists(
+                V("D"),
+                [Assign("L", V("L") & V("D"))],
+                [Assign("L", V("R"))],
+            ),
+        ]
+
+    def _build_program(self) -> Program:
+        body: List[Instruction] = []
+        body += self._leader_election_body()
+        for block in self.fast_blocks:
+            if block is not None:
+                body += block.instructions()
+        pstar = self.pstar_formula()
+        slow_true = self.slow.opinion_formula()  # exists agent believing 1
+        body += [
+            IfExists(pstar, [IfExists(slow_true, [Assign("P", TRUE)])]),
+            IfExists(
+                ~pstar,
+                [IfExists(~slow_true, [IfExists(V("P"), [Assign("P", FALSE)])])],
+            ),
+            # Substitute-specific extension (see module docstring): once the
+            # slow blackbox is *unanimous*, adopt its verdict outright.  The
+            # paper's fast blackbox is w.h.p. exact even on predicate
+            # boundaries; our cancellation/doubling substitute is
+            # inconclusive when the adjusted sum is exactly 0, and this
+            # fallback restores convergence there (at slow-blackbox speed).
+            IfExists(~slow_true, [], [Assign("P", TRUE)]),
+            IfExists(slow_true, [], [Assign("P", FALSE)]),
+        ]
+        threads = [
+            ThreadDef("Main", body=Repeat(body), uses=("P", "L", "D")),
+            ThreadDef("FilteredCoin", perpetual=filtered_coin_rules(), uses=("F", "I", "S")),
+            ThreadDef("ReduceSets", perpetual=reduce_sets_rules(), uses=("R", "L")),
+        ]
+        for thread in self.slow.threads():
+            threads.append(
+                ThreadDef(thread.name, perpetual=list(thread.rules), uses=tuple(thread.writes))
+            )
+        return Program(
+            name="SemilinearPredicateExact",
+            variables=self.bool_vars,
+            threads=threads,
+        )
+
+    # -- population -----------------------------------------------------------------
+    def populate(self, groups: Sequence[Tuple[Optional[str], int]]) -> Population:
+        """Build the initial population from (input name or None, count)."""
+        base = {decl.name: decl.init for decl in self.bool_vars}
+        merged: List[Tuple[Dict[str, object], int]] = []
+        planted = False
+        for input_name, count in groups:
+            if count <= 0:
+                continue
+            if input_name is not None and input_name not in self.input_names:
+                raise ValueError("unknown input {!r}".format(input_name))
+            remaining = count
+            if not planted:
+                assignment = dict(base)
+                if input_name is not None:
+                    assignment[input_name] = True
+                assignment.update(
+                    self.slow.initial_assignment(input_name, plant_constant=True)
+                )
+                merged.append((assignment, 1))
+                remaining -= 1
+                planted = True
+            if remaining:
+                assignment = dict(base)
+                if input_name is not None:
+                    assignment[input_name] = True
+                assignment.update(self.slow.initial_assignment(input_name))
+                merged.append((assignment, remaining))
+        if not planted:
+            raise ValueError("population is empty")
+        return Population.from_groups(self.schema, merged)
+
+    def expected_output(self, groups: Sequence[Tuple[Optional[str], int]]) -> bool:
+        counts: Dict[str, int] = {}
+        for input_name, count in groups:
+            if input_name is not None:
+                counts[input_name] = counts.get(input_name, 0) + count
+        return self.predicate.evaluate(counts)
+
+    def output(self, population: Population) -> Optional[bool]:
+        yes = population.count(V("P"))
+        if yes == population.n:
+            return True
+        if yes == 0:
+            return False
+        return None
+
+
+def run_semilinear_exact(
+    predicate: SemilinearPredicate,
+    groups: Sequence[Tuple[Optional[str], int]],
+    max_iterations: Optional[int] = None,
+    rng: Optional[np.random.Generator] = None,
+    c: float = 2.0,
+) -> Tuple[Optional[bool], bool, int, float]:
+    """Run SemilinearPredicateExact on the given input groups.
+
+    Returns (output, expected, iterations, rounds).  The run stops once
+    the slow blackbox has stabilized and the output agrees with its
+    (then-permanent) verdict — the protocol's actual settling point; note
+    that, as the paper stresses, no agent can *locally* detect this.
+    """
+    builder = SemilinearExact(predicate, c=int(c))
+    population = builder.populate(groups)
+    interp = IdealInterpreter(builder.program, population, c=c, rng=rng)
+    expected = builder.expected_output(groups)
+    if max_iterations is None:
+        max_iterations = max(12, int(4 * np.log(population.n)))
+
+    def stop(pop: Population) -> bool:
+        if not builder.slow.stabilized(pop):
+            return False
+        slow_verdict = builder.slow.unanimous_output(pop)
+        if slow_verdict is None:
+            return False
+        return builder.output(pop) == slow_verdict
+
+    interp.run(max_iterations, stop=stop)
+    return builder.output(interp.population), expected, interp.iterations, interp.rounds

@@ -1,0 +1,119 @@
+"""Tests for the analysis toolkit (fits, stats, trace)."""
+
+import numpy as np
+import pytest
+
+from repro.analysis import (
+    doubling_ratio,
+    fit_polylog,
+    fit_power,
+    fit_stretched_exponential,
+    polylog_degree_estimate,
+    print_table,
+    success_rate,
+    summarize,
+)
+from repro.core import Population, StateSchema, V
+from repro.engine import Trace
+
+
+class TestPowerFits:
+    def test_exact_power_law(self):
+        x = np.array([1.0, 2.0, 4.0, 8.0])
+        y = 3.0 * x ** 2
+        fit = fit_power(x, y)
+        assert fit.exponent == pytest.approx(2.0)
+        assert fit.prefactor == pytest.approx(3.0)
+        assert fit.r_squared == pytest.approx(1.0)
+
+    def test_predict(self):
+        fit = fit_power([1, 2, 4], [2, 4, 8])
+        assert fit.predict(np.array([8.0]))[0] == pytest.approx(16.0)
+
+    def test_noisy_fit_reasonable(self):
+        rng = np.random.default_rng(0)
+        x = np.linspace(1, 100, 50)
+        y = 5 * x ** 1.5 * np.exp(rng.normal(0, 0.05, 50))
+        fit = fit_power(x, y)
+        assert abs(fit.exponent - 1.5) < 0.1
+
+    def test_requires_two_points(self):
+        with pytest.raises(ValueError):
+            fit_power([1.0], [1.0])
+
+    def test_nonpositive_filtered(self):
+        fit = fit_power([0, 1, 2, 4], [0, 2, 4, 8])
+        assert fit.exponent == pytest.approx(1.0)
+
+    def test_polylog_fit(self):
+        ns = np.array([100, 1000, 10000, 100000], dtype=float)
+        times = 7.0 * np.log(ns) ** 2
+        fit = fit_polylog(ns, times)
+        assert fit.exponent == pytest.approx(2.0, abs=1e-6)
+
+    def test_polylog_degree_estimate(self):
+        ns = [100, 100000]
+        times = [np.log(100) ** 3, np.log(100000) ** 3]
+        assert polylog_degree_estimate(ns, times) == pytest.approx(3.0)
+
+    def test_stretched_exponential(self):
+        n = 10000.0
+        t = np.linspace(1, 400, 100)
+        y = n * np.exp(-0.8 * t ** 0.5)
+        alpha, c = fit_stretched_exponential(t, y, n)
+        assert alpha == pytest.approx(0.5, abs=0.01)
+        assert c == pytest.approx(0.8, abs=0.05)
+
+    def test_doubling_ratio(self):
+        ratios = doubling_ratio([1, 2, 4], [10.0, 20.0, 40.0])
+        assert np.allclose(ratios, 2.0)
+
+
+class TestStats:
+    def test_summary_median(self):
+        s = summarize([1.0, 2.0, 3.0, 4.0, 100.0])
+        assert s.median == 3.0
+        assert s.low <= s.median <= s.high
+
+    def test_summary_empty_rejected(self):
+        with pytest.raises(ValueError):
+            summarize([])
+
+    def test_success_rate(self):
+        assert success_rate([True, True, False, False]) == 0.5
+
+    def test_print_table_alignment(self):
+        text = print_table(["n", "rounds"], [[100, 12.5], [100000, 99.125]])
+        lines = text.splitlines()
+        assert len(lines) == 4
+        assert len(set(len(l) for l in lines)) <= 2  # consistent width
+
+    def test_summary_str(self):
+        assert "[" in str(summarize([1.0, 2.0, 3.0]))
+
+
+class TestTrace:
+    def test_records_formula_and_callable(self):
+        schema = StateSchema()
+        schema.flag("A")
+        pop = Population.from_groups(schema, [({"A": True}, 3), ({}, 7)])
+        trace = Trace({"A": V("A"), "n": lambda p: p.n})
+        trace(0.0, pop)
+        trace(1.0, pop)
+        assert list(trace.times) == [0.0, 1.0]
+        assert list(trace.series("A")) == [3.0, 3.0]
+        assert trace.last("n") == 10.0
+
+    def test_empty_last_rejected(self):
+        trace = Trace({"x": lambda p: 0.0})
+        with pytest.raises(ValueError):
+            trace.last("x")
+
+    def test_as_dict(self):
+        schema = StateSchema()
+        schema.flag("A")
+        pop = Population.uniform(schema, 4, {"A": True})
+        trace = Trace({"A": V("A")})
+        trace(0.0, pop)
+        data = trace.as_dict()
+        assert set(data) == {"time", "A"}

@@ -1,0 +1,120 @@
+"""Tests for the literature baselines (the E11/E12 comparison rows)."""
+
+import numpy as np
+import pytest
+
+from repro.core import Population
+from repro.engine import CountEngine
+from repro.baselines import (
+    GS18ClockParams,
+    coherence,
+    gs18_population,
+    make_gs18_clock,
+    run_aag18_majority,
+    run_approx_majority,
+    run_four_state_majority,
+)
+
+
+class TestApproxMajority:
+    def test_large_gap_correct_and_fast(self):
+        out, rounds = run_approx_majority(2000, 1200, 800, rng=np.random.default_rng(0))
+        assert out is True
+        assert rounds < 60  # O(log n)
+
+    def test_b_majority(self):
+        out, _ = run_approx_majority(2000, 800, 1200, rng=np.random.default_rng(1))
+        assert out is False
+
+    def test_small_gap_unreliable(self):
+        """With gap 1 the 3-state protocol is a near coin flip — that is its
+        documented limitation (needs gap Omega(sqrt(n log n)))."""
+        outcomes = []
+        for seed in range(12):
+            out, _ = run_approx_majority(500, 250, 249, rng=np.random.default_rng(seed))
+            outcomes.append(out is True)
+        wins = sum(outcomes)
+        assert 1 <= wins <= 11  # neither reliably right nor reliably wrong
+
+
+class TestFourStateMajority:
+    @pytest.mark.parametrize("a,b", [(60, 40), (40, 60), (51, 50)])
+    def test_always_correct(self, a, b):
+        out, _ = run_four_state_majority(a, b, rng=np.random.default_rng(a + b))
+        assert out is (a > b)
+
+    def test_gap_one_correct_many_seeds(self):
+        for seed in range(6):
+            out, _ = run_four_state_majority(41, 40, rng=np.random.default_rng(seed))
+            assert out is True
+
+    def test_small_gap_is_slow(self):
+        """Theta(n log n) scaling: rounds grow superlinearly with n."""
+        _, rounds_small = run_four_state_majority(51, 50, rng=np.random.default_rng(0))
+        _, rounds_large = run_four_state_majority(201, 200, rng=np.random.default_rng(0))
+        assert rounds_large > rounds_small
+
+
+class TestAAG18Majority:
+    def test_correct_on_moderate_gap(self):
+        out, rounds = run_aag18_majority(1000, 360, 320, rng=np.random.default_rng(0))
+        assert out is True
+
+    def test_gap_one(self):
+        out, _ = run_aag18_majority(
+            600, 201, 200, rng=np.random.default_rng(1), max_rounds=8000
+        )
+        assert out is True
+
+    def test_polylog_speed_at_small_gap(self):
+        """The synchronized cancel/double engine beats the 4-state protocol
+        by orders of magnitude at gap 1."""
+        _, rounds_aag = run_aag18_majority(
+            600, 201, 200, rng=np.random.default_rng(2), max_rounds=8000
+        )
+        _, rounds_4s = run_four_state_majority(201, 200, rng=np.random.default_rng(2))
+        assert rounds_aag < rounds_4s
+
+
+class TestGS18Clock:
+    def test_small_junta_synchronizes(self):
+        params = GS18ClockParams()
+        proto = make_gs18_clock(params=params)
+        pop = gs18_population(proto.schema, 1000, junta_size=3, params=params)
+        eng = CountEngine(proto, pop, rng=np.random.default_rng(0))
+        eng.run(rounds=200)
+        assert coherence(eng.population, params) > 0.9
+
+    def test_clock_advances(self):
+        params = GS18ClockParams()
+        proto = make_gs18_clock(params=params)
+        pop = gs18_population(proto.schema, 500, junta_size=2, params=params)
+        eng = CountEngine(proto, pop, rng=np.random.default_rng(1))
+        schema = proto.schema
+
+        def majority_position(p):
+            hist = {}
+            for code, count in p.counts.items():
+                pos = schema.value_of(code, params.field)
+                hist[pos] = hist.get(pos, 0) + count
+            return max(hist.items(), key=lambda kv: kv[1])[0]
+
+        positions = set()
+        for _ in range(10):
+            eng.run(rounds=100)
+            positions.add(majority_position(eng.population))
+        assert len(positions) >= 3
+
+    def test_huge_junta_stays_incoherent(self):
+        """The paper's footnote 6: with #X = Theta(n) the GS18-style clock
+        sits in the central area of its phase space."""
+        params = GS18ClockParams()
+        proto = make_gs18_clock(params=params)
+        rng = np.random.default_rng(2)
+        pop = gs18_population(
+            proto.schema, 1000, junta_size=500, params=params,
+            spread_positions=True, rng=rng,
+        )
+        eng = CountEngine(proto, pop, rng=rng)
+        eng.run(rounds=300)
+        assert coherence(eng.population, params) < 0.85

@@ -1,0 +1,74 @@
+"""Tests for the command-line interface."""
+
+import pytest
+
+from repro.__main__ import build_parser, main
+
+
+class TestParser:
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_leader_election_defaults(self):
+        args = build_parser().parse_args(["leader-election"])
+        assert args.n == 10000
+
+    def test_seed_per_subcommand(self):
+        args = build_parser().parse_args(["majority", "--seed", "7"])
+        assert args.seed == 7
+
+    def test_exact_flag(self):
+        args = build_parser().parse_args(["majority", "--exact"])
+        assert args.exact
+
+
+class TestCommands:
+    def test_leader_election(self, capsys):
+        assert main(["leader-election", "--n", "500", "--seed", "1"]) == 0
+        assert "unique leader: True" in capsys.readouterr().out
+
+    def test_majority(self, capsys):
+        assert main(["majority", "--n", "300", "--a", "101", "--b", "100", "--seed", "2"]) == 0
+        assert "majority says A" in capsys.readouterr().out
+
+    def test_majority_b_wins(self, capsys):
+        assert main(["majority", "--n", "300", "--a", "100", "--b", "101", "--seed", "3"]) == 0
+        assert "majority says B" in capsys.readouterr().out
+
+    def test_plurality(self, capsys):
+        code = main(["plurality", "--counts", "40,25,25", "--seed", "4"])
+        assert code == 0
+        assert "winner: 0" in capsys.readouterr().out
+
+    def test_predicate(self, capsys):
+        code = main(
+            ["predicate", "--kind", "at-least", "--count", "7",
+             "--threshold", "5", "--n", "120", "--seed", "5"]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "protocol says True, truth True" in out
+
+    def test_run_program(self, tmp_path, capsys):
+        source = (
+            "def protocol Broadcast\n"
+            "var T <- on as input, FLAG <- off as output:\n"
+            "thread Main uses FLAG, reads T:\n"
+            "  repeat:\n"
+            "    if exists (T):\n"
+            "      FLAG := on\n"
+        )
+        path = tmp_path / "prog.txt"
+        path.write_text(source)
+        assert main(["run-program", str(path), "--n", "50", "--iterations", "1", "--seed", "6"]) == 0
+        out = capsys.readouterr().out
+        assert "#FLAG = 50" in out
+
+    def test_predicate_expr(self, capsys):
+        code = main(
+            ["predicate", "--expr", "A >= 3 and A % 2 == 0",
+             "--count", "6", "--n", "90", "--seed", "7"]
+        )
+        assert code == 0
+        assert "truth True" in capsys.readouterr().out

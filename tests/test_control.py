@@ -1,0 +1,149 @@
+"""Tests for the #X control processes (Propositions 5.3-5.5)."""
+
+import numpy as np
+import pytest
+
+from repro.core import Population, V
+from repro.engine import CountEngine, Trace
+from repro.control import (
+    KLevelParams,
+    make_elimination_protocol,
+    make_junta_protocol,
+    make_klevel_protocol,
+    recommended_level_cap,
+)
+
+
+class TestElimination:
+    """Proposition 5.3: #X >= 1 always; #X <= n^{1-eps} after O(n^eps)."""
+
+    def _run_until(self, n, target, seed=0):
+        proto = make_elimination_protocol()
+        pop = Population.uniform(proto.schema, n, {"X": True})
+        eng = CountEngine(proto, pop, rng=np.random.default_rng(seed))
+        eng.run(stop=lambda p: p.count(V("X")) <= target, rounds=100 * n)
+        return eng, pop
+
+    def test_x_never_empty(self):
+        proto = make_elimination_protocol()
+        pop = Population.uniform(proto.schema, 500, {"X": True})
+        eng = CountEngine(proto, pop, rng=np.random.default_rng(1))
+        eng.run(rounds=100000)
+        assert pop.count(V("X")) == 1  # the absorbing configuration
+
+    def test_x_monotone_nonincreasing(self):
+        proto = make_elimination_protocol()
+        pop = Population.uniform(proto.schema, 1000, {"X": True})
+        trace = Trace({"X": V("X")})
+        CountEngine(proto, pop, rng=np.random.default_rng(2)).run(
+            rounds=100, observer=trace, observe_every=1.0
+        )
+        assert (np.diff(trace.series("X")) <= 0).all()
+
+    def test_time_scales_as_sqrt_n(self):
+        """#X <= sqrt(n) after ~sqrt(n) rounds (eps = 1/2)."""
+        times = {}
+        for n in (1000, 16000):
+            eng, _ = self._run_until(n, int(n ** 0.5), seed=3)
+            times[n] = eng.rounds
+        ratio = times[16000] / times[1000]
+        assert 2.0 < ratio < 8.0  # sqrt(16) = 4
+
+    def test_hyperbolic_decay_shape(self):
+        """#X(t) ~ n / t."""
+        proto = make_elimination_protocol()
+        n = 20000
+        pop = Population.uniform(proto.schema, n, {"X": True})
+        trace = Trace({"X": V("X")})
+        CountEngine(proto, pop, rng=np.random.default_rng(4)).run(
+            rounds=60, observer=trace, observe_every=2.0
+        )
+        t = trace.times[5:]
+        x = trace.series("X")[5:]
+        product = x * t / n
+        # x * t / n is roughly a constant for hyperbolic decay
+        assert product.max() / max(product.min(), 1e-9) < 8.0
+
+
+class TestKLevel:
+    """Proposition 5.5: polynomially decaying Z, stretched-exponential X."""
+
+    def _trace(self, k, n=5000, rounds=300, seed=0):
+        proto = make_klevel_protocol(params=KLevelParams(k=k))
+        pop = Population.uniform(proto.schema, n, {"X": True, "Z": True})
+        trace = Trace({"X": V("X"), "Z": V("Z")})
+        CountEngine(proto, pop, rng=np.random.default_rng(seed)).run(
+            rounds=rounds, observer=trace, observe_every=5.0
+        )
+        return trace, n
+
+    def test_invalid_k_rejected(self):
+        with pytest.raises(ValueError):
+            KLevelParams(k=0)
+
+    def test_x_drops_below_threshold_fast(self):
+        trace, n = self._trace(k=2)
+        x = trace.series("X")
+        threshold = n ** 0.5
+        below = np.nonzero(x < threshold)[0]
+        assert len(below) > 0
+        assert trace.times[below[0]] < 200  # polylog, not polynomial
+
+    def test_z_decays_polynomially(self):
+        trace, n = self._trace(k=2)
+        t = trace.times[4:]
+        z = trace.series("Z")[4:]
+        mask = z > 0
+        from repro.analysis import fit_power
+
+        fit = fit_power(t[mask], z[mask])
+        # d|Z|/dt = -|Z| (|Z|/n)^k solves to Z ~ n t^{-1/k}
+        assert -1.2 < fit.exponent < -0.2
+
+    def test_larger_k_decays_slower(self):
+        trace1, n = self._trace(k=1, rounds=150)
+        trace2, _ = self._trace(k=2, rounds=150)
+        assert trace1.series("X")[-1] <= trace2.series("X")[-1]
+
+    def test_x_subset_dynamics_dont_revive(self):
+        trace, _ = self._trace(k=1, rounds=200)
+        x = trace.series("X")
+        assert (np.diff(x) <= 0).all()
+
+
+class TestJunta:
+    """Proposition 5.4's contract: #X >= 1 always, small after O(log n)."""
+
+    def _run(self, n, rounds, seed=0):
+        proto = make_junta_protocol()
+        pop = Population.uniform(proto.schema, n, {"X": True})
+        trace = Trace({"X": V("X")})
+        CountEngine(proto, pop, rng=np.random.default_rng(seed)).run(
+            rounds=rounds, observer=trace, observe_every=2.0
+        )
+        return trace, pop
+
+    def test_x_always_positive(self):
+        trace, pop = self._run(2000, 120)
+        assert trace.series("X").min() >= 1
+        assert pop.count(V("X")) >= 1
+
+    def test_junta_is_small(self):
+        _, pop = self._run(2000, 120, seed=1)
+        assert pop.count(V("X")) <= 2000 ** 0.5
+
+    def test_time_is_logarithmic(self):
+        """Rounds to #X <= sqrt(n) grows mildly with n."""
+        times = []
+        for n, seed in ((500, 2), (8000, 3)):
+            proto = make_junta_protocol()
+            pop = Population.uniform(proto.schema, n, {"X": True})
+            eng = CountEngine(proto, pop, rng=np.random.default_rng(seed))
+            eng.run(stop=lambda p: p.count(V("X")) <= n ** 0.5, rounds=2000)
+            times.append(eng.rounds)
+        # 16x population growth should cost far less than 4x time
+        assert times[1] / times[0] < 3.0
+
+    def test_recommended_level_cap(self):
+        assert recommended_level_cap(2 ** 20) >= 60
+        assert recommended_level_cap(2) >= 8

@@ -1,0 +1,91 @@
+"""Tests for convergence/silence diagnostics."""
+
+import numpy as np
+import pytest
+
+from repro.analysis.convergence import (
+    agreement_fraction,
+    convergence_time,
+    is_silent,
+    output_stabilization_time,
+    silence_time,
+)
+from repro.core import Population, Rule, StateSchema, V, single_thread
+from repro.engine import CountEngine
+
+
+class TestConvergenceTime:
+    def test_constant_series(self):
+        point = convergence_time([0, 1, 2], [5, 5, 5])
+        assert point.converged and point.time == 0 and point.final_value == 5
+
+    def test_settling_series(self):
+        point = convergence_time([0, 1, 2, 3], [1, 2, 3, 3])
+        # the series first reaches its final value at t = 2
+        assert point.converged and point.time == 2
+
+    def test_changing_at_end(self):
+        point = convergence_time([0, 1, 2], [1, 1, 2])
+        # the only sample at the final value IS the last one: cannot claim
+        # convergence strictly before it
+        assert point.converged and point.time == 2
+
+    def test_empty(self):
+        assert not convergence_time([], []).converged
+
+    def test_joint_outputs(self):
+        times = [0, 1, 2, 3]
+        point = output_stabilization_time(
+            times, [[1, 1, 1, 1], [0, 1, 1, 1]]
+        )
+        assert point.converged and point.time == 1
+
+
+class TestSilence:
+    def _epidemic(self):
+        schema = StateSchema()
+        schema.flag("I")
+        return single_thread(
+            "epidemic", schema, [Rule(V("I"), ~V("I"), None, {"I": True})]
+        )
+
+    def test_epidemic_becomes_silent(self):
+        proto = self._epidemic()
+        pop = Population.from_groups(proto.schema, [({"I": True}, 1), ({}, 199)])
+        eng = CountEngine(proto, pop, rng=np.random.default_rng(0))
+        when = silence_time(eng, max_rounds=200)
+        assert when is not None
+        assert pop.all_satisfy(V("I"))
+
+    def test_oscillator_never_silent(self):
+        from repro.oscillator import make_oscillator_protocol, weak_value
+
+        proto = make_oscillator_protocol()
+        pop = Population.from_groups(
+            proto.schema,
+            [
+                ({"osc": weak_value(0)}, 60),
+                ({"osc": weak_value(1)}, 30),
+                ({"osc": weak_value(2)}, 9),
+                ({"osc": weak_value(0), "X": True}, 1),
+            ],
+        )
+        eng = CountEngine(proto, pop, rng=np.random.default_rng(1))
+        assert silence_time(eng, max_rounds=30) is None
+        assert not is_silent(eng)
+
+    def test_is_silent_exact(self):
+        proto = self._epidemic()
+        pop = Population.uniform(proto.schema, 50, {"I": True})
+        eng = CountEngine(proto, pop, rng=np.random.default_rng(2))
+        assert is_silent(eng)
+
+
+class TestAgreement:
+    def test_agreement_fraction(self):
+        schema = StateSchema()
+        schema.flag("Y")
+        pop = Population.from_groups(schema, [({"Y": True}, 70), ({}, 30)])
+        assert agreement_fraction(pop, V("Y")) == pytest.approx(0.7)
+        pop2 = Population.from_groups(schema, [({"Y": True}, 20), ({}, 80)])
+        assert agreement_fraction(pop2, V("Y")) == pytest.approx(0.8)

@@ -1,0 +1,109 @@
+"""Statistical and structural tests for the dense transition table."""
+
+import numpy as np
+import pytest
+
+from repro.core import Rule, StateSchema, V, single_thread
+from repro.core.rules import Branch  # noqa: F401 (used in fixtures)
+from repro.engine.dense import DENSE_STATE_LIMIT, DenseTable, make_table, supports_dense
+from repro.engine.table import LazyTable
+
+
+@pytest.fixture
+def coin_protocol():
+    """A protocol with a three-way probabilistic outcome."""
+    schema = StateSchema()
+    schema.enum("x", 4)
+    rule = Rule(
+        V("x", 0),
+        None,
+        branches=[
+            Branch(0.5, {"x": 1}),
+            Branch(0.3, {"x": 2}),
+            Branch(0.2, {"x": 3}),
+        ],
+    )
+    return single_thread("coin", schema, [rule])
+
+
+class TestSelection:
+    def test_small_schema_gets_dense(self):
+        schema = StateSchema()
+        schema.flag("A")
+        proto = single_thread("p", schema, [Rule(V("A"), None, {"A": False})])
+        assert supports_dense(proto)
+        assert isinstance(make_table(proto), DenseTable)
+
+    def test_large_schema_gets_lazy(self):
+        schema = StateSchema()
+        for i in range(4):
+            schema.enum("e{}".format(i), 12)
+        proto = single_thread(
+            "p", schema, [Rule(V("e0", 0), None, {"e0": 1})]
+        )
+        assert not supports_dense(proto)
+        assert isinstance(make_table(proto), LazyTable)
+
+    def test_dense_rejects_oversized(self, coin_protocol):
+        schema = StateSchema()
+        schema.enum("big", DENSE_STATE_LIMIT + 1)
+        proto = single_thread("p", schema, [Rule(V("big", 0), None, {"big": 1})])
+        with pytest.raises(ValueError):
+            DenseTable(proto)
+
+
+class TestOutcomeSampling:
+    def test_apply_matches_branch_distribution(self, coin_protocol):
+        """Chi-square-style check of the vectorized outcome sampler."""
+        table = DenseTable(coin_protocol)
+        rng = np.random.default_rng(0)
+        trials = 30000
+        agents = np.zeros(2 * trials, dtype=np.int64)
+        idx_a = np.arange(0, 2 * trials, 2)
+        idx_b = np.arange(1, 2 * trials, 2)
+        table.apply(agents, idx_a, idx_b, rng)
+        outcomes = agents[idx_a]
+        fractions = np.bincount(outcomes, minlength=4) / trials
+        assert fractions[1] == pytest.approx(0.5, abs=0.02)
+        assert fractions[2] == pytest.approx(0.3, abs=0.02)
+        assert fractions[3] == pytest.approx(0.2, abs=0.02)
+
+    def test_scalar_interface_agrees_with_lazy(self, coin_protocol):
+        dense = DenseTable(coin_protocol)
+        lazy = LazyTable(coin_protocol)
+        for a in range(4):
+            for b in range(4):
+                d = dense.outcomes(a, b)
+                l = lazy.outcomes(a, b)
+                assert d.p_change == pytest.approx(l.p_change)
+                assert sorted(zip(d.codes_a, d.codes_b)) == sorted(
+                    zip(l.codes_a, l.codes_b)
+                )
+
+    def test_lazy_fill_only_touches_used_pairs(self, coin_protocol):
+        table = DenseTable(coin_protocol)
+        rng = np.random.default_rng(1)
+        agents = np.zeros(4, dtype=np.int64)
+        table.apply(agents, np.array([0]), np.array([1]), rng)
+        assert table.misses == 1  # only the (0, 0) pair was computed
+
+    def test_outcome_growth(self):
+        """Tables grow their outcome arrays when a pair has many branches."""
+        from repro.core.rules import Branch  # noqa: F401 (used in fixtures)
+
+        schema = StateSchema()
+        schema.enum("x", 8)
+        rule = Rule(
+            V("x", 0),
+            None,
+            branches=[Branch(1.0 / 7.0, {"x": i}) for i in range(1, 8)],
+        )
+        proto = single_thread("many", schema, [rule])
+        table = DenseTable(proto, max_outcomes=2)
+        entry = table.outcomes(0, 0)
+        assert len(entry) == 7
+        rng = np.random.default_rng(2)
+        agents = np.zeros(64, dtype=np.int64)
+        table.apply(agents, np.arange(0, 64, 2), np.arange(1, 64, 2), rng)
+        assert set(np.unique(agents[np.arange(0, 64, 2)])) <= set(range(8))
+        assert (agents[np.arange(0, 64, 2)] > 0).all()

@@ -1,0 +1,217 @@
+"""Cross-engine tests: exactness, agreement and instrumentation.
+
+The three stochastic engines sample related processes (CountEngine and
+ArrayEngine the sequential scheduler exactly; MatchingEngine the
+random-matching scheduler) — on a simple epidemic their hitting times must
+agree statistically, and conserved quantities must be conserved exactly.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core import Population, Rule, StateSchema, V, single_thread
+from repro.engine import ArrayEngine, CountEngine, MatchingEngine, Trace
+from repro.engine.batch import _collision_free_prefix
+from repro.engine.dense import DenseTable
+from repro.engine.table import LazyTable
+
+
+@pytest.fixture
+def epidemic():
+    schema = StateSchema()
+    schema.flag("I")
+    return single_thread(
+        "epidemic", schema, [Rule(V("I"), ~V("I"), None, {"I": True})]
+    )
+
+
+def epidemic_population(schema, n, infected=1):
+    return Population.from_groups(
+        schema, [({"I": True}, infected), ({"I": False}, n - infected)]
+    )
+
+
+class TestCountEngine:
+    def test_runs_to_completion(self, epidemic):
+        pop = epidemic_population(epidemic.schema, 500)
+        eng = CountEngine(epidemic, pop, rng=np.random.default_rng(0))
+        eng.run(stop=lambda p: p.all_satisfy(V("I")))
+        assert pop.count(V("I")) == 500
+
+    def test_population_size_conserved(self, epidemic):
+        pop = epidemic_population(epidemic.schema, 300)
+        eng = CountEngine(epidemic, pop, rng=np.random.default_rng(1))
+        eng.run(rounds=5)
+        assert pop.n == 300
+
+    def test_silent_protocol_fast_forwards(self, epidemic):
+        pop = Population.uniform(epidemic.schema, 100, {"I": True})
+        eng = CountEngine(epidemic, pop, rng=np.random.default_rng(2))
+        eng.run(rounds=50)
+        assert eng.rounds == pytest.approx(50.0)
+        assert eng.events == 0
+
+    def test_budget_respected(self, epidemic):
+        pop = epidemic_population(epidemic.schema, 200)
+        eng = CountEngine(epidemic, pop, rng=np.random.default_rng(3))
+        eng.run(rounds=2)
+        assert eng.rounds == pytest.approx(2.0, abs=0.01)
+
+    def test_interactions_budget(self, epidemic):
+        pop = epidemic_population(epidemic.schema, 200)
+        eng = CountEngine(epidemic, pop, rng=np.random.default_rng(3))
+        eng.run(interactions=500)
+        assert eng.interactions == 500
+
+    def test_max_events(self, epidemic):
+        pop = epidemic_population(epidemic.schema, 200)
+        eng = CountEngine(epidemic, pop, rng=np.random.default_rng(4))
+        eng.run(max_events=10, rounds=1000)
+        assert eng.events <= 10
+
+    def test_requires_budget_or_stop(self, epidemic):
+        pop = epidemic_population(epidemic.schema, 100)
+        eng = CountEngine(epidemic, pop, rng=np.random.default_rng(5))
+        with pytest.raises(ValueError):
+            eng.run()
+
+    def test_tiny_population_rejected(self, epidemic):
+        pop = epidemic_population(epidemic.schema, 1)
+        with pytest.raises(ValueError):
+            CountEngine(epidemic, pop)
+
+    def test_observer_grid_is_uniform(self, epidemic):
+        pop = epidemic_population(epidemic.schema, 200)
+        eng = CountEngine(epidemic, pop, rng=np.random.default_rng(6))
+        trace = Trace({"I": V("I")})
+        eng.run(rounds=10, observer=trace, observe_every=1.0)
+        # snapshots at t = 0, 1, ..., 10 inclusive
+        assert len(trace) == 11
+        assert np.allclose(np.diff(trace.times), 1.0)
+
+    def test_observer_sees_monotone_epidemic(self, epidemic):
+        pop = epidemic_population(epidemic.schema, 200)
+        eng = CountEngine(epidemic, pop, rng=np.random.default_rng(7))
+        trace = Trace({"I": V("I")})
+        eng.run(rounds=30, observer=trace, observe_every=0.5)
+        series = trace.series("I")
+        assert (np.diff(series) >= 0).all()
+
+    def test_continuation_resumes_budget(self, epidemic):
+        pop = epidemic_population(epidemic.schema, 200)
+        eng = CountEngine(epidemic, pop, rng=np.random.default_rng(8))
+        eng.run(rounds=1)
+        eng.run(rounds=1)
+        assert eng.rounds == pytest.approx(2.0, abs=0.01)
+
+
+class TestArrayEngine:
+    def test_runs_to_completion(self, epidemic):
+        pop = epidemic_population(epidemic.schema, 500)
+        eng = ArrayEngine(epidemic, pop, rng=np.random.default_rng(0))
+        eng.run(stop=lambda p: p.all_satisfy(V("I")), stop_every=1.0)
+        assert eng.population.count(V("I")) == 500
+
+    def test_population_property_counts(self, epidemic):
+        pop = epidemic_population(epidemic.schema, 100)
+        eng = ArrayEngine(epidemic, pop, rng=np.random.default_rng(1))
+        assert eng.population.n == 100
+
+    def test_budget(self, epidemic):
+        pop = epidemic_population(epidemic.schema, 100)
+        eng = ArrayEngine(epidemic, pop, rng=np.random.default_rng(2))
+        eng.run(rounds=3)
+        assert eng.rounds >= 3.0
+
+    def test_collision_free_prefix_simple(self):
+        idx_a = np.array([0, 2, 4])
+        idx_b = np.array([1, 3, 5])
+        assert _collision_free_prefix(idx_a, idx_b) == 3
+
+    def test_collision_free_prefix_detects_repeat(self):
+        idx_a = np.array([0, 2, 0])
+        idx_b = np.array([1, 3, 5])
+        assert _collision_free_prefix(idx_a, idx_b) == 2
+
+    def test_collision_free_prefix_within_pair_boundary(self):
+        idx_a = np.array([0, 1])
+        idx_b = np.array([1, 2])
+        assert _collision_free_prefix(idx_a, idx_b) == 1
+
+
+class TestMatchingEngine:
+    def test_one_round_touches_half(self, epidemic):
+        # starting from 50% infected, a single matching infects many
+        pop = epidemic_population(epidemic.schema, 1000, infected=500)
+        eng = MatchingEngine(epidemic, pop, rng=np.random.default_rng(0))
+        changed = eng.step()
+        assert changed > 50
+
+    def test_rounds_counter(self, epidemic):
+        pop = epidemic_population(epidemic.schema, 100)
+        eng = MatchingEngine(epidemic, pop, rng=np.random.default_rng(1))
+        eng.run(rounds=7)
+        assert eng.rounds == 7.0
+
+    def test_odd_population_leaves_idler(self, epidemic):
+        pop = epidemic_population(epidemic.schema, 101)
+        eng = MatchingEngine(epidemic, pop, rng=np.random.default_rng(2))
+        eng.run(rounds=5)
+        assert eng.population.n == 101
+
+
+class TestEngineAgreement:
+    """CountEngine and ArrayEngine sample the same sequential process."""
+
+    @staticmethod
+    def _hitting_times(engine_cls, protocol, n, seeds):
+        times = []
+        for seed in seeds:
+            pop = epidemic_population(protocol.schema, n)
+            eng = engine_cls(protocol, pop, rng=np.random.default_rng(seed))
+            if engine_cls is CountEngine:
+                eng.run(stop=lambda p: p.all_satisfy(V("I")))
+            else:
+                eng.run(stop=lambda p: p.all_satisfy(V("I")), stop_every=0.25)
+            times.append(eng.rounds)
+        return np.asarray(times)
+
+    def test_sequential_engines_agree(self, epidemic):
+        n = 300
+        count_times = self._hitting_times(CountEngine, epidemic, n, range(12))
+        array_times = self._hitting_times(ArrayEngine, epidemic, n, range(100, 112))
+        # full-epidemic time concentrates near 2 ln n; medians must agree
+        assert abs(np.median(count_times) - np.median(array_times)) < 4.0
+
+    def test_epidemic_time_scale(self, epidemic):
+        n = 1000
+        times = self._hitting_times(CountEngine, epidemic, n, range(8))
+        expected = 2 * np.log(n)
+        assert 0.6 * expected < np.median(times) < 1.8 * expected
+
+
+class TestTables:
+    def test_lazy_table_caches(self, epidemic):
+        table = LazyTable(epidemic)
+        table.outcomes(0, 1)
+        misses = table.misses
+        table.outcomes(0, 1)
+        assert table.misses == misses
+        assert table.hits >= 1
+
+    def test_dense_and_lazy_agree(self, epidemic):
+        lazy = LazyTable(epidemic)
+        dense = DenseTable(epidemic)
+        for a in range(2):
+            for b in range(2):
+                assert lazy.outcomes(a, b).p_change == pytest.approx(
+                    dense.outcomes(a, b).p_change
+                )
+
+    def test_dense_apply_matches_distribution(self, epidemic):
+        dense = DenseTable(epidemic)
+        rng = np.random.default_rng(0)
+        agents = np.array([1, 0, 1, 0, 1, 0], dtype=np.int64)
+        # initiators infected (1), responders susceptible (0): always infects
+        dense.apply(agents, np.array([0, 2, 4]), np.array([1, 3, 5]), rng)
+        assert agents.sum() == 6

@@ -1,0 +1,117 @@
+"""Tests for the always-correct protocols (Sections 6.1, 6.2)."""
+
+import numpy as np
+import pytest
+
+from repro.core import Population, V
+from repro.lang import IdealInterpreter, program_schema
+from repro.protocols import (
+    leader_election_exact_program,
+    run_leader_election_exact,
+    run_majority_exact,
+    unique_leader_is_r,
+)
+from repro.protocols.leader_election_exact import exact_population
+from repro.protocols.majority_exact import majority_exact_program, majority_exact_population
+
+
+class TestLeaderElectionExact:
+    def test_program_has_three_threads(self):
+        prog = leader_election_exact_program()
+        names = [t.name for t in prog.threads]
+        assert names == ["Main", "FilteredCoin", "ReduceSets"]
+
+    @pytest.mark.parametrize("n", [100, 1000])
+    def test_elects_unique_leader(self, n):
+        ok, iterations, rounds, n_r = run_leader_election_exact(
+            n, rng=np.random.default_rng(n)
+        )
+        assert ok
+
+    def test_r_set_never_empty(self):
+        _, pop = exact_population(300)
+        interp = IdealInterpreter(
+            leader_election_exact_program(), pop, rng=np.random.default_rng(1)
+        )
+        for _ in range(10):
+            interp.run_iteration()
+            assert pop.count(V("R")) >= 1
+
+    def test_l_set_never_empty_after_first_iteration(self):
+        _, pop = exact_population(300)
+        interp = IdealInterpreter(
+            leader_election_exact_program(), pop, rng=np.random.default_rng(2)
+        )
+        interp.run_iteration()
+        for _ in range(10):
+            interp.run_iteration()
+            assert pop.count(V("L")) >= 1
+
+    def test_filtered_coin_balanced(self):
+        """Theorem 6.2's synthetic-coin bounds: #F settles to a constant
+        fraction of n (15n/64 <= #F <= 5n/8 in the paper's analysis)."""
+        _, pop = exact_population(2000)
+        interp = IdealInterpreter(
+            leader_election_exact_program(), pop, rng=np.random.default_rng(3)
+        )
+        fractions = []
+        for _ in range(8):
+            interp.run_iteration()
+            fractions.append(pop.fraction(V("F")))
+        settled = fractions[2:]
+        assert all(0.1 < f < 0.75 for f in settled)
+
+    def test_eventual_certainty_witness(self):
+        """After long enough, L = R = one agent (the certain fixpoint)."""
+        _, pop = exact_population(150)
+        interp = IdealInterpreter(
+            leader_election_exact_program(), pop, rng=np.random.default_rng(4)
+        )
+        interp.run(60, stop=unique_leader_is_r)
+        assert pop.count(V("L")) == 1
+
+    def test_convergence_rounds_polylog(self):
+        results = {}
+        for n in (100, 3000):
+            ok, _, rounds, _ = run_leader_election_exact(
+                n, rng=np.random.default_rng(7)
+            )
+            assert ok
+            results[n] = rounds
+        assert results[3000] / results[100] < 12
+
+
+class TestMajorityExact:
+    def test_program_has_slow_thread(self):
+        prog = majority_exact_program()
+        assert [t.name for t in prog.threads] == ["Main", "SlowCancel"]
+
+    @pytest.mark.parametrize(
+        "n,a,b",
+        [(400, 140, 130), (400, 130, 140), (400, 134, 133), (1500, 501, 500)],
+    )
+    def test_correct_output(self, n, a, b):
+        out, _, _ = run_majority_exact(
+            n, a, b, max_iterations=10, rng=np.random.default_rng(a * 7 + b)
+        )
+        assert out is (a > b)
+
+    def test_slow_thread_eventually_destroys_minority_inputs(self):
+        _, pop = majority_exact_population(300, 110, 100)
+        interp = IdealInterpreter(
+            majority_exact_program(), pop, rng=np.random.default_rng(5)
+        )
+        interp.run(10, stop=lambda p: not p.exists(V("B")))
+        assert not pop.exists(V("B"))
+        assert pop.count(V("A")) == 10  # the surplus survives exactly
+
+    def test_output_permanent_after_slow_convergence(self):
+        _, pop = majority_exact_population(300, 110, 100)
+        interp = IdealInterpreter(
+            majority_exact_program(), pop, rng=np.random.default_rng(6)
+        )
+        interp.run(12, stop=lambda p: not p.exists(V("B")))
+        interp.run(2)
+        first = pop.count(V("YA"))
+        interp.run(2)
+        assert pop.count(V("YA")) == first == pop.n

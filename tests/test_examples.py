@@ -1,0 +1,75 @@
+"""Smoke tests: the example scripts' entry points run correctly."""
+
+import importlib.util
+import os
+import sys
+
+import pytest
+
+EXAMPLES_DIR = os.path.join(os.path.dirname(__file__), os.pardir, "examples")
+
+
+def load_example(name):
+    path = os.path.join(EXAMPLES_DIR, name + ".py")
+    spec = importlib.util.spec_from_file_location("example_" + name, path)
+    module = importlib.util.module_from_spec(spec)
+    spec.loader.exec_module(module)
+    return module
+
+
+class TestQuickstart:
+    def test_epidemic_demo(self, capsys):
+        module = load_example("quickstart")
+        module.epidemic_demo()
+        out = capsys.readouterr().out
+        assert "everyone informed" in out
+
+    def test_leader_election_demo_runs_small(self, capsys):
+        module = load_example("quickstart")
+        from repro.protocols import run_leader_election
+        import numpy as np
+
+        ok, _, _ = run_leader_election(100, rng=np.random.default_rng(0))
+        assert ok
+
+
+class TestSensorVoting:
+    def test_two_way_vote_scaled_down(self, capsys):
+        module = load_example("sensor_voting")
+        # exercise the module's helpers on a small instance
+        from repro.protocols import run_majority
+        import numpy as np
+
+        out, _, _ = run_majority(300, 101, 100, rng=np.random.default_rng(1))
+        assert out is True
+
+
+class TestFrameworkTour:
+    def test_program_builds_and_compiles(self):
+        module = load_example("framework_tour")
+        program = module.token_broadcast_program()
+        from repro.lang import compile_program, precompile
+
+        pre = precompile(program)
+        assert pre.depth == 1
+        compiled = compile_program(program)
+        assert compiled.hierarchy.params.module % 12 == 0
+
+
+class TestChemicalOscillator:
+    def test_flask_and_short_run(self):
+        module = load_example("chemical_oscillator")
+        from repro.oscillator import make_oscillator_protocol
+
+        protocol = make_oscillator_protocol()
+        flask = module.make_flask(protocol.schema, 500)
+        assert flask.n == 500
+
+    def test_protocol_files_parse(self):
+        from repro.lang import parse_program
+
+        for name in ("leader_election", "majority"):
+            path = os.path.join(EXAMPLES_DIR, "protocols", name + ".txt")
+            with open(path) as handle:
+                program = parse_program(handle.read())
+            assert program.main_thread is not None

@@ -1,0 +1,164 @@
+"""Failure-injection tests: the paper's preconditions really are needed,
+and the protocols degrade exactly as the theory predicts when they are
+violated."""
+
+import numpy as np
+import pytest
+
+from repro.core import Population, V
+from repro.engine import MatchingEngine, Trace
+from repro.oscillator import (
+    a_min,
+    extract_oscillations,
+    make_oscillator_protocol,
+    species,
+    species_counts,
+    strong_value,
+    weak_value,
+)
+from repro.clocks import ClockParams, extract_ticks, majority_phase, make_clock_protocol
+
+
+class TestOscillatorWithoutX:
+    """Theorem 5.1(ii) requires #X >= 1: without reseeding, species go
+    extinct and the oscillation collapses to an absorbing state."""
+
+    def test_species_extinction_without_x(self):
+        proto = make_oscillator_protocol()
+        schema = proto.schema
+        n = 1000
+        pop = Population.from_groups(
+            schema,
+            [
+                ({"osc": strong_value(0)}, 800),
+                ({"osc": weak_value(1)}, 170),
+                ({"osc": weak_value(2)}, 30),
+            ],
+        )
+        eng = MatchingEngine(proto, pop, rng=np.random.default_rng(0))
+        eng.run(rounds=12000)
+        counts = species_counts(eng.population)
+        # at least one species dead, and the dynamics frozen on one species
+        assert min(counts) == 0
+        assert max(counts) > 0.9 * n
+
+    def test_with_x_all_species_recur(self):
+        proto = make_oscillator_protocol()
+        schema = proto.schema
+        n = 1000
+        pop = Population.from_groups(
+            schema,
+            [
+                ({"osc": strong_value(0)}, 797),
+                ({"osc": weak_value(1)}, 170),
+                ({"osc": weak_value(2)}, 30),
+                ({"osc": weak_value(0), "X": True}, 3),
+            ],
+        )
+        eng = MatchingEngine(proto, pop, rng=np.random.default_rng(0))
+        seen_alive = [0, 0, 0]
+        for _ in range(12):
+            eng.run(rounds=1000)
+            for i, c in enumerate(species_counts(eng.population)):
+                if c > 0:
+                    seen_alive[i] += 1
+        assert all(alive >= 6 for alive in seen_alive)
+
+
+class TestOscillatorWithTooMuchX:
+    """#X <= n^{1-eps} is also needed: a linear X-fraction pins the system
+    near the centre (reseeding noise dominates the drift)."""
+
+    def test_linear_x_prevents_deep_oscillation(self):
+        proto = make_oscillator_protocol()
+        schema = proto.schema
+        n = 1000
+        pop = Population.from_groups(
+            schema,
+            [
+                ({"osc": strong_value(0)}, 400),
+                ({"osc": weak_value(1)}, 150),
+                ({"osc": weak_value(2)}, 50),
+                ({"osc": weak_value(0), "X": True}, 400),
+            ],
+        )
+        eng = MatchingEngine(proto, pop, rng=np.random.default_rng(1))
+        minima = []
+        for _ in range(10):
+            eng.run(rounds=500)
+            minima.append(a_min(eng.population))
+        # with 40% X agents, a_min never gets polynomially small
+        assert min(minima) > n ** 0.5
+
+
+class TestClockWithoutOscillation:
+    """The clock only ticks when driven by a correctly oscillating P_o."""
+
+    def test_clock_frozen_with_saturating_x(self):
+        params = ClockParams()
+        proto = make_clock_protocol(params=params)
+        schema = proto.schema
+        n = 600
+        pop = Population.from_groups(
+            schema,
+            [
+                ({"osc": weak_value(0), "clk": 0}, 120),
+                ({"osc": weak_value(1), "clk": 0}, 120),
+                ({"osc": weak_value(2), "clk": 0}, 120),
+                ({"osc": weak_value(0), "X": True, "clk": 0}, 240),
+            ],
+        )
+        times, phases, fracs = [], [], []
+
+        def observe(t, p):
+            phase, frac = majority_phase(p, params)
+            times.append(t)
+            phases.append(phase)
+            fracs.append(frac)
+
+        eng = MatchingEngine(proto, pop, rng=np.random.default_rng(2))
+        eng.run(rounds=6000, observer=observe, observe_every=20)
+        ticks = extract_ticks(times, phases, fracs, quorum=0.95)
+        # compared with ~9 ticks for a healthy clock over this horizon
+        assert ticks.count <= 3
+
+
+class TestDegenerateInputs:
+    def test_majority_all_blank(self):
+        from repro.protocols import run_majority
+
+        out, _, _ = run_majority(200, 0, 0, rng=np.random.default_rng(3))
+        # no tokens at all: output stays at its initial (False) value
+        assert out is False
+
+    def test_majority_unanimous(self):
+        from repro.protocols import run_majority
+
+        out, _, _ = run_majority(200, 200, 0, rng=np.random.default_rng(4))
+        assert out is True
+
+    def test_leader_election_two_agents(self):
+        from repro.protocols import run_leader_election
+
+        ok, _, _ = run_leader_election(2, rng=np.random.default_rng(5))
+        assert ok
+
+    def test_plurality_tie_never_crowns_the_loser(self):
+        """With a tie for the maximum the comparison between the tied
+        colours is a coin flip (the paper assumes distinct cardinalities);
+        the protocol must still never declare the clear loser."""
+        from repro.protocols import run_plurality
+
+        winner, _, _ = run_plurality(
+            [40, 40, 20], n=120, max_iterations=2, rng=np.random.default_rng(6)
+        )
+        assert winner in (None, 0, 1)
+
+    def test_elimination_from_two_agents(self):
+        from repro.control import make_elimination_protocol
+        from repro.engine import CountEngine
+
+        proto = make_elimination_protocol()
+        pop = Population.uniform(proto.schema, 2, {"X": True})
+        CountEngine(proto, pop, rng=np.random.default_rng(7)).run(rounds=100)
+        assert pop.count(V("X")) == 1

@@ -1,0 +1,160 @@
+"""Tests for the boolean formula language."""
+
+import pytest
+
+from repro.core import StateSchema, V
+from repro.core.formula import (
+    ANY,
+    FALSE,
+    TRUE,
+    And,
+    Not,
+    Or,
+    Predicate,
+    Var,
+    all_of,
+    any_of,
+    coerce_formula,
+)
+
+
+@pytest.fixture
+def schema():
+    s = StateSchema()
+    s.flags("L", "F", "D")
+    s.enum("phase", 4)
+    return s
+
+
+@pytest.fixture
+def state(schema):
+    return schema.unpack(schema.pack({"L": True, "F": False, "phase": 2}))
+
+
+class TestVar:
+    def test_boolean_true(self, state):
+        assert V("L").evaluate(state)
+
+    def test_boolean_false(self, state):
+        assert not V("F").evaluate(state)
+
+    def test_enum_match(self, state):
+        assert V("phase", 2).evaluate(state)
+
+    def test_enum_mismatch(self, state):
+        assert not V("phase", 1).evaluate(state)
+
+    def test_describe_positive(self):
+        assert V("L").describe() == "L"
+
+    def test_describe_enum(self):
+        assert V("phase", 2).describe() == "phase=2"
+
+    def test_equality_and_hash(self):
+        assert V("L") == V("L")
+        assert V("L") != V("F")
+        assert hash(V("phase", 1)) == hash(V("phase", 1))
+
+    def test_variables(self):
+        assert list(V("L").variables()) == ["L"]
+
+
+class TestConnectives:
+    def test_not(self, state):
+        assert Not(V("F")).evaluate(state)
+        assert not (~V("L")).evaluate(state)
+
+    def test_and_flattens(self):
+        formula = V("L") & V("F") & V("D")
+        assert isinstance(formula, And)
+        assert len(formula.operands) == 3
+
+    def test_or_flattens(self):
+        formula = V("L") | V("F") | V("D")
+        assert isinstance(formula, Or)
+        assert len(formula.operands) == 3
+
+    def test_and_evaluation(self, state):
+        assert (V("L") & ~V("F")).evaluate(state)
+        assert not (V("L") & V("F")).evaluate(state)
+
+    def test_or_evaluation(self, state):
+        assert (V("F") | V("L")).evaluate(state)
+        assert not (V("F") | V("D")).evaluate(state)
+
+    def test_nested_describe(self):
+        assert (V("L") & ~V("F")).describe() == "(L & ~F)"
+
+    def test_variables_iteration(self):
+        formula = (V("L") & V("F")) | ~V("D")
+        assert sorted(set(formula.variables())) == ["D", "F", "L"]
+
+
+class TestConstants:
+    def test_any_matches_everything(self, state):
+        assert ANY.evaluate(state)
+        assert TRUE.evaluate(state)
+
+    def test_false(self, state):
+        assert not FALSE.evaluate(state)
+
+    def test_coerce_none(self):
+        assert coerce_formula(None) is ANY
+
+    def test_coerce_bool(self, state):
+        assert coerce_formula(True).evaluate(state)
+        assert not coerce_formula(False).evaluate(state)
+
+    def test_coerce_rejects_garbage(self):
+        with pytest.raises(TypeError):
+            coerce_formula(42)
+
+
+class TestUpdates:
+    def test_var_as_assignment(self):
+        assert V("L").as_assignments() == {"L": True}
+
+    def test_negated_var_as_assignment(self):
+        assert (~V("L")).as_assignments() == {"L": False}
+
+    def test_enum_var_as_assignment(self):
+        assert V("phase", 3).as_assignments() == {"phase": 3}
+
+    def test_conjunction_as_assignment(self):
+        assert (V("L") & ~V("F")).as_assignments() == {"L": True, "F": False}
+
+    def test_contradiction_rejected(self):
+        with pytest.raises(ValueError):
+            (V("L") & ~V("L")).as_assignments()
+
+    def test_disjunction_rejected(self):
+        with pytest.raises(ValueError):
+            (V("L") | V("F")).as_assignments()
+
+    def test_true_as_empty_assignment(self):
+        assert TRUE.as_assignments() == {}
+
+    def test_false_rejected_as_assignment(self):
+        with pytest.raises(ValueError):
+            FALSE.as_assignments()
+
+
+class TestHelpers:
+    def test_all_of_empty_is_any(self):
+        assert all_of() is ANY
+
+    def test_all_of_single(self):
+        assert all_of(V("L")) == V("L")
+
+    def test_any_of_empty_is_false(self, state):
+        assert not any_of().evaluate(state)
+
+    def test_predicate_wrapper(self, state):
+        p = Predicate(lambda s: s["phase"] >= 2, variables=("phase",))
+        assert p.evaluate(state)
+        assert list(p.variables()) == ["phase"]
+
+    def test_predicate_composes(self, state):
+        p = Predicate(lambda s: s["phase"] >= 2, variables=("phase",))
+        assert (p & V("L")).evaluate(state)
+        assert not (p & V("F")).evaluate(state)

@@ -1,0 +1,172 @@
+"""Tests for the clock hierarchy (Section 5.3): structure and mechanics."""
+
+import numpy as np
+import pytest
+
+from repro.core import Population, Protocol, StateSchema, V
+from repro.clocks import ClockHierarchy, HierarchyParams
+from repro.control import elimination_thread
+from repro.engine import MatchingEngine
+from repro.oscillator import strong_value, weak_value
+
+
+@pytest.fixture(scope="module")
+def two_level():
+    schema = StateSchema()
+    hierarchy = ClockHierarchy(schema, HierarchyParams(levels=2, module=12, k=4))
+    return schema, hierarchy
+
+
+class TestStructure:
+    def test_level_one_fields(self, two_level):
+        schema, hierarchy = two_level
+        assert schema.has_field("osc1")
+        assert schema.has_field("clk1")
+        assert not hierarchy.levels[0].simulated
+
+    def test_level_two_has_copies_and_trigger(self, two_level):
+        schema, _ = two_level
+        for name in ("osc2", "clk2", "osc2_new", "clk2_new", "S2", "cstar2"):
+            assert schema.has_field(name)
+
+    def test_threads(self, two_level):
+        _, hierarchy = two_level
+        names = [t.name for t in hierarchy.threads]
+        assert names == ["P_o[osc1]", "C_o[clk1]", "Sim-C2"]
+
+    def test_shared_x_flag(self, two_level):
+        schema, _ = two_level
+        assert schema.has_field("X")
+        # only one X flag despite two oscillators
+        x_fields = [f for f in schema.field_names if f == "X"]
+        assert len(x_fields) == 1
+
+    def test_initial_assignment_synchronized(self, two_level):
+        _, hierarchy = two_level
+        assignment = hierarchy.initial_assignment(weak_value(0))
+        assert assignment["clk1"] == 0
+        assert assignment["clk2"] == assignment["clk2_new"] == 0
+        assert assignment["osc2"] == assignment["osc2_new"]
+        assert assignment["S2"] is True
+        assert assignment["cstar2"] == 0
+
+    def test_phase_formula(self, two_level):
+        schema, hierarchy = two_level
+        formula = hierarchy.phase_formula(1, 2)
+        state = schema.unpack(schema.pack({"clk1": 2 * 4}))
+        assert formula.evaluate(state)
+        assert not formula.evaluate(schema.unpack(0))
+
+    def test_snapshot_formula(self, two_level):
+        schema, hierarchy = two_level
+        formula = hierarchy.snapshot_formula(2, 3)
+        state = schema.unpack(schema.pack({"cstar2": 3}))
+        assert formula.evaluate(state)
+        with pytest.raises(ValueError):
+            hierarchy.phase_formula(1, 0)  # fine
+            hierarchy.snapshot_formula(1, 0)
+
+    def test_snapshot_formula_level_one_rejected(self, two_level):
+        _, hierarchy = two_level
+        with pytest.raises(ValueError):
+            hierarchy.snapshot_formula(1, 0)
+
+    def test_needs_at_least_one_level(self):
+        with pytest.raises(ValueError):
+            HierarchyParams(levels=0)
+
+
+class TestMechanics:
+    """A short stochastic run exercising the slowed-simulation rules."""
+
+    @pytest.fixture(scope="class")
+    def run(self):
+        schema = StateSchema()
+        hierarchy = ClockHierarchy(schema, HierarchyParams(levels=2, module=12, k=4))
+        protocol = Protocol("stack", schema, hierarchy.threads + [elimination_thread()])
+        base = hierarchy.initial_assignment(weak_value(0))
+        n, n_x = 240, 2
+        groups = []
+        for species, frac in ((strong_value(0), 0.8), (weak_value(1), 0.17)):
+            g = dict(base)
+            for field in ("osc1", "osc2", "osc2_new"):
+                g[field] = species
+            groups.append((g, int(frac * (n - n_x))))
+        rest = dict(base)
+        for field in ("osc1", "osc2", "osc2_new"):
+            rest[field] = weak_value(2)
+        groups.append((rest, n - n_x - sum(c for _, c in groups)))
+        gx = dict(base)
+        gx["X"] = True
+        groups.append((gx, n_x))
+        pop = Population.from_groups(schema, groups)
+        eng = MatchingEngine(protocol, pop, rng=np.random.default_rng(3))
+        snapshots = []
+        for _ in range(30):
+            eng.run(rounds=1500)
+            snapshots.append(eng.population)
+        return hierarchy, snapshots
+
+    @staticmethod
+    def _phase_counts(population, field, k=4):
+        hist = {}
+        for code, count in population.counts.items():
+            phase = population.schema.value_of(code, field) // k
+            hist[phase] = hist.get(phase, 0) + count
+        return hist
+
+    def test_level_one_clock_ticks(self, run):
+        _, snapshots = run
+        phases = [max(self._phase_counts(p, "clk1").items(), key=lambda kv: kv[1])[0]
+                  for p in snapshots]
+        assert len(set(phases)) >= 4  # level-1 clock visits several phases
+
+    def test_level_two_clock_advances_slowly(self, run):
+        _, snapshots = run
+        early = self._phase_counts(snapshots[0], "clk2")
+        late = self._phase_counts(snapshots[-1], "clk2")
+        # the level-2 clock moved...
+        assert late != early
+        # ...but spans few phases (it is slowed by Theta(log n))
+        assert len(late) <= 3
+
+    def test_copies_stay_close(self, run):
+        _, snapshots = run
+        final = snapshots[-1]
+        schema = final.schema
+        mismatched = 0
+        for code, count in final.counts.items():
+            cur = schema.value_of(code, "clk2")
+            new = schema.value_of(code, "clk2_new")
+            if abs(cur - new) > 2:
+                mismatched += count
+        assert mismatched < final.n * 0.2
+
+    def test_x_preserved_low(self, run):
+        _, snapshots = run
+        assert 1 <= snapshots[-1].count(V("X")) <= 2
+
+    def test_snapshot_tracks_level_two(self, run):
+        """The reconciled snapshot is within one phase of every agent's
+        live level-2 clock (the max-consensus makes it run *ahead*)."""
+        _, snapshots = run
+        final = snapshots[-1]
+        schema = final.schema
+        ok = 0
+        for code, count in final.counts.items():
+            snap = schema.value_of(code, "cstar2")
+            live = schema.value_of(code, "clk2") // 4
+            if (snap - live) % 12 <= 1:
+                ok += count
+        assert ok > final.n * 0.8
+
+    def test_snapshot_is_near_unanimous(self, run):
+        """Prop. 5.6's content: agents agree on the frozen snapshot."""
+        _, snapshots = run
+        final = snapshots[-1]
+        schema = final.schema
+        hist = {}
+        for code, count in final.counts.items():
+            snap = schema.value_of(code, "cstar2")
+            hist[snap] = hist.get(snap, 0) + count
+        assert max(hist.values()) > final.n * 0.9

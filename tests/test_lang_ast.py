@@ -1,0 +1,155 @@
+"""Tests for the sequential language AST."""
+
+import pytest
+
+from repro.core import Rule, V
+from repro.core.formula import TRUE
+from repro.lang import (
+    Assign,
+    Execute,
+    IfExists,
+    Program,
+    Repeat,
+    RepeatLog,
+    ThreadDef,
+    VarDecl,
+)
+
+
+def tiny_program(body=None):
+    if body is None:
+        body = [Assign("L", TRUE)]
+    return Program(
+        "P",
+        [VarDecl("L", init=True, role="output")],
+        [ThreadDef("Main", body=Repeat(body), uses=("L",))],
+    )
+
+
+class TestDeclarations:
+    def test_unknown_role_rejected(self):
+        with pytest.raises(ValueError):
+            VarDecl("L", role="bogus")
+
+    def test_duplicate_variables_rejected(self):
+        with pytest.raises(ValueError):
+            Program(
+                "P",
+                [VarDecl("L"), VarDecl("L")],
+                [ThreadDef("Main", body=Repeat([Assign("L", TRUE)]))],
+            )
+
+    def test_needs_sequential_thread(self):
+        with pytest.raises(ValueError):
+            Program(
+                "P",
+                [VarDecl("L")],
+                [ThreadDef("bg", perpetual=[Rule(None, None, {"L": True})])],
+            )
+
+    def test_thread_body_xor_perpetual(self):
+        with pytest.raises(ValueError):
+            ThreadDef("t")
+        with pytest.raises(ValueError):
+            ThreadDef(
+                "t",
+                body=Repeat([Assign("L", TRUE)]),
+                perpetual=[Rule(None, None, {"L": True})],
+            )
+
+    def test_variable_lookup(self):
+        prog = tiny_program()
+        assert prog.variable("L").role == "output"
+        with pytest.raises(KeyError):
+            prog.variable("missing")
+
+    def test_inputs_outputs(self):
+        prog = Program(
+            "P",
+            [VarDecl("A", role="input"), VarDecl("Y", role="output"), VarDecl("W")],
+            [ThreadDef("Main", body=Repeat([Assign("Y", V("A"))]))],
+        )
+        assert prog.inputs == ["A"]
+        assert prog.outputs == ["Y"]
+
+
+class TestInstructions:
+    def test_assign_requires_condition(self):
+        with pytest.raises(ValueError):
+            Assign("X")
+
+    def test_random_assign_excludes_condition(self):
+        with pytest.raises(ValueError):
+            Assign("X", V("Y"), random=True)
+
+    def test_if_exists_coerces_condition(self):
+        instr = IfExists(True, [Assign("X", TRUE)])
+        assert instr.condition is not None
+
+    def test_execute_stores_rules(self):
+        rule = Rule(V("A"), None, {"A": False})
+        instr = Execute([rule], c=3)
+        assert instr.rules == (rule,)
+        assert instr.c == 3
+
+
+class TestStructure:
+    def test_loop_depth_flat(self):
+        assert tiny_program().loop_depth() == 1
+
+    def test_loop_depth_nested(self):
+        body = [RepeatLog([RepeatLog([Assign("L", TRUE)])])]
+        assert tiny_program(body).loop_depth() == 3
+
+    def test_loop_depth_through_branches(self):
+        body = [IfExists(V("L"), [RepeatLog([Assign("L", TRUE)])])]
+        assert tiny_program(body).loop_depth() == 2
+
+    def test_main_thread(self):
+        prog = tiny_program()
+        assert prog.main_thread.name == "Main"
+
+    def test_background_threads(self):
+        prog = Program(
+            "P",
+            [VarDecl("L")],
+            [
+                ThreadDef("Main", body=Repeat([Assign("L", TRUE)])),
+                ThreadDef("bg", perpetual=[Rule(None, None, {"L": True})]),
+            ],
+        )
+        assert [t.name for t in prog.background_threads] == ["bg"]
+
+
+class TestPretty:
+    def test_program_pretty_mentions_constructs(self):
+        body = [
+            IfExists(
+                V("L"),
+                [Assign("L", random=True)],
+                [Execute([Rule(V("L"), None, {"L": False})], c=2)],
+            ),
+            RepeatLog([Assign("L", TRUE)], c=4),
+        ]
+        text = tiny_program(body).pretty()
+        assert "if exists (L):" in text
+        assert "uniformly at random" in text
+        assert "repeat >= 4 ln n times:" in text
+        assert "execute for >= 2 ln n rounds ruleset:" in text
+        assert "def protocol P" in text
+
+    def test_paper_programs_pretty(self):
+        from repro.protocols import (
+            leader_election_program,
+            majority_program,
+            leader_election_exact_program,
+        )
+
+        for prog in (
+            leader_election_program(),
+            majority_program(),
+            leader_election_exact_program(),
+        ):
+            text = prog.pretty()
+            assert prog.name in text
+            assert "repeat:" in text

@@ -1,0 +1,96 @@
+"""Tests for the w.h.p. LeaderElection protocol (Theorem 3.1)."""
+
+import numpy as np
+import pytest
+
+from repro.core import Population, V
+from repro.lang import IdealInterpreter, program_schema
+from repro.protocols import (
+    leader_election_program,
+    run_leader_election,
+)
+from repro.protocols.leader_election import make_interpreter
+
+
+class TestProgramShape:
+    def test_variables(self):
+        prog = leader_election_program()
+        assert prog.outputs == ["L"]
+        assert prog.variable("L").init is True
+        assert prog.variable("F").init is True
+        assert prog.variable("D").init is False
+
+    def test_single_main_thread(self):
+        prog = leader_election_program()
+        assert len(prog.threads) == 1
+        assert prog.loop_depth() == 1
+
+
+class TestConvergence:
+    @pytest.mark.parametrize("n", [50, 500, 5000])
+    def test_elects_unique_leader(self, n):
+        ok, iterations, rounds = run_leader_election(
+            n, rng=np.random.default_rng(n)
+        )
+        assert ok
+
+    def test_iterations_scale_logarithmically(self):
+        iteration_counts = {}
+        for n in (100, 10000):
+            counts = []
+            for seed in range(5):
+                ok, iters, _ = run_leader_election(
+                    n, rng=np.random.default_rng(seed)
+                )
+                assert ok
+                counts.append(iters)
+            iteration_counts[n] = np.median(counts)
+        # 100x population growth should roughly double the iterations
+        ratio = iteration_counts[10000] / iteration_counts[100]
+        assert 1.2 < ratio < 4.0
+
+    def test_rounds_are_polylog(self):
+        _, _, rounds_small = run_leader_election(100, rng=np.random.default_rng(0))
+        _, _, rounds_large = run_leader_election(10000, rng=np.random.default_rng(0))
+        # O(log^2 n): factor (ln 10^4 / ln 10^2)^2 = 4, far below linear 100x
+        assert rounds_large / rounds_small < 10
+
+
+class TestMechanism:
+    def test_leader_count_halves_in_expectation(self):
+        interp = make_interpreter(4000, rng=np.random.default_rng(1))
+        counts = [interp.population.count(V("L"))]
+        for _ in range(5):
+            interp.run_iteration()
+            counts.append(interp.population.count(V("L")))
+        # each good iteration should at least meaningfully shrink L
+        for before, after in zip(counts, counts[1:]):
+            if before > 16:
+                assert after < before * 0.8
+
+    def test_empty_leader_set_recovers(self):
+        prog = leader_election_program()
+        schema = program_schema(prog)
+        pop = Population.uniform(
+            schema, 200, {"L": False, "D": False, "F": True}
+        )
+        interp = IdealInterpreter(prog, pop, rng=np.random.default_rng(2))
+        interp.run_iteration()
+        # with L empty, the else branch restores L := on for everyone
+        assert pop.count(V("L")) == 200
+        interp.run(20, stop=lambda p: p.count(V("L")) == 1)
+        assert pop.count(V("L")) == 1
+
+    def test_leader_set_never_empty_after_iterations(self):
+        interp = make_interpreter(300, rng=np.random.default_rng(3))
+        for _ in range(12):
+            interp.run_iteration()
+            assert interp.population.count(V("L")) >= 1
+
+    def test_unique_leader_is_stable(self):
+        interp = make_interpreter(300, rng=np.random.default_rng(4))
+        interp.run(25, stop=lambda p: p.count(V("L")) == 1)
+        assert interp.population.count(V("L")) == 1
+        for _ in range(3):
+            interp.run_iteration()
+            assert interp.population.count(V("L")) == 1

@@ -1,0 +1,92 @@
+"""Tests for the w.h.p. Majority protocol (Theorem 3.2)."""
+
+import numpy as np
+import pytest
+
+from repro.core import Population, V
+from repro.lang import IdealInterpreter
+from repro.protocols import (
+    majority_output,
+    majority_population,
+    majority_program,
+    run_majority,
+)
+
+
+class TestProgramShape:
+    def test_loop_depth_two(self):
+        assert majority_program().loop_depth() == 2
+
+    def test_inputs_and_output(self):
+        prog = majority_program()
+        assert set(prog.inputs) == {"A", "B"}
+        assert prog.outputs == ["YA"]
+
+
+class TestPopulationSetup:
+    def test_counts(self):
+        _, pop = majority_population(100, 30, 20)
+        assert pop.count(V("A")) == 30
+        assert pop.count(V("B")) == 20
+        assert pop.n == 100
+
+    def test_rejects_overfull(self):
+        with pytest.raises(ValueError):
+            majority_population(10, 6, 6)
+
+    def test_output_reading(self):
+        schema, pop = majority_population(10, 5, 3)
+        assert majority_output(pop) is False  # all YA off initially
+        pop.assign_all("YA", V("YA") | ~V("YA"))
+        assert majority_output(pop) is True
+
+
+class TestCorrectness:
+    @pytest.mark.parametrize(
+        "n,a,b",
+        [
+            (600, 210, 200),  # moderate gap
+            (600, 200, 210),  # B-majority
+            (600, 201, 200),  # gap 1, with blanks
+            (2000, 667, 666),  # gap 1 at larger n
+        ],
+    )
+    def test_correct_output(self, n, a, b):
+        out, _, _ = run_majority(n, a, b, rng=np.random.default_rng(n + a))
+        assert out is (a > b)
+
+    def test_gap_one_many_trials(self):
+        """Theorem 3.2: correct w.h.p. regardless of the gap."""
+        wins = 0
+        trials = 8
+        for seed in range(trials):
+            out, _, _ = run_majority(400, 134, 133, rng=np.random.default_rng(seed))
+            wins += out is True
+        assert wins >= trials - 1
+
+    def test_inputs_preserved(self):
+        """The framework contract: Main must not modify input variables."""
+        _, pop = majority_population(300, 110, 100)
+        interp = IdealInterpreter(
+            majority_program(), pop, rng=np.random.default_rng(5)
+        )
+        interp.run(2)
+        assert pop.count(V("A")) == 110
+        assert pop.count(V("B")) == 100
+
+    def test_output_stable_across_iterations(self):
+        """Constraint (2) of Section 3: re-running Program keeps a valid
+        output unchanged."""
+        _, pop = majority_population(300, 120, 100)
+        interp = IdealInterpreter(
+            majority_program(), pop, rng=np.random.default_rng(6)
+        )
+        interp.run(2)
+        first = majority_output(pop)
+        interp.run(2)
+        assert majority_output(pop) == first
+
+    def test_rounds_scale_as_polylog(self):
+        _, _, rounds_small = run_majority(200, 70, 63, rng=np.random.default_rng(0))
+        _, _, rounds_large = run_majority(6000, 2100, 1900, rng=np.random.default_rng(0))
+        assert rounds_large / rounds_small < 8  # (ln ratio)^3-ish, never linear

@@ -1,0 +1,185 @@
+"""Tests for the DK18 oscillator (Theorem 5.1's qualitative content)."""
+
+import numpy as np
+import pytest
+from scipy.optimize import brentq
+
+from repro.core import Population, V
+from repro.engine import MatchingEngine, MeanFieldSystem, Trace
+from repro.oscillator import (
+    NUM_SPECIES,
+    OSC_VALUES,
+    a_min,
+    dominant_species,
+    extract_oscillations,
+    make_oscillator_protocol,
+    make_rps_protocol,
+    species,
+    species_counts,
+    strong_value,
+    weak_value,
+)
+
+
+def oscillator_population(schema, n, fractions=(0.8, 0.17), n_x=4, seed_strong=True):
+    c1 = int(fractions[0] * (n - n_x))
+    c2 = int(fractions[1] * (n - n_x))
+    c3 = (n - n_x) - c1 - c2
+    first = strong_value(0) if seed_strong else weak_value(0)
+    return Population.from_groups(
+        schema,
+        [
+            ({"osc": first}, c1),
+            ({"osc": weak_value(1)}, c2),
+            ({"osc": weak_value(2)}, c3),
+            ({"osc": weak_value(0), "X": True}, n_x),
+        ],
+    )
+
+
+@pytest.fixture(scope="module")
+def protocol():
+    return make_oscillator_protocol()
+
+
+def symmetric_fixed_point(mf, schema):
+    iw = [mf.index[schema.pack({"osc": weak_value(i)})] for i in range(3)]
+    istr = [mf.index[schema.pack({"osc": strong_value(i)})] for i in range(3)]
+
+    def resid(s):
+        y = np.zeros(len(mf.codes))
+        for i in range(3):
+            y[iw[i]] = (1 - float(s)) / 3
+            y[istr[i]] = float(s) / 3
+        return float(mf.derivative(y)[istr[0]])
+
+    s_star = brentq(resid, 0.01, 0.99)
+    y0 = np.zeros(len(mf.codes))
+    for i in range(3):
+        y0[iw[i]] = (1 - s_star) / 3
+        y0[istr[i]] = s_star / 3
+    return s_star, y0
+
+
+class TestMeanField:
+    @pytest.fixture(scope="class")
+    def mf(self, protocol):
+        schema = protocol.schema
+        codes = [schema.pack({"osc": v}) for v in OSC_VALUES]
+        return MeanFieldSystem(protocol, codes)
+
+    def test_symmetric_fixed_point_exists(self, mf, protocol):
+        s_star, y0 = symmetric_fixed_point(mf, protocol.schema)
+        assert 0.2 < s_star < 0.6
+        assert np.abs(mf.derivative(y0)).max() < 1e-12
+
+    def test_centre_is_linearly_unstable(self, mf, protocol):
+        """The key property behind Theorem 5.1(i): escape in O(log n)."""
+        _, y0 = symmetric_fixed_point(mf, protocol.schema)
+        eps = 1e-7
+        size = len(mf.codes)
+        jac = np.zeros((size, size))
+        for j in range(size):
+            up, down = y0.copy(), y0.copy()
+            up[j] += eps
+            down[j] -= eps
+            jac[:, j] = (mf.derivative(up) - mf.derivative(down)) / (2 * eps)
+        eig = np.linalg.eigvals(jac)
+        oscillatory = [e for e in eig if abs(e.imag) > 1e-6]
+        assert max(e.real for e in oscillatory) > 0.003
+
+    def test_plain_rps_centre_is_neutral(self):
+        """Ablation: without the strength levels the centre is not unstable."""
+        proto = make_rps_protocol()
+        schema = proto.schema
+        codes = list(range(3))
+        mf = MeanFieldSystem(proto, codes)
+        y0 = np.full(3, 1.0 / 3.0)
+        assert np.abs(mf.derivative(y0)).max() < 1e-12
+        eps = 1e-7
+        jac = np.zeros((3, 3))
+        for j in range(3):
+            up, down = y0.copy(), y0.copy()
+            up[j] += eps
+            down[j] -= eps
+            jac[:, j] = (mf.derivative(up) - mf.derivative(down)) / (2 * eps)
+        eig = np.linalg.eigvals(jac)
+        assert max(e.real for e in eig) < 1e-6
+
+
+class TestStochastic:
+    def test_oscillates_with_correct_cyclic_order(self, protocol):
+        n = 3000
+        pop = oscillator_population(protocol.schema, n)
+        trace = Trace({"A1": species(0), "A2": species(1), "A3": species(2)})
+        eng = MatchingEngine(protocol, pop, rng=np.random.default_rng(7))
+        eng.run(rounds=6000, observer=trace, observe_every=4)
+        counts = [trace.series(k) for k in ("A1", "A2", "A3")]
+        summary = extract_oscillations(trace.times, counts, n, threshold=0.7)
+        assert summary.sweeps >= 6
+        assert summary.cyclic_order_ok
+
+    def test_amin_stays_small_once_oscillating(self, protocol):
+        n = 3000
+        pop = oscillator_population(protocol.schema, n)
+        eng = MatchingEngine(protocol, pop, rng=np.random.default_rng(8))
+        eng.run(rounds=2000)
+        values = []
+        for _ in range(20):
+            eng.run(rounds=200)
+            values.append(a_min(eng.population))
+        # Theorem 5.1(ii): a_min < n^{1-eps/3} at all times once started
+        assert max(values) < n ** 0.85
+
+    def test_reseeding_keeps_all_species_alive(self, protocol):
+        n = 2000
+        pop = oscillator_population(protocol.schema, n)
+        eng = MatchingEngine(protocol, pop, rng=np.random.default_rng(9))
+        eng.run(rounds=4000)
+        for window in range(6):
+            eng.run(rounds=500)
+            counts = species_counts(eng.population)
+            # every species recurs: none stays extinct across a window
+            assert min(counts) >= 0 and sum(c > 0 for c in counts) >= 2
+
+    def test_x_count_is_preserved_by_oscillator(self, protocol):
+        pop = oscillator_population(protocol.schema, 1000, n_x=7)
+        eng = MatchingEngine(protocol, pop, rng=np.random.default_rng(10))
+        eng.run(rounds=500)
+        assert eng.population.count(V("X")) == 7
+
+    def test_dominant_species_helper(self, protocol):
+        pop = Population.from_groups(
+            protocol.schema,
+            [({"osc": weak_value(1)}, 95), ({"osc": weak_value(2)}, 5)],
+        )
+        assert dominant_species(pop) == 1
+        balanced = Population.from_groups(
+            protocol.schema,
+            [({"osc": weak_value(0)}, 50), ({"osc": weak_value(1)}, 50)],
+        )
+        assert dominant_species(balanced) is None
+
+
+class TestAnalysisHelpers:
+    def test_extract_oscillations_synthetic(self):
+        times = np.arange(0.0, 90.0)
+        counts = np.zeros((3, 90))
+        n = 100
+        for step in range(90):
+            counts[(step // 30) % 3, step] = 90
+            counts[((step // 30) + 1) % 3, step] = 10
+        summary = extract_oscillations(times, counts, n, threshold=0.7)
+        assert summary.dominance_species == [0, 1, 2]
+        assert summary.cyclic_order_ok
+
+    def test_periods_from_repeat(self):
+        times = np.arange(0.0, 180.0)
+        counts = np.zeros((3, 180))
+        n = 100
+        for step in range(180):
+            counts[(step // 30) % 3, step] = 90
+        summary = extract_oscillations(times, counts, n, threshold=0.7)
+        periods = summary.periods
+        assert len(periods) >= 1
+        assert np.allclose(periods, 90.0)

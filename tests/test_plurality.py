@@ -1,0 +1,67 @@
+"""Tests for plurality consensus (Section 1.1's adaptation of Majority)."""
+
+import numpy as np
+import pytest
+
+from repro.core import V
+from repro.protocols import plurality_population, plurality_program, run_plurality
+from repro.protocols.plurality import beats_var, color_var, winner_var
+
+
+class TestProgramShape:
+    def test_pairwise_comparison_count(self):
+        prog = plurality_program(4)
+        beats = [v.name for v in prog.variables if v.name.startswith("B")]
+        # one comparison bit per unordered pair, plus the Bs working flag
+        assert len([b for b in beats if "_" in b]) == 6
+
+    def test_state_count_is_quadratic_in_l(self):
+        sizes = {}
+        for l in (2, 4):
+            prog = plurality_program(l)
+            pair_bits = [v for v in prog.variables if "_" in v.name]
+            sizes[l] = len(pair_bits)
+        assert sizes[4] == 6 and sizes[2] == 1
+
+    def test_requires_two_colors(self):
+        with pytest.raises(ValueError):
+            plurality_program(1)
+
+    def test_population(self):
+        _, pop = plurality_population([10, 20, 5], n=50)
+        assert pop.count(V(color_var(1))) == 20
+        assert pop.n == 50
+
+
+class TestCorrectness:
+    @pytest.mark.parametrize(
+        "counts,winner",
+        [
+            ([50, 30, 20], 0),
+            ([30, 50, 20], 1),
+            ([20, 30, 50], 2),
+        ],
+    )
+    def test_clear_plurality(self, counts, winner):
+        result, _, _ = run_plurality(
+            counts, n=150, rng=np.random.default_rng(sum(counts) + winner)
+        )
+        assert result == winner
+
+    def test_narrow_plurality(self):
+        result, _, _ = run_plurality(
+            [34, 33, 33], n=150, rng=np.random.default_rng(3)
+        )
+        assert result == 0
+
+    def test_four_colors(self):
+        result, _, _ = run_plurality(
+            [20, 25, 40, 15], n=120, rng=np.random.default_rng(4)
+        )
+        assert result == 2
+
+    def test_winner_none_until_converged(self):
+        from repro.protocols import plurality_winner
+
+        _, pop = plurality_population([10, 20], n=40)
+        assert plurality_winner(pop, 2) is None

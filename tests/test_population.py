@@ -1,0 +1,116 @@
+"""Tests for population configurations."""
+
+import numpy as np
+import pytest
+
+from repro.core import Population, StateSchema, V
+
+
+@pytest.fixture
+def schema():
+    s = StateSchema()
+    s.flags("A", "B")
+    return s
+
+
+@pytest.fixture
+def population(schema):
+    return Population.from_groups(
+        schema, [({"A": True}, 30), ({"B": True}, 20), ({}, 50)]
+    )
+
+
+class TestConstruction:
+    def test_total(self, population):
+        assert population.n == 100
+
+    def test_uniform(self, schema):
+        pop = Population.uniform(schema, 10, {"A": True})
+        assert pop.count(V("A")) == 10
+
+    def test_negative_count_rejected(self, schema):
+        pop = Population(schema)
+        with pytest.raises(ValueError):
+            pop.add(0, -1)
+
+    def test_zero_count_groups_skipped(self, schema):
+        pop = Population.from_groups(schema, [({}, 0)])
+        assert pop.n == 0
+
+    def test_copy_independent(self, population):
+        clone = population.copy()
+        clone.add(0, 5)
+        assert clone.n == population.n + 5
+
+
+class TestCounting:
+    def test_count_formula(self, population):
+        assert population.count(V("A")) == 30
+        assert population.count(~V("A") & ~V("B")) == 50
+
+    def test_fraction(self, population):
+        assert population.fraction(V("B")) == pytest.approx(0.2)
+
+    def test_exists(self, population):
+        assert population.exists(V("A"))
+        assert not population.exists(V("A") & V("B"))
+
+    def test_all_satisfy(self, population, schema):
+        assert not population.all_satisfy(V("A"))
+        uniform = Population.uniform(schema, 5, {"A": True})
+        assert uniform.all_satisfy(V("A"))
+
+    def test_support_size(self, population):
+        assert population.support_size == 3
+
+
+class TestMutation:
+    def test_move(self, population, schema):
+        source = schema.pack({"A": True})
+        target = schema.pack({"B": True})
+        population.move(source, target, 10)
+        assert population.count(V("A")) == 20
+        assert population.count(V("B")) == 30
+
+    def test_move_too_many_rejected(self, population, schema):
+        with pytest.raises(ValueError):
+            population.move(schema.pack({"A": True}), 0, 31)
+
+    def test_remove_clears_empty_entries(self, schema):
+        pop = Population.from_groups(schema, [({"A": True}, 1)])
+        pop.remove(schema.pack({"A": True}), 1)
+        assert pop.support_size == 0
+
+    def test_assign_all(self, population):
+        population.assign_all("A", V("B"))
+        assert population.count(V("A")) == 20
+        assert population.count(V("A") & V("B")) == 20
+
+    def test_assign_where(self, population):
+        moved = population.assign_where(V("A"), {"B": True})
+        assert moved == 30
+        assert population.count(V("A") & V("B")) == 30
+
+    def test_assign_where_idempotent(self, population):
+        population.assign_where(V("A"), {"B": True})
+        assert population.assign_where(V("A"), {"B": True}) == 0
+
+
+class TestConversions:
+    def test_agent_array_roundtrip(self, population, schema):
+        agents = population.to_agent_array()
+        rebuilt = Population.from_agent_array(schema, agents)
+        assert rebuilt == population
+
+    def test_agent_array_shuffled(self, population):
+        rng = np.random.default_rng(0)
+        agents = population.to_agent_array(rng)
+        assert len(agents) == 100
+
+    def test_empty_agent_array(self, schema):
+        pop = Population(schema)
+        assert len(pop.to_agent_array()) == 0
+
+    def test_summary_mentions_counts(self, population):
+        text = population.summary()
+        assert "n=100" in text

@@ -1,0 +1,109 @@
+"""Tests for the predicate expression language."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.predicates import Remainder, Threshold
+from repro.predicates.expr import PredicateSyntaxError, parse_predicate
+
+
+class TestAtoms:
+    def test_simple_comparison(self):
+        pred = parse_predicate("A > B")
+        assert isinstance(pred, Threshold)
+        assert pred.evaluate({"A": 3, "B": 2})
+        assert not pred.evaluate({"A": 2, "B": 2})
+
+    def test_weighted_terms(self):
+        pred = parse_predicate("2*A - B >= 3")
+        assert pred.evaluate({"A": 2, "B": 1})
+        assert not pred.evaluate({"A": 1, "B": 0})
+
+    def test_ge_vs_gt(self):
+        assert parse_predicate("A >= 5").evaluate({"A": 5})
+        assert not parse_predicate("A > 5").evaluate({"A": 5})
+
+    def test_lt_le(self):
+        assert parse_predicate("A < 5").evaluate({"A": 4})
+        assert not parse_predicate("A < 5").evaluate({"A": 5})
+        assert parse_predicate("A <= 5").evaluate({"A": 5})
+
+    def test_equality(self):
+        pred = parse_predicate("A == 4")
+        assert pred.evaluate({"A": 4})
+        assert not pred.evaluate({"A": 3})
+        assert not pred.evaluate({"A": 5})
+
+    def test_constants_on_both_sides(self):
+        pred = parse_predicate("A + 2 >= B + 5")
+        assert pred.evaluate({"A": 4, "B": 1})
+        assert not pred.evaluate({"A": 2, "B": 0})
+
+    def test_modular_atom(self):
+        pred = parse_predicate("A % 3 == 2")
+        assert isinstance(pred, Remainder)
+        assert pred.evaluate({"A": 5})
+        assert not pred.evaluate({"A": 6})
+
+    def test_modular_with_coefficients(self):
+        pred = parse_predicate("2*A + B % 4 == 1")
+        assert pred.evaluate({"A": 0, "B": 1})
+        assert pred.evaluate({"A": 2, "B": 1})
+
+
+class TestBooleanLayer:
+    def test_and(self):
+        pred = parse_predicate("A >= 3 and A % 2 == 0")
+        assert pred.evaluate({"A": 4})
+        assert not pred.evaluate({"A": 3})
+
+    def test_or(self):
+        pred = parse_predicate("A >= 10 or B >= 10")
+        assert pred.evaluate({"B": 11})
+
+    def test_not(self):
+        assert parse_predicate("not A >= 3").evaluate({"A": 2})
+
+    def test_precedence(self):
+        # and binds tighter than or
+        pred = parse_predicate("A >= 10 or A >= 1 and B >= 1")
+        assert pred.evaluate({"A": 1, "B": 1})
+        assert not pred.evaluate({"A": 1, "B": 0})
+
+    def test_parentheses(self):
+        pred = parse_predicate("(A >= 10 or A >= 1) and B >= 1")
+        assert not pred.evaluate({"A": 20, "B": 0})
+
+    def test_matches_hand_built(self):
+        from repro.predicates import at_least, parity
+
+        text = parse_predicate("A >= 3 and A % 2 == 0")
+        built = at_least("A", 3) & parity("A")
+        for count in range(10):
+            assert text.evaluate({"A": count}) == built.evaluate({"A": count})
+
+
+class TestErrors:
+    @pytest.mark.parametrize(
+        "bad",
+        [
+            "",
+            "A >=",
+            ">= 3",
+            "A ~ 3",
+            "A % 3 >= 1",
+            "3 >= 4",
+            "(A >= 3",
+            "A >= 3 and",
+        ],
+    )
+    def test_rejects(self, bad):
+        with pytest.raises(PredicateSyntaxError):
+            parse_predicate(bad)
+
+
+@given(st.integers(0, 30), st.integers(0, 30), st.integers(-9, 9))
+@settings(max_examples=80, deadline=None)
+def test_parsed_comparison_matches_arithmetic(a, b, c):
+    pred = parse_predicate("A - B >= {}".format(c) if c >= 0 else "A - B >= 0 - {}".format(-c))
+    assert pred.evaluate({"A": a, "B": b}) == (a - b >= c)

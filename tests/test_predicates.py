@@ -1,0 +1,156 @@
+"""Tests for the semi-linear predicate algebra and the two blackboxes."""
+
+import numpy as np
+import pytest
+
+from repro.core import Population, StateSchema, V
+from repro.engine import CountEngine
+from repro.predicates import (
+    BooleanCombination,
+    Remainder,
+    SlowBlackbox,
+    Threshold,
+    at_least,
+    majority_predicate,
+    parity,
+)
+
+
+class TestAlgebra:
+    def test_threshold_evaluation(self):
+        pred = Threshold({"A": 2, "B": -1}, 3)
+        assert pred.evaluate({"A": 3, "B": 2})  # 6 - 2 = 4 >= 3
+        assert not pred.evaluate({"A": 1, "B": 0})  # 2 < 3
+
+    def test_threshold_missing_inputs_are_zero(self):
+        assert not at_least("A", 1).evaluate({})
+
+    def test_remainder_evaluation(self):
+        pred = Remainder({"A": 1}, 2, 5)
+        assert pred.evaluate({"A": 7})
+        assert not pred.evaluate({"A": 8})
+
+    def test_remainder_normalizes(self):
+        pred = Remainder({"A": 1}, 7, 5)
+        assert pred.remainder == 2
+
+    def test_remainder_modulus_validation(self):
+        with pytest.raises(ValueError):
+            Remainder({"A": 1}, 0, 1)
+
+    def test_empty_coefficients_rejected(self):
+        with pytest.raises(ValueError):
+            Threshold({}, 0)
+
+    def test_boolean_combinations(self):
+        pred = at_least("A", 3) & parity("A")
+        assert pred.evaluate({"A": 4})
+        assert not pred.evaluate({"A": 3})
+        assert not pred.evaluate({"A": 2})
+
+    def test_negation(self):
+        pred = ~at_least("A", 3)
+        assert pred.evaluate({"A": 2})
+
+    def test_or(self):
+        pred = at_least("A", 5) | at_least("B", 5)
+        assert pred.evaluate({"B": 7})
+
+    def test_atoms_collected(self):
+        pred = (at_least("A", 1) & parity("B")) | at_least("C", 2)
+        assert len(pred.atoms()) == 3
+
+    def test_inputs_deduplicated(self):
+        pred = at_least("A", 1) & parity("A")
+        assert pred.inputs() == ["A"]
+
+    def test_describe(self):
+        assert ">=" in at_least("A", 3).describe()
+        assert "mod" in parity("A").describe()
+
+    def test_majority_predicate(self):
+        pred = majority_predicate()
+        assert pred.evaluate({"A": 5, "B": 4})
+        assert not pred.evaluate({"A": 4, "B": 4})  # strict comparison
+
+    def test_bad_boolean_op(self):
+        with pytest.raises(ValueError):
+            BooleanCombination("xor", [at_least("A", 1), at_least("B", 1)])
+
+
+class TestSlowBlackbox:
+    def _settle(self, predicate, groups, seed=0, max_rounds=8000):
+        box = SlowBlackbox(predicate)
+        pop = box.populate(groups)
+        engine = CountEngine(box.protocol(), pop, rng=np.random.default_rng(seed))
+        engine.run(
+            rounds=max_rounds,
+            stop=lambda p: box.stabilized(p) and box.unanimous_output(p) is not None,
+        )
+        return box, pop, engine
+
+    @pytest.mark.parametrize(
+        "groups,expected",
+        [
+            ([("A", 20), ("B", 15), (None, 15)], True),
+            ([("A", 15), ("B", 20), (None, 15)], False),
+            ([("A", 26), ("B", 25), (None, 0)], True),
+        ],
+    )
+    def test_majority(self, groups, expected):
+        box, pop, _ = self._settle(majority_predicate(), groups)
+        assert box.unanimous_output(pop) is expected
+
+    @pytest.mark.parametrize("count,expected", [(7, True), (5, True), (4, False)])
+    def test_absolute_threshold(self, count, expected):
+        box, pop, _ = self._settle(at_least("A", 5), [("A", count), (None, 60 - count)])
+        assert box.unanimous_output(pop) is expected
+
+    @pytest.mark.parametrize("count,expected", [(8, True), (9, False), (0, True)])
+    def test_parity(self, count, expected):
+        box, pop, _ = self._settle(parity("A"), [("A", count), (None, 60 - count)])
+        assert box.unanimous_output(pop) is expected
+
+    def test_conjunction(self):
+        pred = at_least("A", 3) & parity("A")
+        box, pop, _ = self._settle(pred, [("A", 6), (None, 54)])
+        assert box.unanimous_output(pop) is True
+
+    def test_stabilized_detection(self):
+        box, pop, _ = self._settle(majority_predicate(), [("A", 12), ("B", 9), (None, 9)])
+        assert box.stabilized(pop)
+
+    def test_empty_population_rejected(self):
+        box = SlowBlackbox(majority_predicate())
+        with pytest.raises(ValueError):
+            box.populate([("A", 0)])
+
+    def test_constant_planted_once(self):
+        box = SlowBlackbox(at_least("A", 3))
+        pop = box.populate([("A", 5), (None, 5)])
+        # total token sum = 5*1 - 3 = 2
+        total = 0
+        for code, count in pop.counts.items():
+            total += pop.schema.value_of(code, box.atom_protocols[0].value_field) * count
+        assert total == 2
+
+    def test_opinion_formula_reads_locally(self):
+        box = SlowBlackbox(parity("A"))
+        pop = box.populate([("A", 2), (None, 3)])
+        formula = box.opinion_formula()
+        assert pop.count(formula) >= 0  # evaluates without error
+
+    def test_threshold_token_mass_decreases(self):
+        box = SlowBlackbox(majority_predicate())
+        pop = box.populate([("A", 30), ("B", 28), (None, 2)])
+        ap = box.atom_protocols[0]
+
+        def mass(p):
+            return sum(
+                abs(p.schema.value_of(code, ap.value_field)) * count
+                for code, count in p.counts.items()
+            )
+
+        before = mass(pop)
+        CountEngine(box.protocol(), pop, rng=np.random.default_rng(3)).run(rounds=50)
+        assert mass(pop) <= before

@@ -1,0 +1,143 @@
+"""Tests for protocols, threads and the scheduler's rule-draw convention."""
+
+import pytest
+
+from repro.core import Protocol, Rule, StateSchema, Thread, V, compose, single_thread
+
+
+@pytest.fixture
+def schema():
+    s = StateSchema()
+    s.flags("A", "B")
+    return s
+
+
+def simple_protocol(schema, name="p"):
+    return single_thread(name, schema, [Rule(V("A"), None, {"B": True})])
+
+
+class TestStructure:
+    def test_single_thread(self, schema):
+        proto = simple_protocol(schema)
+        assert len(proto.threads) == 1
+        assert len(proto.rules) == 1
+
+    def test_empty_thread_rejected(self):
+        with pytest.raises(ValueError):
+            Thread("t", [])
+
+    def test_duplicate_thread_names_rejected(self, schema):
+        t = Thread("t", [Rule(None, None, {"A": True})])
+        with pytest.raises(ValueError):
+            Protocol("p", schema, [t, t])
+
+    def test_thread_lookup(self, schema):
+        proto = simple_protocol(schema)
+        assert proto.thread("p").name == "p"
+        with pytest.raises(KeyError):
+            proto.thread("missing")
+
+    def test_describe_contains_rules(self, schema):
+        text = simple_protocol(schema).describe()
+        assert "protocol p" in text and ">" in text
+
+
+class TestDrawProbabilities:
+    def test_uniform_within_thread(self, schema):
+        rules = [Rule(None, None, {"A": True}), Rule(None, None, {"B": True})]
+        proto = single_thread("p", schema, rules)
+        probs = [p for _, p in proto.rule_draw_probabilities()]
+        assert probs == [0.5, 0.5]
+
+    def test_thread_selection_uniform(self, schema):
+        t1 = Thread("t1", [Rule(None, None, {"A": True})])
+        t2 = Thread("t2", [Rule(None, None, {"B": True}), Rule(None, None, {"B": False})])
+        proto = Protocol("p", schema, [t1, t2])
+        probs = dict(
+            (rule.name or i, p)
+            for i, (rule, p) in enumerate(proto.rule_draw_probabilities())
+        )
+        values = [p for _, p in proto.rule_draw_probabilities()]
+        assert values == [0.5, 0.25, 0.25]
+
+    def test_weights_respected(self, schema):
+        rules = [
+            Rule(None, None, {"A": True}, weight=3),
+            Rule(None, None, {"B": True}, weight=1),
+        ]
+        proto = single_thread("p", schema, rules)
+        values = [p for _, p in proto.rule_draw_probabilities()]
+        assert values == [0.75, 0.25]
+
+
+class TestTransition:
+    def test_null_when_no_match(self, schema):
+        proto = simple_protocol(schema)
+        outcomes, p_change = proto.transition(0, 0)
+        assert outcomes == [] and p_change == 0.0
+
+    def test_identity_updates_fold_to_null(self, schema):
+        proto = single_thread("p", schema, [Rule(V("A"), None, {"A": True})])
+        code = schema.pack({"A": True})
+        outcomes, p_change = proto.transition(code, 0)
+        assert outcomes == [] and p_change == 0.0
+
+    def test_matching_rule_probability(self, schema):
+        proto = simple_protocol(schema)
+        code = schema.pack({"A": True})
+        outcomes, p_change = proto.transition(code, 0)
+        assert p_change == pytest.approx(1.0)
+        [(na, nb, p)] = outcomes
+        assert schema.value_of(na, "B") is True
+
+    def test_duplicate_outcomes_merged(self, schema):
+        rules = [Rule(V("A"), None, {"B": True}), Rule(V("A"), None, {"B": True})]
+        proto = single_thread("p", schema, rules)
+        code = schema.pack({"A": True})
+        outcomes, p_change = proto.transition(code, 0)
+        assert len(outcomes) == 1
+        assert p_change == pytest.approx(1.0)
+
+    def test_probabilities_cached_consistently(self, schema):
+        proto = simple_protocol(schema)
+        first = proto.rule_draw_probabilities()
+        second = proto.rule_draw_probabilities()
+        assert first is second
+
+
+class TestComposition:
+    def test_compose_shares_schema(self, schema):
+        p1 = simple_protocol(schema, "p1")
+        p2 = single_thread("p2", schema, [Rule(V("B"), None, {"A": False})])
+        combined = compose("both", p1, p2)
+        assert len(combined.threads) == 2
+
+    def test_compose_rejects_foreign_schema(self, schema):
+        other_schema = StateSchema()
+        other_schema.flags("A", "B")
+        p1 = simple_protocol(schema, "p1")
+        p2 = simple_protocol(other_schema, "p2")
+        with pytest.raises(ValueError):
+            compose("both", p1, p2)
+
+    def test_composition_dilutes_rates(self, schema):
+        p1 = simple_protocol(schema, "p1")
+        p2 = single_thread("p2", schema, [Rule(V("A"), None, {"A": False})])
+        combined = compose("both", p1, p2)
+        code = schema.pack({"A": True})
+        _, p_change = combined.transition(code, 0)
+        assert p_change == pytest.approx(1.0)  # both rules fire on this pair
+        _, p_single = p1.transition(code, 0)
+        assert p_single == pytest.approx(1.0)
+
+    def test_layering_check(self, schema):
+        t1 = Thread("lower", [Rule(None, None, {"A": True})], writes=("A",))
+        t2 = Thread("upper", [Rule(None, None, {"A": False})], writes=("A",))
+        proto = Protocol("p", schema, [t1, t2])
+        with pytest.raises(ValueError):
+            proto.check_layering()
+
+    def test_layering_ok_when_disjoint(self, schema):
+        t1 = Thread("lower", [Rule(None, None, {"A": True})], writes=("A",))
+        t2 = Thread("upper", [Rule(None, None, {"B": True})], writes=("B",), reads=("A",))
+        Protocol("p", schema, [t1, t2]).check_layering()

@@ -1,0 +1,231 @@
+"""Tests for the execution tiers: T3 interpreter, T2 phased runner, and the
+T1 compiler's wiring (end-to-end T1 behaviour is exercised in the
+benchmarks; here we verify structure plus a short run)."""
+
+import numpy as np
+import pytest
+
+from repro.core import Population, Rule, StateSchema, V
+from repro.core.formula import FALSE, TRUE
+from repro.lang import (
+    Assign,
+    Execute,
+    IfExists,
+    IdealInterpreter,
+    PhasedRunner,
+    Program,
+    Repeat,
+    RepeatLog,
+    ThreadDef,
+    VarDecl,
+    compile_program,
+    phased_schema,
+    program_schema,
+)
+
+
+def flag_program(body, extra_vars=()):
+    variables = [VarDecl("L", init=True), VarDecl("M", init=False)]
+    variables += [VarDecl(name) for name in extra_vars]
+    return Program("P", variables, [ThreadDef("Main", body=Repeat(body))])
+
+
+def uniform_population(program, n):
+    schema = program_schema(program)
+    base = {d.name: d.init for d in program.variables}
+    return schema, Population.uniform(schema, n, base)
+
+
+class TestIdealInterpreter:
+    def test_assignment_is_synchronous(self):
+        prog = flag_program([Assign("M", V("L"))])
+        _, pop = uniform_population(prog, 100)
+        interp = IdealInterpreter(prog, pop, rng=np.random.default_rng(0))
+        interp.run_iteration()
+        assert pop.count(V("M")) == 100
+
+    def test_constant_assignment(self):
+        prog = flag_program([Assign("L", FALSE)])
+        _, pop = uniform_population(prog, 50)
+        IdealInterpreter(prog, pop, rng=np.random.default_rng(0)).run_iteration()
+        assert pop.count(V("L")) == 0
+
+    def test_random_assignment_splits(self):
+        prog = flag_program([Assign("M", random=True)])
+        _, pop = uniform_population(prog, 2000)
+        IdealInterpreter(prog, pop, rng=np.random.default_rng(1)).run_iteration()
+        count = pop.count(V("M"))
+        assert 800 < count < 1200
+
+    def test_if_exists_takes_then(self):
+        prog = flag_program([IfExists(V("L"), [Assign("M", TRUE)])])
+        _, pop = uniform_population(prog, 20)
+        IdealInterpreter(prog, pop, rng=np.random.default_rng(2)).run_iteration()
+        assert pop.count(V("M")) == 20
+
+    def test_if_exists_takes_else(self):
+        prog = flag_program(
+            [IfExists(V("M"), [Assign("L", FALSE)], [Assign("M", TRUE)])]
+        )
+        _, pop = uniform_population(prog, 20)
+        IdealInterpreter(prog, pop, rng=np.random.default_rng(3)).run_iteration()
+        assert pop.count(V("M")) == 20
+        assert pop.count(V("L")) == 20
+
+    def test_repeat_log_iterates(self):
+        # body flips M each pass; after ceil(c ln n) passes the parity is fixed
+        prog = flag_program([RepeatLog([Assign("M", ~V("M"))], c=2)])
+        _, pop = uniform_population(prog, 100)
+        interp = IdealInterpreter(prog, pop, c=2.0, rng=np.random.default_rng(4))
+        interp.run_iteration()
+        import math
+
+        passes = math.ceil(2 * math.log(100))
+        expected = passes % 2 == 1
+        assert pop.all_satisfy(V("M") if expected else ~V("M"))
+
+    def test_execute_runs_rules(self):
+        rule = Rule(V("L"), ~V("L") & ~V("M"), None, {"M": True})
+        prog = flag_program([Execute([rule], c=6)])
+        schema = program_schema(prog)
+        pop = Population.from_groups(
+            schema, [({"L": True}, 5), ({}, 95)]
+        )
+        IdealInterpreter(prog, pop, rng=np.random.default_rng(5)).run_iteration()
+        assert pop.count(V("M")) > 50
+
+    def test_background_thread_runs_during_instructions(self):
+        bg_rule = Rule(V("L"), V("L"), None, {"L": False})
+        prog = Program(
+            "P",
+            [VarDecl("L", init=True), VarDecl("M")],
+            [
+                ThreadDef("Main", body=Repeat([Assign("M", TRUE)])),
+                ThreadDef("bg", perpetual=[bg_rule], uses=("L",)),
+            ],
+        )
+        schema = program_schema(prog)
+        pop = Population.uniform(schema, 200, {"L": True, "M": False})
+        interp = IdealInterpreter(prog, pop, rng=np.random.default_rng(6))
+        interp.run(3)
+        assert pop.count(V("L")) < 200  # the background elimination acted
+
+    def test_rounds_accounting(self):
+        prog = flag_program([Assign("M", TRUE), Assign("M", FALSE)])
+        _, pop = uniform_population(prog, 100)
+        interp = IdealInterpreter(prog, pop, c=2.0, rng=np.random.default_rng(7))
+        stats = interp.run_iteration()
+        assert stats.rounds == pytest.approx(2 * 2.0 * np.log(100))
+
+    def test_stop_callback(self):
+        prog = flag_program([Assign("M", TRUE)])
+        _, pop = uniform_population(prog, 50)
+        interp = IdealInterpreter(prog, pop, rng=np.random.default_rng(8))
+        done = interp.run(10, stop=lambda p: p.count(V("M")) == 50)
+        assert done == 1
+
+
+class TestPhasedRunner:
+    def test_assignment_reaches_all_agents(self):
+        prog = flag_program([Assign("M", V("L"))])
+        schema = phased_schema(prog)
+        base = {d.name: d.init for d in prog.variables}
+        pop = Population.uniform(schema, 300, base)
+        runner = PhasedRunner(prog, pop, rng=np.random.default_rng(0))
+        runner.run_iteration()
+        assert pop.count(V("M")) >= 295  # w.h.p. construction, not exact
+
+    def test_branch_respected(self):
+        prog = flag_program(
+            [IfExists(V("M"), [Assign("L", FALSE)], [Assign("M", TRUE)])]
+        )
+        schema = phased_schema(prog)
+        base = {d.name: d.init for d in prog.variables}
+        pop = Population.uniform(schema, 300, base)
+        runner = PhasedRunner(prog, pop, rng=np.random.default_rng(1))
+        runner.run_iteration()
+        # else branch ran: most agents set M, and L untouched for most
+        assert pop.count(V("M")) >= 290
+        assert pop.count(V("L")) >= 290
+
+    def test_t2_agrees_with_t3_on_leader_election(self):
+        from repro.protocols import leader_election_program
+
+        prog = leader_election_program()
+        schema = phased_schema(prog)
+        base = {d.name: d.init for d in prog.variables}
+        pop = Population.uniform(schema, 400, base)
+        runner = PhasedRunner(prog, pop, rng=np.random.default_rng(2))
+        runner.run(60, stop=lambda p: p.count(V("L")) == 1)
+        assert pop.count(V("L")) == 1
+
+
+class TestCompiler:
+    @pytest.fixture(scope="class")
+    def compiled(self):
+        from repro.protocols import leader_election_program
+
+        return compile_program(leader_election_program())
+
+    def test_module_covers_width(self, compiled):
+        assert compiled.hierarchy.params.module >= 4 * compiled.precompiled.width
+        assert compiled.hierarchy.params.module % 12 == 0
+
+    def test_depth_one_single_clock(self, compiled):
+        assert compiled.hierarchy.params.levels == 1
+
+    def test_threads_present(self, compiled):
+        names = [t.name for t in compiled.protocol.threads]
+        assert "Program" in names
+        assert any(name.startswith("P_o") for name in names)
+        assert any(name.startswith("C_o") for name in names)
+        assert "XElimination" in names
+
+    def test_leaf_guards_cover_non_nil_leaves(self, compiled):
+        non_nil = [
+            path for path, leaf in compiled.precompiled.leaves() if not leaf.is_nil
+        ]
+        assert len(compiled.leaf_guards) == len(non_nil)
+
+    def test_guarded_rules_inactive_off_slot(self, compiled):
+        schema = compiled.schema
+        assignment = compiled.initial_assignment()
+        # clock at ring 0 = phase 0 = slot 0; rules of slot 1 must not match
+        code = schema.pack(assignment)
+        slot1_rules = [
+            r for r in compiled.protocol.thread("Program").rules if "(1,)" in (r.name or "")
+        ]
+        state = schema.unpack(code)
+        assert all(not rule._ga(state) for rule in slot1_rules)
+
+    def test_population_factory(self, compiled):
+        pop = compiled.make_population([({}, 120)], x_agents=2)
+        assert pop.n == 120
+        assert pop.count(V("X")) == 2
+
+    def test_population_rejects_all_x(self, compiled):
+        with pytest.raises(ValueError):
+            compiled.make_population([({}, 5)], x_agents=5)
+
+    def test_majority_compiles_to_two_levels(self):
+        from repro.protocols import majority_program
+
+        compiled = compile_program(majority_program())
+        assert compiled.hierarchy.params.levels == 2
+        names = [t.name for t in compiled.protocol.threads]
+        assert any(name.startswith("Sim-C2") for name in names)
+
+    def test_short_run_executes_program_rules(self, compiled):
+        """A brief full-stack run at tiny n performs the first assignment."""
+        from repro.engine import MatchingEngine
+
+        pop = compiled.make_population([({}, 120)], x_agents=2)
+        eng = MatchingEngine(
+            compiled.protocol, pop, rng=np.random.default_rng(9)
+        )
+        eng.run(rounds=25000)
+        population = eng.population
+        # after a few clock phases, D := L & F must have produced a strict
+        # subset of leaders in D (F is a fresh coin per agent)
+        d_count = population.count(V("D"))
+        assert 0 < d_count < 120

@@ -1,0 +1,92 @@
+"""End-to-end tests for SemilinearPredicateExact (Theorem 6.4).
+
+Populations are kept small: the protocol stacks leader election, the fast
+blackbox and the slow blackbox, and the test suite only needs to witness
+correctness, not scaling (the benches cover scaling).
+"""
+
+import numpy as np
+import pytest
+
+from repro.core import V
+from repro.predicates import at_least, majority_predicate, parity
+from repro.protocols import SemilinearExact, run_semilinear_exact
+
+
+class TestBuilder:
+    def test_program_threads(self):
+        builder = SemilinearExact(majority_predicate())
+        names = [t.name for t in builder.program.threads]
+        assert "Main" in names
+        assert "FilteredCoin" in names and "ReduceSets" in names
+        assert any(name.startswith("SlowAtom") for name in names)
+
+    def test_fast_block_only_for_thresholds(self):
+        builder = SemilinearExact(at_least("A", 2) & parity("A"))
+        kinds = [block is not None for block in builder.fast_blocks]
+        assert kinds == [True, False]
+
+    def test_population_inputs(self):
+        builder = SemilinearExact(majority_predicate())
+        pop = builder.populate([("A", 10), ("B", 8), (None, 6)])
+        assert pop.count(V("A")) == 10
+        assert pop.count(V("B")) == 8
+        assert pop.n == 24
+
+    def test_unknown_input_rejected(self):
+        builder = SemilinearExact(majority_predicate())
+        with pytest.raises(ValueError):
+            builder.populate([("C", 5)])
+
+    def test_expected_output(self):
+        builder = SemilinearExact(majority_predicate())
+        assert builder.expected_output([("A", 5), ("B", 3)])
+        assert not builder.expected_output([("A", 3), ("B", 5)])
+
+    def test_pstar_formula_evaluates(self):
+        builder = SemilinearExact(majority_predicate())
+        pop = builder.populate([("A", 3), ("B", 2)])
+        assert pop.count(builder.pstar_formula()) >= 0
+
+
+class TestEndToEnd:
+    @pytest.mark.parametrize(
+        "groups",
+        [
+            [("A", 60), ("B", 50), (None, 40)],
+            [("A", 50), ("B", 60), (None, 40)],
+        ],
+    )
+    def test_majority_threshold(self, groups):
+        out, want, _, _ = run_semilinear_exact(
+            majority_predicate(), groups, rng=np.random.default_rng(11)
+        )
+        assert out is want
+
+    def test_absolute_threshold_true(self):
+        out, want, _, _ = run_semilinear_exact(
+            at_least("A", 4), [("A", 7), (None, 120)], rng=np.random.default_rng(12)
+        )
+        assert want is True and out is True
+
+    def test_absolute_threshold_false(self):
+        out, want, _, _ = run_semilinear_exact(
+            at_least("A", 4), [("A", 2), (None, 125)], rng=np.random.default_rng(13)
+        )
+        assert want is False and out is False
+
+    def test_parity_falls_back_to_slow(self):
+        """Remainder atoms have no fast substitute; correctness holds via
+        the slow thread."""
+        out, want, _, _ = run_semilinear_exact(
+            parity("A"), [("A", 8), (None, 100)], rng=np.random.default_rng(14)
+        )
+        assert want is True and out is True
+
+    def test_gap_one(self):
+        out, want, _, _ = run_semilinear_exact(
+            majority_predicate(),
+            [("A", 41), ("B", 40), (None, 39)],
+            rng=np.random.default_rng(15),
+        )
+        assert want is True and out is True
