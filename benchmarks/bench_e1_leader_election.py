@@ -2,11 +2,19 @@
 
 Claim: a unique leader after O(log n) good iterations, hence O(log^2 n)
 parallel rounds; correctness w.h.p. at every population size.
+
+Trials fan out over worker processes via the replica runner::
+
+    PYTHONPATH=src python benchmarks/bench_e1_leader_election.py \
+        --engine batch --processes 4
 """
+
+import functools
 
 import numpy as np
 
 from repro.analysis import fit_polylog, success_rate, summarize
+from repro.engine import map_replicas
 from repro.protocols import run_leader_election
 
 from _harness import report
@@ -15,18 +23,26 @@ SIZES = [64, 256, 1024, 4096, 16384]
 TRIALS = 10
 
 
-def run_experiment():
+def _trial(n, engine, seed_seq):
+    """One seeded leader-election run (module-level: pool-picklable)."""
+    return run_leader_election(
+        n, rng=np.random.default_rng(seed_seq), engine=engine
+    )
+
+
+def run_experiment(engine="auto", processes=None):
     rows = []
     medians = []
     for n in SIZES:
-        iterations, rounds, successes = [], [], []
-        for trial in range(TRIALS):
-            ok, iters, rnds = run_leader_election(
-                n, rng=np.random.default_rng(1000 * n + trial)
-            )
-            successes.append(ok)
-            iterations.append(iters)
-            rounds.append(rnds)
+        results = map_replicas(
+            functools.partial(_trial, n, engine),
+            TRIALS,
+            seed=n,
+            processes=processes,
+        )
+        successes = [ok for ok, _, _ in results]
+        iterations = [iters for _, iters, _ in results]
+        rounds = [rnds for _, _, rnds in results]
         summary_rounds = summarize(rounds)
         medians.append(summary_rounds.median)
         rows.append(
@@ -62,3 +78,15 @@ def test_e1_leader_election(benchmark):
         rounds=1,
         iterations=1,
     )
+
+
+if __name__ == "__main__":
+    import argparse
+
+    from repro.simulate import ENGINE_CHOICES
+
+    ap = argparse.ArgumentParser(description=__doc__)
+    ap.add_argument("--engine", choices=ENGINE_CHOICES, default="auto")
+    ap.add_argument("--processes", type=int, default=None)
+    args = ap.parse_args()
+    run_experiment(engine=args.engine, processes=args.processes)

@@ -1,11 +1,19 @@
 """E2 — Theorem 3.2: Majority correct w.h.p. regardless of the gap.
 
 Claim: correct output for any initial gap (even 1), in O(log^3 n) rounds.
+
+Trials fan out over worker processes via the replica runner::
+
+    PYTHONPATH=src python benchmarks/bench_e2_majority.py \
+        --engine batch --processes 4
 """
+
+import functools
 
 import numpy as np
 
 from repro.analysis import fit_polylog, success_rate, summarize
+from repro.engine import map_replicas
 from repro.protocols import run_majority
 
 from _harness import report
@@ -23,18 +31,26 @@ def gap_cases(n):
     ]
 
 
-def run_experiment():
+def _trial(n, a, b, engine, seed_seq):
+    """One seeded majority run (module-level: pool-picklable)."""
+    return run_majority(
+        n, a, b, rng=np.random.default_rng(seed_seq), engine=engine
+    )
+
+
+def run_experiment(engine="auto", processes=None):
     rows = []
     medians = []
     for n in SIZES:
         for label, a, b in gap_cases(n):
-            outputs, rounds = [], []
-            for trial in range(TRIALS):
-                out, _, rnds = run_majority(
-                    n, a, b, rng=np.random.default_rng(7 * n + trial)
-                )
-                outputs.append(out is True)
-                rounds.append(rnds)
+            results = map_replicas(
+                functools.partial(_trial, n, a, b, engine),
+                TRIALS,
+                seed=7 * n + a,
+                processes=processes,
+            )
+            outputs = [out is True for out, _, _ in results]
+            rounds = [rnds for _, _, rnds in results]
             rows.append(
                 [
                     n,
@@ -67,3 +83,15 @@ def test_e2_majority(benchmark):
         rounds=1,
         iterations=1,
     )
+
+
+if __name__ == "__main__":
+    import argparse
+
+    from repro.simulate import ENGINE_CHOICES
+
+    ap = argparse.ArgumentParser(description=__doc__)
+    ap.add_argument("--engine", choices=ENGINE_CHOICES, default="auto")
+    ap.add_argument("--processes", type=int, default=None)
+    args = ap.parse_args()
+    run_experiment(engine=args.engine, processes=args.processes)

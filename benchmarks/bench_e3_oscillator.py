@@ -4,13 +4,22 @@ Claims: (i) from any configuration with #X in [1, n^{1-eps}] the system
 reaches a_min < n^{1-eps/2} within O(log n) rounds; (ii) species then
 sweep dominance in the cyclic order A1 -> A2 -> A3 with period
 Theta(log n), and a_min stays polynomially small.
+
+Trials fan out over worker processes via the replica runner::
+
+    PYTHONPATH=src python benchmarks/bench_e3_oscillator.py --processes 3
+
+The escape/period measurements are defined in random-matching steps, so
+the default engine here is ``matching``.
 """
+
+import functools
 
 import numpy as np
 
 from repro.analysis import summarize
 from repro.core import Population
-from repro.engine import MatchingEngine, Trace
+from repro.engine import Trace, map_replicas
 from repro.oscillator import (
     a_min,
     extract_oscillations,
@@ -18,6 +27,7 @@ from repro.oscillator import (
     species,
     weak_value,
 )
+from repro.simulate import make_engine
 
 from _harness import report
 
@@ -38,31 +48,41 @@ def centered_population(schema, n, n_x):
     )
 
 
-def run_experiment():
+def _trial(n, engine, seed_seq):
+    """One escape-then-cycle run (module-level: pool-picklable)."""
     proto = make_oscillator_protocol()
-    schema = proto.schema
+    pop = centered_population(proto.schema, n, n_x=3)
+    eng = make_engine(
+        proto, pop, engine=engine, rng=np.random.default_rng(seed_seq)
+    )
+    # (i) escape from the central region
+    threshold = n ** 0.75
+    steps = 0
+    while steps < 40000:
+        eng.run(rounds=100)
+        steps += 100
+        if a_min(eng.population) < threshold:
+            break
+    # (ii) cycling order and period
+    trace = Trace({"A1": species(0), "A2": species(1), "A3": species(2)})
+    eng.run(rounds=6000, observer=trace, observe_every=8)
+    counts = [trace.series(k) for k in ("A1", "A2", "A3")]
+    summary = extract_oscillations(trace.times, counts, n, threshold=0.7)
+    return steps, summary.cyclic_order_ok and summary.sweeps >= 3, summary.periods.tolist()
+
+
+def run_experiment(engine="matching", processes=None):
     rows = []
     for n in SIZES:
-        escapes, periods_all, cyclic_flags = [], [], []
-        for trial in range(TRIALS):
-            pop = centered_population(schema, n, n_x=3)
-            eng = MatchingEngine(proto, pop, rng=np.random.default_rng(31 * n + trial))
-            # (i) escape from the central region
-            threshold = n ** 0.75
-            steps = 0
-            while steps < 40000:
-                eng.run(rounds=100)
-                steps += 100
-                if a_min(eng.population) < threshold:
-                    break
-            escapes.append(steps)
-            # (ii) cycling order and period
-            trace = Trace({"A1": species(0), "A2": species(1), "A3": species(2)})
-            eng.run(rounds=6000, observer=trace, observe_every=8)
-            counts = [trace.series(k) for k in ("A1", "A2", "A3")]
-            summary = extract_oscillations(trace.times, counts, n, threshold=0.7)
-            cyclic_flags.append(summary.cyclic_order_ok and summary.sweeps >= 3)
-            periods_all.extend(summary.periods.tolist())
+        results = map_replicas(
+            functools.partial(_trial, n, engine),
+            TRIALS,
+            seed=31 * n,
+            processes=processes,
+        )
+        escapes = [steps for steps, _, _ in results]
+        cyclic_flags = [ok for _, ok, _ in results]
+        periods_all = [p for _, _, periods in results for p in periods]
         rows.append(
             [
                 n,
@@ -95,6 +115,20 @@ def test_e3_oscillator(benchmark):
     pop = centered_population(proto.schema, 1000, 3)
 
     def one_run():
-        MatchingEngine(proto, pop.copy(), rng=np.random.default_rng(0)).run(rounds=500)
+        make_engine(
+            proto, pop.copy(), engine="matching", rng=np.random.default_rng(0)
+        ).run(rounds=500)
 
     benchmark.pedantic(one_run, rounds=1, iterations=1)
+
+
+if __name__ == "__main__":
+    import argparse
+
+    from repro.simulate import ENGINE_CHOICES
+
+    ap = argparse.ArgumentParser(description=__doc__)
+    ap.add_argument("--engine", choices=ENGINE_CHOICES, default="matching")
+    ap.add_argument("--processes", type=int, default=None)
+    args = ap.parse_args()
+    run_experiment(engine=args.engine, processes=args.processes)

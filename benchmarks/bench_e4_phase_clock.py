@@ -3,13 +3,22 @@
 Claims: once a_min < n/10 and #X in [1, n^c], ticks advance cyclically
 (+1 mod m), tick intervals are Theta(log n), and agents agree on the phase
 up to a difference of at most 1.
+
+The per-size runs fan out over worker processes via the replica runner::
+
+    PYTHONPATH=src python benchmarks/bench_e4_phase_clock.py --processes 3
+
+Tick intervals are defined in random-matching steps, so the default
+engine here is ``matching``.
 """
+
+import functools
 
 import numpy as np
 
 from repro.analysis import summarize
 from repro.core import Population
-from repro.engine import MatchingEngine
+from repro.engine import map_replicas
 from repro.clocks import (
     ClockParams,
     extract_ticks,
@@ -18,6 +27,7 @@ from repro.clocks import (
     phases_adjacent,
 )
 from repro.oscillator import strong_value, weak_value
+from repro.simulate import make_engine
 
 from _harness import report
 
@@ -38,35 +48,49 @@ def deep_population(schema, n, n_x=3):
     )
 
 
-def run_experiment():
+def _trial(n, engine, seed_seq):
+    """One clock run for size n (module-level: pool-picklable)."""
     params = ClockParams()
     proto = make_clock_protocol(params=params)
+    pop = deep_population(proto.schema, n)
+    times, phases, fracs, adjacent = [], [], [], []
+
+    def observe(t, p):
+        phase, frac = majority_phase(p, params)
+        times.append(t)
+        phases.append(phase)
+        fracs.append(frac)
+        adjacent.append(phases_adjacent(p, params))
+
+    eng = make_engine(
+        proto, pop, engine=engine, rng=np.random.default_rng(seed_seq)
+    )
+    eng.run(rounds=16000, observer=observe, observe_every=10)
+    ticks = extract_ticks(times, phases, fracs, quorum=0.95)
+    settled = ticks.phases[3:]
+    cyclic = all(
+        (b - a) % params.module == 1 for a, b in zip(settled, settled[1:])
+    )
+    intervals = list(ticks.intervals[3:])
+    tail = adjacent[len(adjacent) // 4 :]
+    sync = 1.0 - sum(1 for ok in tail if not ok) / len(tail)
+    return ticks.count, cyclic, intervals, sync
+
+
+def run_experiment(engine="matching", processes=None):
+    # one replica per population size; the fan-out parallelises over sizes
+    trials = [
+        map_replicas(
+            functools.partial(_trial, n, engine), 1, seed=n, processes=processes
+        )[0]
+        for n in SIZES
+    ]
     rows = []
-    for n in SIZES:
-        pop = deep_population(proto.schema, n)
-        times, phases, fracs, adjacent = [], [], [], []
-
-        def observe(t, p):
-            phase, frac = majority_phase(p, params)
-            times.append(t)
-            phases.append(phase)
-            fracs.append(frac)
-            adjacent.append(phases_adjacent(p, params))
-
-        eng = MatchingEngine(proto, pop, rng=np.random.default_rng(n))
-        eng.run(rounds=16000, observer=observe, observe_every=10)
-        ticks = extract_ticks(times, phases, fracs, quorum=0.95)
-        settled = ticks.phases[3:]
-        cyclic = all(
-            (b - a) % params.module == 1 for a, b in zip(settled, settled[1:])
-        )
-        intervals = ticks.intervals[3:]
-        tail = adjacent[len(adjacent) // 4 :]
-        sync = 1.0 - sum(1 for ok in tail if not ok) / len(tail)
+    for n, (count, cyclic, intervals, sync) in zip(SIZES, trials):
         rows.append(
             [
                 n,
-                ticks.count,
+                count,
                 "yes" if cyclic else "NO",
                 str(summarize(intervals)) if len(intervals) else "-",
                 "{:.2f}".format(float(np.median(intervals)) / np.log(n)),
@@ -91,6 +115,20 @@ def test_e4_phase_clock(benchmark):
     pop = deep_population(proto.schema, 1000)
 
     def one_run():
-        MatchingEngine(proto, pop.copy(), rng=np.random.default_rng(0)).run(rounds=1000)
+        make_engine(
+            proto, pop.copy(), engine="matching", rng=np.random.default_rng(0)
+        ).run(rounds=1000)
 
     benchmark.pedantic(one_run, rounds=1, iterations=1)
+
+
+if __name__ == "__main__":
+    import argparse
+
+    from repro.simulate import ENGINE_CHOICES
+
+    ap = argparse.ArgumentParser(description=__doc__)
+    ap.add_argument("--engine", choices=ENGINE_CHOICES, default="matching")
+    ap.add_argument("--processes", type=int, default=None)
+    args = ap.parse_args()
+    run_experiment(engine=args.engine, processes=args.processes)

@@ -1,0 +1,147 @@
+"""Benchmark driver: the headline engine comparison plus the E-sweeps.
+
+The headline run races the exact count engine against the multinomial
+jump engine on leader election (the L + L -> L + F fight) at n = 10^6 and
+records the wall-clock speedup in ``BENCH_engines.json`` (repo root and
+``benchmarks/results/``)::
+
+    PYTHONPATH=src python benchmarks/run_all.py --quick   # headline only
+    PYTHONPATH=src python benchmarks/run_all.py           # + E1-E4 sweeps
+
+The jump engine simulates the same sequential scheduler but advances by
+multinomial batches of O(q^2) work each, so the speedup grows with n; the
+acceptance bar is >= 5x at n = 10^6.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import sys
+import time
+
+import numpy as np
+
+sys.path.insert(0, os.path.dirname(__file__))
+
+from _harness import RESULTS_DIR
+
+REPO_ROOT = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+HEADLINE_N = 10 ** 6
+
+
+def _leader_fight():
+    from repro.core import Population, Rule, StateSchema, V, single_thread
+
+    schema = StateSchema()
+    schema.flag("L")
+    protocol = single_thread(
+        "leader-fight", schema, [Rule(V("L"), V("L"), None, {"L": False})]
+    )
+    return protocol, schema
+
+
+def _time_engine(engine_name, n, seed):
+    from repro.core import Population, V
+    from repro.simulate import make_engine
+
+    protocol, schema = _leader_fight()
+    population = Population.uniform(schema, n, {"L": True})
+    eng = make_engine(
+        protocol, population, engine=engine_name, rng=np.random.default_rng(seed)
+    )
+    start = time.perf_counter()
+    eng.run(stop=lambda p: p.count(V("L")) == 1)
+    wall = time.perf_counter() - start
+    record = {
+        "wall_seconds": round(wall, 4),
+        "rounds": round(float(eng.rounds), 2),
+        "interactions": int(eng.interactions),
+        "events": int(getattr(eng, "events", 0)),
+        "converged": eng.population.count(V("L")) == 1,
+    }
+    for attr in ("batches", "fallbacks"):
+        if hasattr(eng, attr):
+            record[attr] = int(getattr(eng, attr))
+    return record
+
+
+def headline(n=HEADLINE_N, seed=0):
+    """Count vs batch engine on leader election to convergence at size n."""
+    print("headline: leader election to unique leader, n={:.0e}".format(n))
+    results = {}
+    for name in ("batch", "count"):
+        print("  {} engine ...".format(name), end=" ", flush=True)
+        results[name] = _time_engine(name, n, seed)
+        print("{:.2f}s ({:.0f} rounds)".format(
+            results[name]["wall_seconds"], results[name]["rounds"]
+        ))
+    speedup = results["count"]["wall_seconds"] / max(
+        results["batch"]["wall_seconds"], 1e-9
+    )
+    payload = {
+        "experiment": "leader_fight_convergence",
+        "description": (
+            "L + L -> L + follower from all-leaders to a unique leader; "
+            "exact count engine vs multinomial jump engine, same scheduler"
+        ),
+        "n": n,
+        "seed": seed,
+        "engines": results,
+        "speedup_count_over_batch": round(speedup, 2),
+        "target_speedup": 5.0,
+        "meets_target": speedup >= 5.0,
+    }
+    print("  speedup: {:.1f}x (target >= 5x)".format(speedup))
+    os.makedirs(RESULTS_DIR, exist_ok=True)
+    for path in (
+        os.path.join(REPO_ROOT, "BENCH_engines.json"),
+        os.path.join(RESULTS_DIR, "BENCH_engines.json"),
+    ):
+        with open(path, "w") as handle:
+            json.dump(payload, handle, indent=2)
+            handle.write("\n")
+    print("  wrote BENCH_engines.json")
+    return payload
+
+
+def full_sweeps(engine="auto", processes=None):
+    """The E1-E4 experiment sweeps through the replica runner."""
+    import bench_e1_leader_election
+    import bench_e2_majority
+    import bench_e3_oscillator
+    import bench_e4_phase_clock
+
+    bench_e1_leader_election.run_experiment(engine=engine, processes=processes)
+    bench_e2_majority.run_experiment(engine=engine, processes=processes)
+    bench_e3_oscillator.run_experiment(processes=processes)
+    bench_e4_phase_clock.run_experiment(processes=processes)
+
+
+def main(argv=None) -> int:
+    from repro.simulate import ENGINE_CHOICES
+
+    ap = argparse.ArgumentParser(description=__doc__)
+    ap.add_argument(
+        "--quick", action="store_true",
+        help="headline engine comparison only (skip the E1-E4 sweeps)",
+    )
+    ap.add_argument(
+        "--n", type=int, default=HEADLINE_N,
+        help="headline population size (default 10^6)",
+    )
+    ap.add_argument("--seed", type=int, default=0)
+    ap.add_argument("--engine", choices=ENGINE_CHOICES, default="auto",
+                    help="engine for the E1/E2 sweeps")
+    ap.add_argument("--processes", type=int, default=None)
+    args = ap.parse_args(argv)
+
+    payload = headline(n=args.n, seed=args.seed)
+    if not args.quick:
+        full_sweeps(engine=args.engine, processes=args.processes)
+    return 0 if payload["meets_target"] else 1
+
+
+if __name__ == "__main__":
+    sys.exit(main())

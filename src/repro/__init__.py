@@ -35,25 +35,36 @@ from .core import (
 )
 from .engine import (
     ArrayEngine,
+    BatchCountEngine,
     CountEngine,
+    Engine,
     LazyTable,
     MatchingEngine,
     MeanFieldSystem,
+    ReplicaSet,
     Trace,
+    map_replicas,
+    run_replicas,
 )
+from .simulate import ENGINE_CHOICES, ENGINES, make_engine, simulate
 
-__version__ = "1.0.0"
+__version__ = "1.1.0"
 
 __all__ = [
     "ANY",
     "ArrayEngine",
+    "BatchCountEngine",
     "CountEngine",
+    "ENGINES",
+    "ENGINE_CHOICES",
+    "Engine",
     "Formula",
     "LazyTable",
     "MatchingEngine",
     "MeanFieldSystem",
     "Population",
     "Protocol",
+    "ReplicaSet",
     "Rule",
     "State",
     "StateSchema",
@@ -62,6 +73,10 @@ __all__ = [
     "V",
     "coin_rule",
     "compose",
+    "make_engine",
+    "map_replicas",
     "rule",
+    "run_replicas",
+    "simulate",
     "single_thread",
 ]

@@ -4,10 +4,15 @@ Examples::
 
     python -m repro leader-election --n 10000
     python -m repro majority --n 5000 --a 1667 --b 1666
+    python -m repro majority --n 2000 --engine auto
     python -m repro plurality --counts 40,30,30
     python -m repro predicate --kind at-least --count 7 --threshold 5 --n 200
-    python -m repro oscillator --n 4000 --steps 6000
+    python -m repro oscillator --n 4000 --steps 6000 --engine matching
     python -m repro run-program my_protocol.txt --n 1000 --iterations 20
+
+Every subcommand accepts a shared ``--engine {auto,batch,count,array,
+matching}`` flag (see :mod:`repro.simulate` and docs/ENGINES.md); ``auto``
+picks the best engine for the workload.
 """
 
 from __future__ import annotations
@@ -25,7 +30,9 @@ def _rng(args) -> np.random.Generator:
 def cmd_leader_election(args) -> int:
     from .protocols import run_leader_election
 
-    ok, iterations, rounds = run_leader_election(args.n, rng=_rng(args))
+    ok, iterations, rounds = run_leader_election(
+        args.n, rng=_rng(args), engine=args.engine
+    )
     print(
         "unique leader: {} ({} good iterations, ~{:.0f} parallel rounds)".format(
             ok, iterations, rounds
@@ -37,9 +44,13 @@ def cmd_leader_election(args) -> int:
 def cmd_majority(args) -> int:
     from .protocols import run_majority, run_majority_exact
 
+    count_a = args.a if args.a is not None else args.n // 3 + 1
+    count_b = args.b if args.b is not None else args.n // 3
     runner = run_majority_exact if args.exact else run_majority
-    out, iterations, rounds = runner(args.n, args.a, args.b, rng=_rng(args))
-    expected = args.a > args.b
+    out, iterations, rounds = runner(
+        args.n, count_a, count_b, rng=_rng(args), engine=args.engine
+    )
+    expected = count_a > count_b
     print(
         "majority says {} (expected {}; {} iterations, ~{:.0f} rounds)".format(
             "A" if out else "B", "A" if expected else "B", iterations, rounds
@@ -53,7 +64,7 @@ def cmd_plurality(args) -> int:
 
     counts = [int(c) for c in args.counts.split(",")]
     winner, iterations, rounds = run_plurality(
-        counts, n=args.n, rng=_rng(args)
+        counts, n=args.n, rng=_rng(args), engine=args.engine
     )
     print(
         "plurality winner: {} of {} (expected {}; ~{:.0f} rounds)".format(
@@ -77,7 +88,7 @@ def cmd_predicate(args) -> int:
         predicate = majority_predicate()
     groups = [("A", args.count), (None, max(args.n - args.count, 0))]
     out, want, iterations, rounds = run_semilinear_exact(
-        predicate, groups, rng=_rng(args)
+        predicate, groups, rng=_rng(args), engine=args.engine
     )
     print(
         "{}: protocol says {}, truth {} (~{:.0f} rounds)".format(
@@ -89,7 +100,7 @@ def cmd_predicate(args) -> int:
 
 def cmd_oscillator(args) -> int:
     from .core import Population
-    from .engine import MatchingEngine, Trace
+    from .engine import Trace
     from .oscillator import (
         extract_oscillations,
         make_oscillator_protocol,
@@ -112,8 +123,20 @@ def cmd_oscillator(args) -> int:
         ],
     )
     trace = Trace({"A1": species(0), "A2": species(1), "A3": species(2)})
-    engine = MatchingEngine(protocol, population, rng=_rng(args))
-    engine.run(rounds=args.steps, observer=trace, observe_every=max(args.steps // 800, 1))
+    from .simulate import simulate
+
+    # the oscillator's step/period measurements are defined on the
+    # random-matching scheduler, so auto resolves to it here
+    engine = "matching" if args.engine == "auto" else args.engine
+    simulate(
+        protocol,
+        population,
+        engine=engine,
+        rng=_rng(args),
+        rounds=args.steps,
+        observer=trace,
+        observe_every=max(args.steps // 800, 1),
+    )
     counts = [trace.series(k) for k in ("A1", "A2", "A3")]
     summary = extract_oscillations(trace.times, counts, n, threshold=0.7)
     print(
@@ -139,7 +162,9 @@ def cmd_run_program(args) -> int:
     population = Population.uniform(
         schema, args.n, {decl.name: decl.init for decl in program.variables}
     )
-    interpreter = IdealInterpreter(program, population, rng=_rng(args))
+    interpreter = IdealInterpreter(
+        program, population, rng=_rng(args), engine=args.engine
+    )
     interpreter.run(args.iterations)
     print("\nafter {} good iterations (~{:.0f} rounds):".format(
         interpreter.iterations, interpreter.rounds
@@ -154,8 +179,16 @@ def build_parser() -> argparse.ArgumentParser:
         prog="repro",
         description="Run the protocols of 'Population Protocols Are Fast'.",
     )
+    from .simulate import ENGINE_CHOICES
+
     common = argparse.ArgumentParser(add_help=False)
     common.add_argument("--seed", type=int, default=None, help="RNG seed")
+    common.add_argument(
+        "--engine",
+        choices=ENGINE_CHOICES,
+        default="auto",
+        help="simulation engine (default: auto — pick the best fit)",
+    )
     sub = parser.add_subparsers(dest="command", required=True)
 
     def add_parser(name, **kwargs):
@@ -167,8 +200,8 @@ def build_parser() -> argparse.ArgumentParser:
 
     p = add_parser("majority", help="Theorem 3.2 / 6.3")
     p.add_argument("--n", type=int, default=3000)
-    p.add_argument("--a", type=int, default=1001)
-    p.add_argument("--b", type=int, default=1000)
+    p.add_argument("--a", type=int, default=None, help="initial A count (default n/3+1)")
+    p.add_argument("--b", type=int, default=None, help="initial B count (default n/3)")
     p.add_argument("--exact", action="store_true", help="always-correct variant")
     p.set_defaults(func=cmd_majority)
 

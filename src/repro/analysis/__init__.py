@@ -16,11 +16,14 @@ from .scaling import (
     fit_stretched_exponential,
     polylog_degree_estimate,
 )
+from .replicas import ConvergenceStats, aggregate_convergence
 from .stats import Summary, print_table, success_rate, summarize
 
 __all__ = [
     "ConvergencePoint",
+    "ConvergenceStats",
     "PowerFit",
+    "aggregate_convergence",
     "agreement_fraction",
     "convergence_time",
     "is_silent",

@@ -1,0 +1,67 @@
+"""Aggregation helpers for replica fan-outs.
+
+Turns a collection of per-replica records (from
+:func:`repro.engine.replicas.run_replicas` or any iterable of objects /
+mappings with ``rounds`` / ``interactions`` / ``wall`` / ``converged``
+entries) into the summary statistics the benches report: bootstrap medians
+of the convergence time in rounds and interactions, total/median wall
+clock, and the converged fraction.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Iterable, List, Optional
+
+from .stats import Summary, summarize
+
+
+def _get(record: Any, key: str, default=None):
+    if isinstance(record, dict):
+        return record.get(key, default)
+    return getattr(record, key, default)
+
+
+@dataclass
+class ConvergenceStats:
+    """Summary of a replica fan-out's convergence behaviour."""
+
+    replicas: int
+    converged_fraction: Optional[float]
+    rounds: Summary
+    interactions: Optional[Summary]
+    wall: Optional[Summary]
+    wall_total: float
+
+    def __str__(self) -> str:
+        parts = ["{} replicas".format(self.replicas)]
+        if self.converged_fraction is not None:
+            parts.append("{:.0%} converged".format(self.converged_fraction))
+        parts.append("rounds {}".format(self.rounds))
+        if self.wall is not None:
+            parts.append("wall {:.2f}s total".format(self.wall_total))
+        return ", ".join(parts)
+
+
+def aggregate_convergence(records: Iterable[Any]) -> ConvergenceStats:
+    """Aggregate per-replica records into :class:`ConvergenceStats`."""
+    records = list(records)
+    if not records:
+        raise ValueError("no replica records to aggregate")
+    rounds: List[float] = [float(_get(r, "rounds")) for r in records]
+    interactions = [_get(r, "interactions") for r in records]
+    walls = [_get(r, "wall") for r in records]
+    flags = [_get(r, "converged") for r in records]
+    flags = [f for f in flags if f is not None]
+    have_interactions = all(i is not None for i in interactions)
+    have_wall = all(w is not None for w in walls)
+    return ConvergenceStats(
+        replicas=len(records),
+        converged_fraction=(sum(flags) / len(flags)) if flags else None,
+        rounds=summarize(rounds),
+        interactions=summarize([float(i) for i in interactions])
+        if have_interactions
+        else None,
+        wall=summarize([float(w) for w in walls]) if have_wall else None,
+        wall_total=float(sum(float(w) for w in walls)) if have_wall else 0.0,
+    )

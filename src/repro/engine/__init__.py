@@ -1,20 +1,30 @@
 """Exact and approximate simulation engines for population protocols."""
 
+from .api import Engine
 from .batch import ArrayEngine, apply_pairs
+from .jump import BatchCountEngine
 from .matching import MatchingEngine
 from .meanfield import MeanFieldSystem
 from .recorder import Trace
+from .replicas import ReplicaRecord, ReplicaSet, map_replicas, run_replicas, spawn_seeds
 from .sequential import CountEngine
 from .table import LazyTable, PairOutcomes, reachable_codes
 
 __all__ = [
     "ArrayEngine",
+    "BatchCountEngine",
     "CountEngine",
+    "Engine",
     "LazyTable",
     "MatchingEngine",
     "MeanFieldSystem",
     "PairOutcomes",
+    "ReplicaRecord",
+    "ReplicaSet",
     "Trace",
     "apply_pairs",
+    "map_replicas",
     "reachable_codes",
+    "run_replicas",
+    "spawn_seeds",
 ]

@@ -1,0 +1,144 @@
+"""The unified :class:`Engine` interface shared by all simulation engines.
+
+Every engine simulates a population protocol under some scheduler, but the
+seed codebase grew four engines with four slightly different surfaces
+(``MatchingEngine`` lacked ``run_until``, ``ArrayEngine`` took a required
+positional ``rounds``, constructors diverged).  This module pins down the
+contract once so that benchmarks, the :func:`repro.simulate` facade and the
+replica runner can treat engines interchangeably:
+
+Constructor
+    ``Engine(protocol, population, *, rng=None, table=None, **options)``.
+    Engine-specific tuning knobs (``batch``, ``batch_pairs``, ...) are
+    keyword-only options after the two shared ones.
+
+``run()``
+    ``run(rounds=None, interactions=None, stop=None, observer=None,
+    observe_every=1.0, **kwargs)``.  At least one of a budget (``rounds`` /
+    ``interactions``) or a ``stop`` predicate must be given.  ``observer``
+    is called as ``observer(rounds, population)`` on a grid of parallel
+    times spaced ``observe_every`` apart.  Returns ``self`` for chaining.
+
+Shared surface
+    ``n`` (population size), ``rounds`` (elapsed parallel time),
+    ``interactions`` (raw scheduler interactions so far) and ``population``
+    (the current configuration as a :class:`~repro.core.population.Population`).
+    Count-based engines mutate the population they were given in place;
+    agent-array engines snapshot it on access — either way ``population``
+    is the live configuration.
+
+``run_until()``
+    ``run_until(stop, max_rounds, **kwargs) -> bool`` is provided by the
+    base class on top of ``run``.
+
+Time normalization caveat: for the sequential-scheduler engines one round
+is ``n`` interactions; for :class:`~repro.engine.matching.MatchingEngine`
+one round is one matching step (``n // 2`` simultaneous interactions), so
+cross-engine round counts differ by a factor of about two (see
+``tests/test_scheduler_equivalence.py``).
+"""
+
+from __future__ import annotations
+
+import abc
+from typing import Callable, Optional
+
+import numpy as np
+
+from ..core.population import Population
+from ..core.protocol import Protocol
+
+Observer = Callable[[float, Population], None]
+StopCondition = Callable[[Population], bool]
+
+
+class Engine(abc.ABC):
+    """Abstract base class of all simulation engines.
+
+    Subclasses must call :meth:`_init_common` (or perform the equivalent
+    validation) in their constructor and implement :meth:`run`; the shared
+    properties below cover engines that keep an ``interactions`` counter
+    and either mutate their population in place or override
+    :attr:`population`.
+    """
+
+    #: Registry name of the engine (filled in by each subclass).
+    name: str = "engine"
+
+    protocol: Protocol
+    rng: np.random.Generator
+    interactions: int
+
+    # -- shared construction helpers ---------------------------------------
+    def _init_common(
+        self,
+        protocol: Protocol,
+        population: Population,
+        rng: Optional[np.random.Generator],
+    ) -> None:
+        """Validate the (protocol, population) pair and set shared fields."""
+        if population.schema is not protocol.schema:
+            raise ValueError("population and protocol use different schemas")
+        if population.n < 2:
+            raise ValueError("population protocols need at least two agents")
+        self.protocol = protocol
+        self.rng = rng if rng is not None else np.random.default_rng()
+        self.interactions = 0
+
+    # -- shared surface ----------------------------------------------------
+    @property
+    def n(self) -> int:
+        """Number of agents."""
+        return self.population.n
+
+    @property
+    def rounds(self) -> float:
+        """Elapsed parallel time (interactions / n for sequential engines)."""
+        return self.interactions / self.n
+
+    @property
+    def population(self) -> Population:
+        """The current configuration.
+
+        The default implementation returns the population stored at
+        construction (count-based engines mutate it in place); agent-array
+        engines override this with a snapshot rebuilt from their array.
+        """
+        return self._population
+
+    @abc.abstractmethod
+    def run(
+        self,
+        rounds: Optional[float] = None,
+        interactions: Optional[int] = None,
+        stop: Optional[StopCondition] = None,
+        observer: Optional[Observer] = None,
+        observe_every: float = 1.0,
+        **kwargs,
+    ) -> "Engine":
+        """Advance the simulation by a budget of rounds/interactions."""
+
+    def run_until(
+        self,
+        stop: StopCondition,
+        max_rounds: float,
+        **kwargs,
+    ) -> bool:
+        """Run until ``stop`` holds; returns whether it did within budget."""
+        self.run(rounds=max_rounds, stop=stop, **kwargs)
+        return bool(stop(self.population))
+
+
+def require_budget(
+    rounds: Optional[float],
+    interactions: Optional[int],
+    stop: Optional[StopCondition],
+    *extra_limits: Optional[object],
+) -> None:
+    """Raise unless at least one termination criterion was given."""
+    if rounds is None and interactions is None and stop is None and not any(
+        limit is not None for limit in extra_limits
+    ):
+        raise ValueError(
+            "give a rounds/interactions budget or a stop condition"
+        )

@@ -18,17 +18,15 @@ protocols with larger packed spaces should use
 from __future__ import annotations
 
 import math
-from typing import Callable, Optional
+from typing import Optional
 
 import numpy as np
 
 from ..core.population import Population
 from ..core.protocol import Protocol
+from .api import Engine, Observer, StopCondition, require_budget
 from .dense import make_table
 from .table import LazyTable
-
-Observer = Callable[[float, Population], None]
-StopCondition = Callable[[Population], bool]
 
 
 def apply_pairs(
@@ -97,28 +95,26 @@ def _collision_free_prefix(idx_a: np.ndarray, idx_b: np.ndarray) -> int:
     return first_conflict // 2
 
 
-class ArrayEngine:
+class ArrayEngine(Engine):
     """Exact sequential simulation over an explicit agent array."""
+
+    name = "array"
 
     def __init__(
         self,
         protocol: Protocol,
         population: Population,
+        *,
         rng: Optional[np.random.Generator] = None,
         table: Optional[LazyTable] = None,
         batch_pairs: Optional[int] = None,
     ):
-        if population.schema is not protocol.schema:
-            raise ValueError("population and protocol use different schemas")
-        if population.n < 2:
-            raise ValueError("population protocols need at least two agents")
+        self._init_common(protocol, population, rng)
         if protocol.schema.num_states >= 2 ** 62:
             raise ValueError(
                 "packed state space too large for int64 agent arrays; "
                 "use CountEngine instead"
             )
-        self.protocol = protocol
-        self.rng = rng if rng is not None else np.random.default_rng()
         if table is None:
             table = make_table(protocol)
         self.table = table
@@ -127,7 +123,6 @@ class ArrayEngine:
         # evolving configuration from the ``population`` property.
         self.agents = population.to_agent_array(self.rng)
         self._n = len(self.agents)
-        self.interactions = 0
         if batch_pairs is None:
             batch_pairs = max(8, int(0.75 * math.sqrt(self._n)))
         self.batch_pairs = batch_pairs
@@ -181,9 +176,9 @@ class ArrayEngine:
         rounds: Optional[float] = None,
         interactions: Optional[int] = None,
         stop: Optional[StopCondition] = None,
-        stop_every: float = 1.0,
         observer: Optional[Observer] = None,
         observe_every: float = 1.0,
+        stop_every: float = 1.0,
     ) -> "ArrayEngine":
         """Advance the simulation by a budget of rounds / interactions.
 
@@ -197,8 +192,7 @@ class ArrayEngine:
         if rounds is not None:
             by_rounds = self.interactions + int(math.ceil(rounds * self._n))
             target = by_rounds if target is None else min(target, by_rounds)
-        if target is None and stop is None:
-            raise ValueError("give a rounds/interactions budget or a stop condition")
+        require_budget(rounds, interactions, stop)
 
         step = max(int(round(observe_every * self._n)), 1)
         next_observation = ((self.interactions + step - 1) // step) * step

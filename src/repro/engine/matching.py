@@ -9,46 +9,45 @@ step draws a uniformly random perfect matching (one agent idles when ``n``
 is odd) and applies every matched pair's interaction simultaneously.
 
 One matching step counts as one parallel round (n/2 simultaneous
-interactions).
+interactions), so round counts are not directly comparable with the
+sequential engines' ``interactions / n`` normalization (factor ~2; see
+``tests/test_scheduler_equivalence.py``).
 """
 
 from __future__ import annotations
 
-from typing import Callable, Optional
+import math
+from typing import Optional
 
 import numpy as np
 
 from ..core.population import Population
 from ..core.protocol import Protocol
+from .api import Engine, Observer, StopCondition, require_budget
 from .batch import apply_pairs
 from .dense import make_table
 from .table import LazyTable
 
-Observer = Callable[[float, Population], None]
-StopCondition = Callable[[Population], bool]
 
-
-class MatchingEngine:
+class MatchingEngine(Engine):
     """Synchronous random-matching scheduler on an explicit agent array."""
+
+    name = "matching"
 
     def __init__(
         self,
         protocol: Protocol,
         population: Population,
+        *,
         rng: Optional[np.random.Generator] = None,
         table: Optional[LazyTable] = None,
     ):
-        if population.schema is not protocol.schema:
-            raise ValueError("population and protocol use different schemas")
-        if population.n < 2:
-            raise ValueError("population protocols need at least two agents")
+        self._init_common(protocol, population, rng)
         if protocol.schema.num_states >= 2 ** 62:
             raise ValueError(
                 "packed state space too large for int64 agent arrays; "
                 "use CountEngine instead"
             )
-        self.protocol = protocol
-        self.rng = rng if rng is not None else np.random.default_rng()
         self.table = table if table is not None else make_table(protocol)
         # NOTE: the engine works on a private agent array; unlike
         # CountEngine it does NOT mutate the passed Population — read the
@@ -81,21 +80,39 @@ class MatchingEngine:
         idx_b = perm[1:usable:2]
         changed = apply_pairs(self.agents, idx_a, idx_b, self.table, self.rng)
         self.steps += 1
+        self.interactions += usable // 2
         return changed
 
     def run(
         self,
-        rounds: int,
+        rounds: Optional[float] = None,
+        interactions: Optional[int] = None,
         stop: Optional[StopCondition] = None,
-        stop_every: int = 1,
         observer: Optional[Observer] = None,
-        observe_every: int = 1,
+        observe_every: float = 1.0,
+        stop_every: float = 1.0,
     ) -> "MatchingEngine":
-        for _ in range(int(rounds)):
+        """Advance by a budget of matching steps (= rounds).
+
+        ``interactions`` budgets are converted to steps at ``n // 2``
+        interactions per step.  With only a ``stop`` condition the engine
+        runs until it holds.
+        """
+        require_budget(rounds, interactions, stop)
+        target: Optional[int] = None
+        if rounds is not None:
+            target = self.steps + int(rounds)
+        if interactions is not None:
+            per_step = max(self._n // 2, 1)
+            by_interactions = self.steps + int(math.ceil(interactions / per_step))
+            target = by_interactions if target is None else min(target, by_interactions)
+        observe_step = max(int(round(observe_every)), 1)
+        stop_step = max(int(round(stop_every)), 1)
+        while target is None or self.steps < target:
             self.step()
-            if observer is not None and self.steps % observe_every == 0:
+            if observer is not None and self.steps % observe_step == 0:
                 observer(self.rounds, self.population)
-            if stop is not None and self.steps % stop_every == 0:
+            if stop is not None and self.steps % stop_step == 0:
                 if stop(self.population):
                     break
         return self

@@ -1,0 +1,211 @@
+"""Parallel replica fan-out: run R independent seeded simulations at once.
+
+The paper's convergence claims (Thm 5.1/5.2, Prop 5.3, the Θ(n·polylog n)
+experiments) are all statements about *distributions* of convergence times,
+so every benchmark sweep runs tens of independent replicas.  This module
+fans those replicas out across processes:
+
+* :func:`run_replicas` — the engine-shaped entry point: one (protocol,
+  population) pair, R replicas on independently seeded engines, aggregated
+  convergence statistics.  The protocol/population are pickled *together*
+  in one payload so the shared :class:`~repro.core.state.StateSchema`
+  object survives the round-trip (engines check schema identity).
+* :func:`map_replicas` — the generic entry point for workloads that build
+  their own protocol per trial (the tier-T3 interpreter sweeps of E1/E2):
+  any picklable ``task(seed_sequence)`` callable.
+
+Both use the ``spawn`` start method so the fan-out behaves identically on
+Linux/macOS/Windows, and both degrade to an in-process loop when only one
+worker is requested (or available), so single-core machines and tests pay
+no pool overhead.  Replica seeds come from
+:meth:`numpy.random.SeedSequence.spawn`, guaranteeing independent streams
+regardless of worker scheduling.
+
+The usual spawn caveats apply with ``processes > 1``: ``stop``/``task``
+callables must be module-level (or ``functools.partial`` of one), and the
+calling ``__main__`` must be an importable file — from a REPL or stdin
+script, use ``processes=1``.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import os
+import time
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, List, Optional, Sequence
+
+import numpy as np
+
+from ..core.population import Population
+from ..core.protocol import Protocol
+
+
+def spawn_seeds(seed: Optional[int], k: int) -> List[np.random.SeedSequence]:
+    """``k`` independent child seed sequences of one root seed."""
+    root = np.random.SeedSequence(seed)
+    return list(root.spawn(k))
+
+
+@dataclass
+class ReplicaRecord:
+    """Outcome of one replica run."""
+
+    index: int
+    rounds: float
+    interactions: int
+    wall: float
+    converged: Optional[bool] = None
+    extra: Dict[str, Any] = field(default_factory=dict)
+
+
+class ReplicaSet:
+    """Aggregated outcomes of a replica fan-out."""
+
+    def __init__(self, records: Sequence[ReplicaRecord]):
+        self.records = list(records)
+
+    def __len__(self) -> int:
+        return len(self.records)
+
+    def __iter__(self):
+        return iter(self.records)
+
+    @property
+    def rounds(self) -> np.ndarray:
+        return np.array([r.rounds for r in self.records], dtype=float)
+
+    @property
+    def interactions(self) -> np.ndarray:
+        return np.array([r.interactions for r in self.records], dtype=float)
+
+    @property
+    def wall(self) -> np.ndarray:
+        return np.array([r.wall for r in self.records], dtype=float)
+
+    @property
+    def converged_fraction(self) -> Optional[float]:
+        flags = [r.converged for r in self.records if r.converged is not None]
+        if not flags:
+            return None
+        return sum(flags) / len(flags)
+
+    def summary(self):
+        """Convergence statistics (see :mod:`repro.analysis.replicas`)."""
+        from ..analysis.replicas import aggregate_convergence
+
+        return aggregate_convergence(self.records)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return "ReplicaSet({} replicas)".format(len(self.records))
+
+
+def _resolve_processes(processes: Optional[int], replicas: int) -> int:
+    if processes is None:
+        processes = os.cpu_count() or 1
+    return max(1, min(processes, replicas))
+
+
+def _engine_replica(payload) -> ReplicaRecord:
+    """Worker: run one seeded engine replica (top-level for pickling)."""
+    (index, seed_seq, protocol, population, engine, engine_opts, run_kwargs,
+     stop) = payload
+    from ..simulate import make_engine
+
+    rng = np.random.default_rng(seed_seq)
+    eng = make_engine(
+        protocol, population.copy(), engine=engine, rng=rng, **(engine_opts or {})
+    )
+    start = time.perf_counter()
+    eng.run(stop=stop, **run_kwargs)
+    wall = time.perf_counter() - start
+    final = eng.population
+    return ReplicaRecord(
+        index=index,
+        rounds=float(eng.rounds),
+        interactions=int(eng.interactions),
+        wall=wall,
+        converged=bool(stop(final)) if stop is not None else None,
+        extra={"support": final.support_size, "engine": eng.name},
+    )
+
+
+def _task_replica(payload):
+    """Worker: run one generic task replica (top-level for pickling)."""
+    task, seed_seq = payload
+    return task(seed_seq)
+
+
+def _fan_out(worker: Callable, payloads: List, processes: int) -> List:
+    if processes <= 1:
+        return [worker(p) for p in payloads]
+    ctx = multiprocessing.get_context("spawn")
+    with ctx.Pool(processes) as pool:
+        return pool.map(worker, payloads)
+
+
+def run_replicas(
+    protocol: Protocol,
+    population: Population,
+    *,
+    replicas: int,
+    engine: str = "auto",
+    seed: Optional[int] = 0,
+    processes: Optional[int] = None,
+    stop: Optional[Callable[[Population], bool]] = None,
+    engine_opts: Optional[Dict[str, Any]] = None,
+    **run_kwargs,
+) -> ReplicaSet:
+    """Run ``replicas`` independently seeded copies of one simulation.
+
+    Parameters
+    ----------
+    replicas:
+        Number of independent runs.
+    engine:
+        Engine registry name (``auto``/``count``/``batch``/``matching``/
+        ``array``), resolved per replica by :func:`repro.simulate.make_engine`.
+    seed:
+        Root seed; replica ``k`` gets the ``k``-th spawned child stream.
+    processes:
+        Worker processes (default: all cores, capped at ``replicas``);
+        ``1`` runs in-process.
+    stop:
+        Convergence predicate, evaluated by each replica's engine and once
+        more on the final population to fill ``ReplicaRecord.converged``.
+        Must be picklable (a module-level function or ``functools.partial``
+        of one) when ``processes > 1``.
+    run_kwargs:
+        Passed to ``engine.run`` (``rounds=...``, ``observe_every=...``, ...).
+    """
+    if replicas < 1:
+        raise ValueError("need at least one replica")
+    seeds = spawn_seeds(seed, replicas)
+    payloads = [
+        (k, seeds[k], protocol, population, engine, engine_opts, run_kwargs, stop)
+        for k in range(replicas)
+    ]
+    processes = _resolve_processes(processes, replicas)
+    records = _fan_out(_engine_replica, payloads, processes)
+    return ReplicaSet(records)
+
+
+def map_replicas(
+    task: Callable[[np.random.SeedSequence], Any],
+    replicas: int,
+    *,
+    seed: Optional[int] = 0,
+    processes: Optional[int] = None,
+) -> List[Any]:
+    """Fan a picklable ``task(seed_sequence)`` out over ``replicas`` seeds.
+
+    The generic sibling of :func:`run_replicas` for trials that build
+    their own protocol/interpreter internally (the benchmark sweeps).
+    Results come back in replica order.
+    """
+    if replicas < 1:
+        raise ValueError("need at least one replica")
+    seeds = spawn_seeds(seed, replicas)
+    payloads = [(task, seeds[k]) for k in range(replicas)]
+    processes = _resolve_processes(processes, replicas)
+    return _fan_out(_task_replica, payloads, processes)

@@ -18,42 +18,41 @@ Internals: for the set of currently occupied states, ``Q[i, j]`` is the
 probability that an interaction between an initiator in state ``i`` and a
 responder in state ``j`` changes the configuration; ``v = Q @ c`` is kept
 incrementally so each *effective* event costs ``O(support)`` time.
+
+The per-event machinery (`_draw_event_gap` / `_fire_event`) is shared with
+:class:`~repro.engine.jump.BatchCountEngine`, which uses it as the exact
+fallback path between multinomial batch jumps.
 """
 
 from __future__ import annotations
 
 import math
-from typing import Callable, Dict, List, Optional, Tuple
+from typing import Dict, List, Optional, Tuple
 
 import numpy as np
 
 from ..core.population import Population
 from ..core.protocol import Protocol
+from .api import Engine, Observer, StopCondition, require_budget
 from .table import LazyTable, PairOutcomes
 
-Observer = Callable[[float, Population], None]
-StopCondition = Callable[[Population], bool]
 
-
-class CountEngine:
+class CountEngine(Engine):
     """Exact sequential simulation over state counts with null skipping."""
+
+    name = "count"
 
     def __init__(
         self,
         protocol: Protocol,
         population: Population,
+        *,
         rng: Optional[np.random.Generator] = None,
         table: Optional[LazyTable] = None,
     ):
-        if population.schema is not protocol.schema:
-            raise ValueError("population and protocol use different schemas")
-        if population.n < 2:
-            raise ValueError("population protocols need at least two agents")
-        self.protocol = protocol
-        self.population = population
-        self.rng = rng if rng is not None else np.random.default_rng()
+        self._init_common(protocol, population, rng)
+        self._population = population
         self.table = table if table is not None else LazyTable(protocol)
-        self.interactions = 0
         self.events = 0  # effective (state-changing) interactions
 
         self._codes: List[int] = []
@@ -64,21 +63,12 @@ class CountEngine:
         self._rebuild()
 
     # -- bookkeeping ---------------------------------------------------------
-    @property
-    def n(self) -> int:
-        return self.population.n
-
-    @property
-    def rounds(self) -> float:
-        """Elapsed parallel time."""
-        return self.interactions / self.n
-
     def _rebuild(self) -> None:
-        self._codes = sorted(self.population.counts)
+        self._codes = sorted(self._population.counts)
         self._index = {code: i for i, code in enumerate(self._codes)}
         size = len(self._codes)
         self._c = np.array(
-            [self.population.counts[code] for code in self._codes], dtype=np.float64
+            [self._population.counts[code] for code in self._codes], dtype=np.float64
         )
         self._q = np.zeros((size, size), dtype=np.float64)
         for i, a in enumerate(self._codes):
@@ -110,9 +100,9 @@ class CountEngine:
         self._c[idx] += delta
         self._v += self._q[:, idx] * delta
         if delta > 0:
-            self.population.add(code, delta)
+            self._population.add(code, delta)
         else:
-            self.population.remove(code, -delta)
+            self._population.remove(code, -delta)
 
     def _total_change_weight(self) -> float:
         """Sum over ordered agent pairs of their change probability."""
@@ -124,16 +114,25 @@ class CountEngine:
         """Sample the ordered state pair of the next effective interaction."""
         weights = self._c * self._v - self._c * np.diag(self._q)
         np.maximum(weights, 0.0, out=weights)
-        total = weights.sum()
-        u = self.rng.random() * total
-        i = int(np.searchsorted(np.cumsum(weights), u, side="right"))
+        cum = np.cumsum(weights)
+        total = cum[-1] if len(cum) else 0.0
+        if total <= 0.0:
+            raise RuntimeError(
+                "no effective interaction available; "
+                "callers must check _total_change_weight() first"
+            )
+        i = int(np.searchsorted(cum, self.rng.random() * total, side="right"))
         i = min(i, len(weights) - 1)
         row = self._q[i] * self._c
         row[i] = self._q[i, i] * (self._c[i] - 1.0)
         np.maximum(row, 0.0, out=row)
-        total_row = row.sum()
-        u2 = self.rng.random() * total_row
-        j = int(np.searchsorted(np.cumsum(row), u2, side="right"))
+        cum_row = np.cumsum(row)
+        total_row = cum_row[-1]
+        if total_row <= 0.0:
+            raise RuntimeError(
+                "initiator state {} has no effective responder".format(i)
+            )
+        j = int(np.searchsorted(cum_row, self.rng.random() * total_row, side="right"))
         j = min(j, len(row) - 1)
         return i, j
 
@@ -146,6 +145,28 @@ class CountEngine:
         for code, delta in deltas.items():
             if delta:
                 self._bump(code, delta)
+
+    # -- per-event primitives (shared with BatchCountEngine) ------------------
+    def _draw_event_gap(self) -> Optional[int]:
+        """Geometric number of null interactions before the next effective
+        event, or ``None`` when the configuration is silent."""
+        total_agents = float(self._c.sum())
+        pairs_total = total_agents * (total_agents - 1.0)
+        weight = self._total_change_weight()
+        p_change = weight / pairs_total
+        if p_change <= 1e-15:
+            return None
+        if p_change >= 1.0:
+            return 0
+        u = self.rng.random()
+        return int(math.log(max(u, 1e-300)) / math.log1p(-p_change))
+
+    def _fire_event(self) -> None:
+        """Sample and apply the next effective interaction."""
+        i, j = self._sample_event_pair()
+        entry = self.table.outcomes(self._codes[i], self._codes[j])
+        self._apply_outcome(i, j, entry)
+        self.events += 1
 
     # -- main loop --------------------------------------------------------------
     def run(
@@ -180,8 +201,7 @@ class CountEngine:
         if rounds is not None:
             by_rounds = self.interactions + int(math.ceil(rounds * n))
             target = by_rounds if target is None else min(target, by_rounds)
-        if target is None and stop is None and max_events is None:
-            raise ValueError("give a rounds/interactions budget, stop, or max_events")
+        require_budget(rounds, interactions, stop, max_events)
 
         step = max(int(round(observe_every * n)), 1)
         next_observation: Optional[int] = None
@@ -193,52 +213,31 @@ class CountEngine:
             if observer is None or next_observation is None:
                 return
             while next_observation <= limit:
-                observer(next_observation / n, self.population)
+                observer(next_observation / n, self._population)
                 next_observation += step
 
         events_done = 0
-        pairs_total = n * (n - 1)
 
         while True:
             if target is not None and self.interactions >= target:
                 break
             if max_events is not None and events_done >= max_events:
                 break
-            weight = self._total_change_weight()
-            p_change = weight / pairs_total
-            if p_change <= 1e-15:
+            skip = self._draw_event_gap()
+            if skip is None:
                 # The protocol is silent: no interaction can change state.
                 if target is not None:
                     self.interactions = target
                 break
-            # Geometric number of null interactions before the next event.
-            if p_change >= 1.0:
-                skip = 0
-            else:
-                u = self.rng.random()
-                skip = int(math.log(max(u, 1e-300)) / math.log1p(-p_change))
             event_at = self.interactions + skip + 1
             if target is not None and event_at > target:
                 self.interactions = target
                 break
             emit_up_to(event_at - 1)
             self.interactions = event_at
-            i, j = self._sample_event_pair()
-            entry = self.table.outcomes(self._codes[i], self._codes[j])
-            self._apply_outcome(i, j, entry)
-            self.events += 1
+            self._fire_event()
             events_done += 1
-            if stop is not None and stop(self.population):
+            if stop is not None and stop(self._population):
                 break
         emit_up_to(self.interactions)
         return self
-
-    def run_until(
-        self,
-        stop: StopCondition,
-        max_rounds: float,
-        **kwargs,
-    ) -> bool:
-        """Run until ``stop`` holds; returns whether it did within budget."""
-        self.run(rounds=max_rounds, stop=stop, **kwargs)
-        return stop(self.population)

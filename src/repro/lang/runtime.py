@@ -39,7 +39,6 @@ from ..core.formula import Formula
 from ..core.population import Population
 from ..core.protocol import Protocol, Thread
 from ..core.rules import Rule
-from ..engine.sequential import CountEngine
 from ..engine.table import LazyTable
 from .ast import Assign, Execute, IfExists, Instruction, Program, Repeat, RepeatLog
 
@@ -72,6 +71,12 @@ class IdealInterpreter:
         advances time by ``max(c, instr.c) * ln n`` parallel rounds.
     rng:
         Source of randomness for the engine and randomized assignments.
+    engine:
+        Engine registry name for the ``execute`` leaves (see
+        :mod:`repro.simulate`).  ``auto`` resolves to the exact sequential
+        count engine — the tier-T3 contract is that leaves run under the
+        exact scheduler; pass ``batch`` explicitly to trade a bounded
+        TV-distance error per leaf window for large-n speed.
     """
 
     def __init__(
@@ -80,10 +85,12 @@ class IdealInterpreter:
         population: Population,
         c: float = 2.0,
         rng: Optional[np.random.Generator] = None,
+        engine: str = "auto",
     ):
         self.program = program
         self.population = population
         self.c = float(c)
+        self.engine = "count" if engine == "auto" else engine
         self.rng = rng if rng is not None else np.random.default_rng()
         self.rounds = 0.0
         self.iterations = 0
@@ -117,6 +124,8 @@ class IdealInterpreter:
 
     def _advance(self, leaf: Optional[Execute], c: float) -> None:
         """Run the engine for the instruction's time window."""
+        from ..simulate import make_engine
+
         duration = c * self._ln_n
         protocol = self._protocol_for(leaf)
         if protocol is not None:
@@ -125,8 +134,20 @@ class IdealInterpreter:
             if table is None:
                 table = LazyTable(protocol)
                 self._table_cache[key] = table
-            engine = CountEngine(protocol, self.population, rng=self.rng, table=table)
+            engine = make_engine(
+                protocol,
+                self.population,
+                engine=self.engine,
+                rng=self.rng,
+                table=table,
+            )
             engine.run(rounds=duration)
+            final = engine.population
+            if final is not self.population:
+                # array/matching engines work on their own agent array;
+                # copy the final configuration back into our population.
+                self.population.counts.clear()
+                self.population.counts.update(final.counts)
         self.rounds += duration
 
     # -- instruction semantics ----------------------------------------------------------

@@ -90,6 +90,7 @@ def make_interpreter(
     n: int,
     rng: Optional[np.random.Generator] = None,
     c: float = 2.0,
+    engine: str = "auto",
 ) -> IdealInterpreter:
     """Tier-T3 interpreter for ``LeaderElection`` on ``n`` agents."""
     program = leader_election_program()
@@ -99,7 +100,7 @@ def make_interpreter(
     population = Population.uniform(
         schema, n, {decl.name: decl.init for decl in program.variables}
     )
-    return IdealInterpreter(program, population, c=c, rng=rng)
+    return IdealInterpreter(program, population, c=c, rng=rng, engine=engine)
 
 
 def run_leader_election(
@@ -107,9 +108,10 @@ def run_leader_election(
     max_iterations: Optional[int] = None,
     rng: Optional[np.random.Generator] = None,
     c: float = 2.0,
+    engine: str = "auto",
 ) -> Tuple[bool, int, float]:
     """Run to a unique leader; returns (converged, iterations, rounds)."""
-    interp = make_interpreter(n, rng=rng, c=c)
+    interp = make_interpreter(n, rng=rng, c=c, engine=engine)
     if max_iterations is None:
         max_iterations = max(16, int(4 * np.log(n)))
     interp.run(max_iterations, stop=has_unique_leader)

@@ -170,10 +170,13 @@ def run_majority(
     max_iterations: int = 6,
     rng: Optional[np.random.Generator] = None,
     c: float = 2.0,
+    engine: str = "auto",
 ) -> Tuple[Optional[bool], int, float]:
     """Run Majority; returns (output, iterations, rounds)."""
     _, population = majority_population(n, count_a, count_b)
-    interp = IdealInterpreter(majority_program(), population, c=c, rng=rng)
+    interp = IdealInterpreter(
+        majority_program(), population, c=c, rng=rng, engine=engine
+    )
     expected = count_a > count_b
 
     def stop(pop: Population) -> bool:

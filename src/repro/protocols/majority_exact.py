@@ -125,10 +125,13 @@ def run_majority_exact(
     max_iterations: int = 6,
     rng: Optional[np.random.Generator] = None,
     c: float = 2.0,
+    engine: str = "auto",
 ) -> Tuple[Optional[bool], int, float]:
     """Run MajorityExact; returns (output, iterations, rounds)."""
     _, population = majority_exact_population(n, count_a, count_b)
-    interp = IdealInterpreter(majority_exact_program(), population, c=c, rng=rng)
+    interp = IdealInterpreter(
+        majority_exact_program(), population, c=c, rng=rng, engine=engine
+    )
 
     def settled(pop: Population) -> bool:
         # slow thread finished (one input colour extinct) and the output is

@@ -170,11 +170,14 @@ def run_plurality(
     max_iterations: int = 4,
     rng: Optional[np.random.Generator] = None,
     c: float = 2.0,
+    engine: str = "auto",
 ) -> Tuple[Optional[int], int, float]:
     """Run plurality consensus; returns (winner, iterations, rounds)."""
     l = len(counts)
     _, population = plurality_population(counts, n)
-    interp = IdealInterpreter(plurality_program(l), population, c=c, rng=rng)
+    interp = IdealInterpreter(
+        plurality_program(l), population, c=c, rng=rng, engine=engine
+    )
 
     def stop(pop: Population) -> bool:
         return plurality_winner(pop, l) is not None

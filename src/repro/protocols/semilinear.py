@@ -202,6 +202,7 @@ def run_semilinear_exact(
     max_iterations: Optional[int] = None,
     rng: Optional[np.random.Generator] = None,
     c: float = 2.0,
+    engine: str = "auto",
 ) -> Tuple[Optional[bool], bool, int, float]:
     """Run SemilinearPredicateExact on the given input groups.
 
@@ -212,7 +213,9 @@ def run_semilinear_exact(
     """
     builder = SemilinearExact(predicate, c=int(c))
     population = builder.populate(groups)
-    interp = IdealInterpreter(builder.program, population, c=c, rng=rng)
+    interp = IdealInterpreter(
+        builder.program, population, c=c, rng=rng, engine=engine
+    )
     expected = builder.expected_output(groups)
     if max_iterations is None:
         max_iterations = max(12, int(4 * np.log(population.n)))

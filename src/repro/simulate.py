@@ -1,0 +1,135 @@
+"""One-call simulation facade and the engine registry.
+
+``repro.simulate(protocol, population)`` picks the best engine for the
+workload and runs it — the CLI's shared ``--engine`` flag, the replica
+runner and the benches all resolve engine names through this module
+instead of hard-coding engine classes.
+
+Engine names
+------------
+``count``
+    :class:`~repro.engine.sequential.CountEngine` — exact, count-based,
+    null-skipping.  Always applicable (arbitrary packed state spaces).
+``batch``
+    :class:`~repro.engine.jump.BatchCountEngine` — count-based multinomial
+    jumps, O(q²) per batch, exact fallback.  Always applicable; the default
+    for large populations.
+``array``
+    :class:`~repro.engine.batch.ArrayEngine` — exact agent array with
+    collision-free batching; needs the packed space to fit int64.
+``matching``
+    :class:`~repro.engine.matching.MatchingEngine` — synchronous
+    random-matching scheduler (a *different* scheduler: one step = one
+    round = n/2 interactions); needs the packed space to fit int64.
+``auto``
+    Count-based jump engine when the configuration lives on a small
+    occupied support (the regime of every protocol in this repo), the
+    vectorised matching engine for dense many-state dynamics that still
+    fit an int64 agent array, and the exact count engine as the universal
+    fallback.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, Optional, Type
+
+import numpy as np
+
+from .core.population import Population
+from .core.protocol import Protocol
+from .engine.api import Engine
+from .engine.batch import ArrayEngine
+from .engine.dense import supports_dense
+from .engine.jump import BatchCountEngine
+from .engine.matching import MatchingEngine
+from .engine.sequential import CountEngine
+
+#: Registry of concrete engines by CLI/registry name.
+ENGINES: Dict[str, Type[Engine]] = {
+    "count": CountEngine,
+    "batch": BatchCountEngine,
+    "array": ArrayEngine,
+    "matching": MatchingEngine,
+}
+
+#: Valid values of the shared ``--engine`` flag.
+ENGINE_CHOICES = ("auto", "batch", "count", "array", "matching")
+
+#: Occupied-support size up to which count-based engines are preferred.
+SUPPORT_LIMIT = 512
+
+
+def default_engine_name(
+    protocol: Protocol, population: Optional[Population] = None
+) -> str:
+    """Pick the engine ``auto`` resolves to for this workload."""
+    if supports_dense(protocol):
+        return "batch"
+    if population is not None and population.support_size <= SUPPORT_LIMIT:
+        # huge packed space but tiny occupied support: count-based engines
+        # (the compiled-protocol regime) — jump batching still applies.
+        return "batch"
+    if protocol.schema.num_states < 2 ** 62:
+        return "matching"
+    return "count"
+
+
+def resolve_engine(
+    engine: str,
+    protocol: Optional[Protocol] = None,
+    population: Optional[Population] = None,
+) -> Type[Engine]:
+    """Map an engine name (including ``auto``) to an engine class."""
+    if engine == "auto":
+        if protocol is None:
+            raise ValueError("engine='auto' needs the protocol to choose from")
+        engine = default_engine_name(protocol, population)
+    try:
+        return ENGINES[engine]
+    except KeyError:
+        raise ValueError(
+            "unknown engine {!r}; choose from {}".format(
+                engine, ", ".join(ENGINE_CHOICES)
+            )
+        ) from None
+
+
+def make_engine(
+    protocol: Protocol,
+    population: Population,
+    engine: str = "auto",
+    rng: Optional[np.random.Generator] = None,
+    seed: Optional[int] = None,
+    **engine_opts: Any,
+) -> Engine:
+    """Construct (but do not run) an engine by registry name."""
+    cls = resolve_engine(engine, protocol, population)
+    if rng is None and seed is not None:
+        rng = np.random.default_rng(seed)
+    return cls(protocol, population, rng=rng, **engine_opts)
+
+
+def simulate(
+    protocol: Protocol,
+    population: Population,
+    engine: str = "auto",
+    rng: Optional[np.random.Generator] = None,
+    seed: Optional[int] = None,
+    engine_opts: Optional[Dict[str, Any]] = None,
+    **run_kwargs: Any,
+) -> Engine:
+    """Simulate ``protocol`` on ``population`` and return the engine.
+
+    ``run_kwargs`` are passed to :meth:`Engine.run` (``rounds=...``,
+    ``stop=...``, ``observer=...``); engine construction knobs
+    (``batch=...``, ``batch_pairs=...``, ``table=...``) go in
+    ``engine_opts``.  The returned engine exposes the final configuration
+    (``.population``), elapsed parallel time (``.rounds``) and raw
+    ``.interactions``.
+    """
+    eng = make_engine(
+        protocol, population, engine=engine, rng=rng, seed=seed,
+        **(engine_opts or {}),
+    )
+    eng.run(**run_kwargs)
+    return eng

@@ -22,6 +22,27 @@ class TestParser:
         args = build_parser().parse_args(["majority", "--exact"])
         assert args.exact
 
+    def test_engine_flag_on_every_subcommand(self):
+        parser = build_parser()
+        for argv in (
+            ["leader-election", "--engine", "batch"],
+            ["majority", "--engine", "count"],
+            ["plurality", "--engine", "array"],
+            ["predicate", "--engine", "matching"],
+            ["oscillator", "--engine", "batch"],
+            ["run-program", "prog.txt", "--engine", "batch"],
+        ):
+            assert parser.parse_args(argv).engine == argv[-1]
+
+    def test_engine_defaults(self):
+        parser = build_parser()
+        assert parser.parse_args(["majority"]).engine == "auto"
+        assert parser.parse_args(["oscillator"]).engine == "auto"
+
+    def test_unknown_engine_rejected(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["majority", "--engine", "quantum"])
+
 
 class TestCommands:
     def test_leader_election(self, capsys):
@@ -64,6 +85,24 @@ class TestCommands:
         assert main(["run-program", str(path), "--n", "50", "--iterations", "1", "--seed", "6"]) == 0
         out = capsys.readouterr().out
         assert "#FLAG = 50" in out
+
+    def test_majority_default_counts_scale_with_n(self, capsys):
+        # the CI smoke invocation: counts derive from --n when not given
+        assert main(["majority", "--n", "2000", "--seed", "8", "--engine", "auto"]) == 0
+        assert "majority says A" in capsys.readouterr().out
+
+    def test_leader_election_batch_engine(self, capsys):
+        assert main(
+            ["leader-election", "--n", "500", "--seed", "1", "--engine", "batch"]
+        ) == 0
+        assert "unique leader: True" in capsys.readouterr().out
+
+    def test_majority_array_engine(self, capsys):
+        assert main(
+            ["majority", "--n", "300", "--a", "101", "--b", "100",
+             "--seed", "2", "--engine", "array"]
+        ) == 0
+        assert "majority says A" in capsys.readouterr().out
 
     def test_predicate_expr(self, capsys):
         code = main(

@@ -1,0 +1,157 @@
+"""Engine protocol conformance: every engine honours the unified API.
+
+All four engines must accept the uniform keyword-only constructor
+``Engine(protocol, population, *, rng=None, table=None)``, expose the
+shared ``n`` / ``rounds`` / ``interactions`` / ``population`` surface, run
+under every budget style (``rounds=``, ``interactions=``, ``stop=``), feed
+observers on a uniform time grid, and reject budget-less runs.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core import Population, Rule, StateSchema, V, single_thread
+from repro.engine import (
+    ArrayEngine,
+    BatchCountEngine,
+    CountEngine,
+    Engine,
+    MatchingEngine,
+    Trace,
+)
+from repro.engine.api import require_budget
+from repro.engine.table import LazyTable
+
+ALL_ENGINES = [CountEngine, BatchCountEngine, ArrayEngine, MatchingEngine]
+
+
+@pytest.fixture
+def epidemic():
+    schema = StateSchema()
+    schema.flag("I")
+    return single_thread(
+        "epidemic", schema, [Rule(V("I"), ~V("I"), None, {"I": True})]
+    )
+
+
+def epidemic_population(schema, n, infected=1):
+    return Population.from_groups(
+        schema, [({"I": True}, infected), ({"I": False}, n - infected)]
+    )
+
+
+def all_infected(pop):
+    return pop.all_satisfy(V("I"))
+
+
+@pytest.mark.parametrize("engine_cls", ALL_ENGINES)
+class TestConformance:
+    def test_is_engine_subclass(self, engine_cls):
+        assert issubclass(engine_cls, Engine)
+        assert isinstance(engine_cls.name, str) and engine_cls.name
+
+    def test_uniform_constructor(self, engine_cls, epidemic):
+        pop = epidemic_population(epidemic.schema, 100)
+        eng = engine_cls(
+            epidemic, pop, rng=np.random.default_rng(0), table=LazyTable(epidemic)
+        )
+        assert eng.n == 100
+        assert eng.rounds == 0.0
+        assert eng.interactions == 0
+
+    def test_positional_rng_rejected(self, engine_cls, epidemic):
+        pop = epidemic_population(epidemic.schema, 100)
+        with pytest.raises(TypeError):
+            engine_cls(epidemic, pop, np.random.default_rng(0))
+
+    def test_schema_mismatch_rejected(self, engine_cls, epidemic):
+        other = StateSchema()
+        other.flag("I")
+        pop = epidemic_population(other, 100)
+        with pytest.raises(ValueError):
+            engine_cls(epidemic, pop)
+
+    def test_tiny_population_rejected(self, engine_cls, epidemic):
+        pop = epidemic_population(epidemic.schema, 1)
+        with pytest.raises(ValueError):
+            engine_cls(epidemic, pop)
+
+    def test_requires_budget_or_stop(self, engine_cls, epidemic):
+        pop = epidemic_population(epidemic.schema, 100)
+        eng = engine_cls(epidemic, pop, rng=np.random.default_rng(1))
+        with pytest.raises(ValueError):
+            eng.run()
+
+    def test_runs_to_stop(self, engine_cls, epidemic):
+        pop = epidemic_population(epidemic.schema, 300)
+        eng = engine_cls(epidemic, pop, rng=np.random.default_rng(2))
+        eng.run(stop=all_infected)
+        assert eng.population.count(V("I")) == 300
+        assert eng.interactions > 0
+        assert eng.rounds > 0.0
+
+    def test_rounds_budget(self, engine_cls, epidemic):
+        pop = epidemic_population(epidemic.schema, 200)
+        eng = engine_cls(epidemic, pop, rng=np.random.default_rng(3))
+        eng.run(rounds=3)
+        assert eng.rounds >= 3.0 - 1e-9
+        # engines may overshoot by at most one scheduling quantum
+        assert eng.rounds < 5.0
+
+    def test_interactions_budget(self, engine_cls, epidemic):
+        pop = epidemic_population(epidemic.schema, 200)
+        eng = engine_cls(epidemic, pop, rng=np.random.default_rng(4))
+        eng.run(interactions=500)
+        assert 500 <= eng.interactions < 500 + 200
+
+    def test_rounds_tracks_interactions(self, engine_cls, epidemic):
+        pop = epidemic_population(epidemic.schema, 200)
+        eng = engine_cls(epidemic, pop, rng=np.random.default_rng(5))
+        eng.run(rounds=4)
+        if engine_cls is MatchingEngine:
+            # one matching round performs at most n/2 interactions
+            assert eng.interactions <= eng.rounds * (eng.n // 2)
+        else:
+            assert eng.rounds == pytest.approx(eng.interactions / eng.n)
+
+    def test_population_reflects_final_state(self, engine_cls, epidemic):
+        pop = epidemic_population(epidemic.schema, 150)
+        eng = engine_cls(epidemic, pop, rng=np.random.default_rng(6))
+        eng.run(stop=all_infected)
+        final = eng.population
+        assert final.n == 150
+        assert final.count(V("I")) == 150
+
+    def test_run_until(self, engine_cls, epidemic):
+        pop = epidemic_population(epidemic.schema, 150)
+        eng = engine_cls(epidemic, pop, rng=np.random.default_rng(7))
+        assert eng.run_until(all_infected, max_rounds=500.0)
+
+    def test_observer_uniform_grid(self, engine_cls, epidemic):
+        pop = epidemic_population(epidemic.schema, 200)
+        eng = engine_cls(epidemic, pop, rng=np.random.default_rng(8))
+        trace = Trace({"I": V("I")})
+        eng.run(rounds=10, observer=trace, observe_every=1.0)
+        assert len(trace) >= 10
+        assert (np.diff(trace.times) > 0).all()
+
+    def test_continuation_accumulates(self, engine_cls, epidemic):
+        pop = epidemic_population(epidemic.schema, 200)
+        eng = engine_cls(epidemic, pop, rng=np.random.default_rng(9))
+        eng.run(rounds=2)
+        first = eng.interactions
+        eng.run(rounds=2)
+        assert eng.interactions >= first
+        assert eng.rounds >= 4.0 - 1e-9
+
+
+class TestRequireBudget:
+    def test_rejects_all_none(self):
+        with pytest.raises(ValueError):
+            require_budget(None, None, None)
+
+    def test_accepts_any_criterion(self):
+        require_budget(1.0, None, None)
+        require_budget(None, 10, None)
+        require_budget(None, None, lambda p: True)
+        require_budget(None, None, None, 5)

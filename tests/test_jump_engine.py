@@ -1,0 +1,225 @@
+"""BatchCountEngine: exactness at batch=1, invariants, and statistical
+equivalence of the multinomial jump approximation.
+
+The jump engine must (a) reproduce CountEngine's event stream exactly when
+``batch=1``, (b) conserve population size and protocol invariants under
+arbitrarily large batches, and (c) in adaptive mode be statistically
+indistinguishable from the exact engines on convergence-time
+distributions (two-sample KS over >= 50 independent seeds).
+"""
+
+import numpy as np
+import pytest
+from scipy.stats import ks_2samp
+
+from repro.baselines.approx_majority import (
+    approx_majority_population,
+    make_approx_majority,
+)
+from repro.core import Population, Rule, StateSchema, V, single_thread
+from repro.engine import ArrayEngine, BatchCountEngine, CountEngine
+
+KS_SEEDS = 50
+KS_ALPHA = 0.01
+
+
+@pytest.fixture
+def epidemic():
+    schema = StateSchema()
+    schema.flag("I")
+    return single_thread(
+        "epidemic", schema, [Rule(V("I"), ~V("I"), None, {"I": True})]
+    )
+
+
+@pytest.fixture
+def leader_fight():
+    schema = StateSchema()
+    schema.flag("L")
+    return single_thread(
+        "leader-fight", schema, [Rule(V("L"), V("L"), None, {"L": False})]
+    )
+
+
+def epidemic_population(schema, n, infected=1):
+    return Population.from_groups(
+        schema, [({"I": True}, infected), ({"I": False}, n - infected)]
+    )
+
+
+class TestExactMode:
+    def test_batch_one_matches_count_engine_stream(self, epidemic):
+        n = 2000
+        stop = lambda p: p.all_satisfy(V("I"))
+        jump = BatchCountEngine(
+            epidemic,
+            epidemic_population(epidemic.schema, n),
+            rng=np.random.default_rng(11),
+            batch=1,
+        )
+        jump.run(stop=stop)
+        exact = CountEngine(
+            epidemic,
+            epidemic_population(epidemic.schema, n),
+            rng=np.random.default_rng(11),
+        )
+        exact.run(stop=stop)
+        # identical RNG consumption: the exact fallback path is the
+        # CountEngine path, so the whole trajectory coincides
+        assert jump.interactions == exact.interactions
+        assert jump.events == exact.events
+        assert jump.batches == 0
+
+    def test_batch_validation(self, epidemic):
+        pop = epidemic_population(epidemic.schema, 100)
+        with pytest.raises(ValueError):
+            BatchCountEngine(epidemic, pop, batch=0)
+        with pytest.raises(ValueError):
+            BatchCountEngine(epidemic, pop, accuracy=0.0)
+        with pytest.raises(ValueError):
+            BatchCountEngine(epidemic, pop, accuracy=1.5)
+
+
+class TestInvariants:
+    def test_population_size_conserved(self, epidemic):
+        pop = epidemic_population(epidemic.schema, 50000)
+        eng = BatchCountEngine(epidemic, pop, rng=np.random.default_rng(0))
+        eng.run(rounds=10)
+        assert eng.population.n == 50000
+
+    def test_monotone_epidemic_counts(self, epidemic):
+        # infections never reverse: every batch delta keeps I monotone
+        pop = epidemic_population(epidemic.schema, 30000)
+        eng = BatchCountEngine(epidemic, pop, rng=np.random.default_rng(1))
+        last = pop.count(V("I"))
+        for _ in range(20):
+            eng.run(rounds=eng.rounds + 1)
+            now = eng.population.count(V("I"))
+            assert now >= last
+            assert 0 <= now <= 30000
+            last = now
+
+    def test_cancellation_conserves_difference(self):
+        # A + B -> blank + blank conserves #A - #B exactly; batched
+        # multinomial deltas must preserve it too (they fire the rule k
+        # times, each k preserving the invariant)
+        schema = StateSchema()
+        schema.enum("c", 3, values=("A", "B", "blank"))
+        cancel = single_thread(
+            "cancel",
+            schema,
+            [
+                Rule(V("c", "A"), V("c", "B"), {"c": "blank"}, {"c": "blank"}),
+                Rule(V("c", "B"), V("c", "A"), {"c": "blank"}, {"c": "blank"}),
+            ],
+        )
+        pop = Population.from_groups(
+            schema, [({"c": "A"}, 30000), ({"c": "B"}, 20000)]
+        )
+        eng = BatchCountEngine(cancel, pop, rng=np.random.default_rng(2))
+        eng.run(rounds=200)
+        final = eng.population
+        assert final.count(V("c", "A")) - final.count(V("c", "B")) == 10000
+        assert final.count(V("c", "B")) == 0  # silent: minority extinct
+        assert eng.batches > 0
+
+    def test_uses_batches_at_scale(self, epidemic):
+        pop = epidemic_population(epidemic.schema, 100000)
+        eng = BatchCountEngine(epidemic, pop, rng=np.random.default_rng(3))
+        eng.run(stop=lambda p: p.all_satisfy(V("I")))
+        # O(q^2 log n / accuracy) batches replace ~n events
+        assert eng.batches > 0
+        assert eng.batches < eng.events / 10
+
+    def test_silent_configuration_fast_forwards(self, epidemic):
+        pop = Population.uniform(epidemic.schema, 1000, {"I": True})
+        eng = BatchCountEngine(epidemic, pop, rng=np.random.default_rng(4))
+        eng.run(rounds=50)
+        assert eng.rounds == pytest.approx(50.0)
+        assert eng.events == 0
+
+
+def _hitting_times(engine_factory, make_pop, stop, seeds, **run_kwargs):
+    times = []
+    for seed in seeds:
+        eng = engine_factory(make_pop(), np.random.default_rng(seed))
+        eng.run(stop=stop, **run_kwargs)
+        times.append(eng.rounds)
+    return np.asarray(times)
+
+
+class TestStatisticalEquivalence:
+    """Adaptive jump sampling vs the exact engines, two-sample KS."""
+
+    def test_approx_majority_equivalence(self):
+        protocol = make_approx_majority()
+        n, count_a, count_b = 200, 120, 60
+
+        def make_pop():
+            return approx_majority_population(protocol.schema, n, count_a, count_b)
+
+        def consensus(pop):
+            return pop.count(V("am", "A")) in (0, pop.n) or pop.count(
+                V("am", "B")
+            ) in (0, pop.n)
+
+        seeds = range(KS_SEEDS)
+        exact = _hitting_times(
+            lambda p, r: CountEngine(protocol, p, rng=r),
+            make_pop, consensus, seeds,
+        )
+        jump = _hitting_times(
+            lambda p, r: BatchCountEngine(protocol, p, rng=r),
+            make_pop, consensus, (s + 1000 for s in seeds),
+        )
+        array = _hitting_times(
+            lambda p, r: ArrayEngine(protocol, p, rng=r),
+            make_pop, consensus, (s + 2000 for s in seeds), stop_every=0.25,
+        )
+        assert ks_2samp(exact, jump).pvalue > KS_ALPHA
+        assert ks_2samp(exact, array).pvalue > KS_ALPHA
+
+    def test_leader_fight_equivalence(self, leader_fight):
+        # L + L -> L + follower: Theta(n)-round tail dominated by the last
+        # few leader meetings — exercises the exact-fallback crossover
+        n = 100
+
+        def make_pop():
+            return Population.uniform(leader_fight.schema, n, {"L": True})
+
+        def unique(pop):
+            return pop.count(V("L")) == 1
+
+        seeds = range(KS_SEEDS)
+        exact = _hitting_times(
+            lambda p, r: CountEngine(leader_fight, p, rng=r),
+            make_pop, unique, seeds,
+        )
+        jump = _hitting_times(
+            lambda p, r: BatchCountEngine(leader_fight, p, rng=r),
+            make_pop, unique, (s + 1000 for s in seeds),
+        )
+        batch_one = _hitting_times(
+            lambda p, r: BatchCountEngine(leader_fight, p, rng=r, batch=1),
+            make_pop, unique, (s + 2000 for s in seeds),
+        )
+        assert ks_2samp(exact, jump).pvalue > KS_ALPHA
+        assert ks_2samp(exact, batch_one).pvalue > KS_ALPHA
+
+    def test_epidemic_equivalence(self, epidemic):
+        n = 500
+        stop = lambda p: p.all_satisfy(V("I"))
+
+        def make_pop():
+            return epidemic_population(epidemic.schema, n)
+
+        seeds = range(KS_SEEDS)
+        exact = _hitting_times(
+            lambda p, r: CountEngine(epidemic, p, rng=r),
+            make_pop, stop, seeds,
+        )
+        jump = _hitting_times(
+            lambda p, r: BatchCountEngine(epidemic, p, rng=r),
+            make_pop, stop, (s + 1000 for s in seeds),
+        )
+        assert ks_2samp(exact, jump).pvalue > KS_ALPHA

@@ -1,0 +1,225 @@
+"""Replica fan-out: pickling, seeding, aggregation, and the process pool.
+
+The spawn-based pool requires every payload to round-trip through pickle
+with the protocol/population *sharing one schema object* on the far side
+(engines check schema identity); these tests pin that contract down
+before exercising run_replicas / map_replicas serially and across real
+worker processes.
+"""
+
+import functools
+import pickle
+
+import numpy as np
+import pytest
+
+from repro.analysis import ConvergenceStats, aggregate_convergence
+from repro.core import Population, Rule, StateSchema, V, single_thread
+from repro.engine import ReplicaSet, map_replicas, run_replicas
+from repro.engine.replicas import ReplicaRecord, spawn_seeds
+
+
+def make_epidemic():
+    schema = StateSchema()
+    schema.flag("I")
+    protocol = single_thread(
+        "epidemic", schema, [Rule(V("I"), ~V("I"), None, {"I": True})]
+    )
+    population = Population.from_groups(
+        schema, [({"I": True}, 1), ({"I": False}, 299)]
+    )
+    return protocol, population
+
+
+def all_infected(pop):
+    return pop.all_satisfy(V("I"))
+
+
+class TestPickling:
+    def test_protocol_population_round_trip(self):
+        protocol, population = make_epidemic()
+        proto2, pop2 = pickle.loads(pickle.dumps((protocol, population)))
+        # schema identity must survive the joint round-trip: engines verify
+        # protocol.schema is population.schema
+        assert proto2.schema is pop2.schema
+        assert pop2.n == population.n
+        assert pop2.count(V("I")) == 1
+
+    def test_rules_usable_after_round_trip(self):
+        protocol, population = make_epidemic()
+        proto2, pop2 = pickle.loads(pickle.dumps((protocol, population)))
+        from repro.engine import CountEngine
+
+        eng = CountEngine(proto2, pop2, rng=np.random.default_rng(0))
+        eng.run(stop=all_infected)
+        assert pop2.count(V("I")) == 300
+
+    def test_seed_sequences_pickle(self):
+        seeds = spawn_seeds(7, 4)
+        seeds2 = pickle.loads(pickle.dumps(seeds))
+        for a, b in zip(seeds, seeds2):
+            assert (
+                np.random.default_rng(a).integers(1 << 30)
+                == np.random.default_rng(b).integers(1 << 30)
+            )
+
+
+class TestSpawnSeeds:
+    def test_independent_streams(self):
+        seeds = spawn_seeds(0, 8)
+        draws = {np.random.default_rng(s).integers(1 << 62) for s in seeds}
+        assert len(draws) == 8
+
+    def test_deterministic(self):
+        a = [s.generate_state(2).tolist() for s in spawn_seeds(42, 3)]
+        b = [s.generate_state(2).tolist() for s in spawn_seeds(42, 3)]
+        assert a == b
+
+
+class TestRunReplicas:
+    def test_serial(self):
+        protocol, population = make_epidemic()
+        rs = run_replicas(
+            protocol,
+            population,
+            replicas=6,
+            engine="count",
+            seed=1,
+            processes=1,
+            stop=all_infected,
+        )
+        assert isinstance(rs, ReplicaSet)
+        assert len(rs) == 6
+        assert rs.converged_fraction == 1.0
+        assert (rs.rounds > 0).all()
+        assert (rs.interactions > 0).all()
+
+    def test_replicas_are_independent(self):
+        protocol, population = make_epidemic()
+        rs = run_replicas(
+            protocol, population, replicas=8, seed=0, processes=1,
+            stop=all_infected,
+        )
+        assert len(set(rs.interactions.tolist())) > 1
+
+    def test_deterministic_given_seed(self):
+        protocol, population = make_epidemic()
+        kwargs = dict(replicas=3, engine="count", seed=5, processes=1,
+                      stop=all_infected)
+        a = run_replicas(protocol, population, **kwargs)
+        b = run_replicas(protocol, population, **kwargs)
+        assert a.interactions.tolist() == b.interactions.tolist()
+
+    def test_source_population_untouched(self):
+        protocol, population = make_epidemic()
+        before = dict(population.counts)
+        run_replicas(protocol, population, replicas=2, seed=0, processes=1,
+                     stop=all_infected)
+        assert dict(population.counts) == before
+
+    def test_engine_name_recorded(self):
+        protocol, population = make_epidemic()
+        rs = run_replicas(
+            protocol, population, replicas=2, engine="batch", seed=0,
+            processes=1, stop=all_infected,
+        )
+        assert all(r.extra["engine"] == "batch" for r in rs)
+
+    def test_rejects_zero_replicas(self):
+        protocol, population = make_epidemic()
+        with pytest.raises(ValueError):
+            run_replicas(protocol, population, replicas=0, stop=all_infected)
+
+    def test_rounds_budget_without_stop(self):
+        protocol, population = make_epidemic()
+        rs = run_replicas(
+            protocol, population, replicas=2, engine="count", seed=0,
+            processes=1, rounds=2.0,
+        )
+        assert all(r.converged is None for r in rs)
+        assert (rs.rounds >= 2.0).all()
+
+    @pytest.mark.slow
+    def test_process_pool(self):
+        # real spawn workers: payloads and records cross process boundaries
+        protocol, population = make_epidemic()
+        rs = run_replicas(
+            protocol,
+            population,
+            replicas=4,
+            engine="count",
+            seed=3,
+            processes=2,
+            stop=all_infected,
+        )
+        assert len(rs) == 4
+        assert rs.converged_fraction == 1.0
+        # same seeds => same trajectories as the serial path
+        serial = run_replicas(
+            protocol, population, replicas=4, engine="count", seed=3,
+            processes=1, stop=all_infected,
+        )
+        assert rs.interactions.tolist() == serial.interactions.tolist()
+
+
+def _square(seed_seq, offset=0):
+    value = int(np.random.default_rng(seed_seq).integers(100))
+    return value * value + offset
+
+
+class TestMapReplicas:
+    def test_serial(self):
+        results = map_replicas(_square, 5, seed=0, processes=1)
+        assert len(results) == 5
+
+    def test_partial_task(self):
+        plain = map_replicas(_square, 3, seed=1, processes=1)
+        shifted = map_replicas(
+            functools.partial(_square, offset=7), 3, seed=1, processes=1
+        )
+        assert [s - 7 for s in shifted] == plain
+
+    @pytest.mark.slow
+    def test_process_pool_matches_serial(self):
+        serial = map_replicas(_square, 4, seed=2, processes=1)
+        pooled = map_replicas(_square, 4, seed=2, processes=2)
+        assert pooled == serial
+
+
+class TestAggregation:
+    def _records(self):
+        return [
+            ReplicaRecord(index=k, rounds=10.0 + k, interactions=1000 + k,
+                          wall=0.5, converged=k < 3)
+            for k in range(4)
+        ]
+
+    def test_aggregate(self):
+        stats = aggregate_convergence(self._records())
+        assert isinstance(stats, ConvergenceStats)
+        assert stats.replicas == 4
+        assert stats.converged_fraction == 0.75
+        assert stats.rounds.median == pytest.approx(11.5)
+        assert stats.wall_total == pytest.approx(2.0)
+
+    def test_accepts_dicts(self):
+        stats = aggregate_convergence(
+            [{"rounds": 5.0}, {"rounds": 7.0}]
+        )
+        assert stats.replicas == 2
+        assert stats.interactions is None
+        assert stats.converged_fraction is None
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            aggregate_convergence([])
+
+    def test_replica_set_summary(self):
+        protocol, population = make_epidemic()
+        rs = run_replicas(
+            protocol, population, replicas=3, engine="count", seed=0,
+            processes=1, stop=all_infected,
+        )
+        stats = rs.summary()
+        assert stats.replicas == 3
+        assert "3 replicas" in str(stats)
