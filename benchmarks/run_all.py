@@ -1,16 +1,26 @@
-"""Benchmark driver: the headline engine comparison plus the E-sweeps.
+"""Benchmark driver: headline engine comparison, kernel race, E-sweeps.
 
 The headline run races the exact count engine against the multinomial
 jump engine on leader election (the L + L -> L + F fight) at n = 10^6 and
 records the wall-clock speedup in ``BENCH_engines.json`` (repo root and
 ``benchmarks/results/``)::
 
-    PYTHONPATH=src python benchmarks/run_all.py --quick   # headline only
+    PYTHONPATH=src python benchmarks/run_all.py --quick   # headline + kernels
     PYTHONPATH=src python benchmarks/run_all.py           # + E1-E4 sweeps
 
 The jump engine simulates the same sequential scheduler but advances by
-multinomial batches of O(q^2) work each, so the speedup grows with n; the
-acceptance bar is >= 5x at n = 10^6.
+multinomial batches, so the speedup grows with n; the acceptance bar is
+>= 5x at n = 10^6.
+
+The *kernels* run races the compiled active-pair batch path against the
+legacy dense-support batch path (``compiled=False``, the PR-1 engine) on
+the composed oscillator + phase-clock protocol C_o — a many-state
+workload (q = 168 reachable states with the k=2 ring) where the legacy
+path degenerates: its global min-count batch cap is throttled by the
+#X = 3 source agents, so it takes zero batches and falls back to
+per-event stepping.  The compiled path's per-state cap keeps batching.
+Results (including engine perf counters) go to ``BENCH_kernels.json``;
+the acceptance bar is >= 3x wall clock at equal accuracy.
 """
 
 from __future__ import annotations
@@ -106,6 +116,106 @@ def headline(n=HEADLINE_N, seed=0):
     return payload
 
 
+KERNELS_N = 20000
+KERNELS_ROUNDS = 20.0
+
+
+def _clock_workload(n, n_x=3):
+    from repro.clocks import ClockParams, make_clock_protocol
+    from repro.core import Population
+    from repro.oscillator import strong_value, weak_value
+
+    params = ClockParams(module=12, k=2)
+    protocol = make_clock_protocol(params=params)
+    c1 = int(0.8 * (n - n_x))
+    c2 = int(0.17 * (n - n_x))
+    population = Population.from_groups(
+        protocol.schema,
+        [
+            ({"osc": strong_value(0), "clk": 0}, c1),
+            ({"osc": weak_value(1), "clk": 0}, c2),
+            ({"osc": weak_value(2), "clk": 0}, (n - n_x) - c1 - c2),
+            ({"osc": weak_value(0), "X": True, "clk": 0}, n_x),
+        ],
+    )
+    return protocol, population
+
+
+def _time_kernel(compiled, n, rounds, seed, cache):
+    from repro.engine import BatchCountEngine
+
+    protocol, population = _clock_workload(n)
+    eng = BatchCountEngine(
+        protocol,
+        population,
+        rng=np.random.default_rng(seed),
+        compiled=compiled,
+        cache=cache,
+    )
+    start = time.perf_counter()
+    eng.run(rounds=rounds)
+    wall = time.perf_counter() - start
+    record = {"wall_seconds": round(wall, 4)}
+    record.update(eng.stats.as_dict())
+    record["run_seconds"] = round(record["run_seconds"], 4)
+    if "kernel_seconds" in record:
+        record["kernel_seconds"] = round(record["kernel_seconds"], 4)
+    if "active_pairs_mean" in record:
+        record["active_pairs_mean"] = round(record["active_pairs_mean"], 1)
+    if "table_compile_seconds" in record:
+        record["table_compile_seconds"] = round(
+            record["table_compile_seconds"], 4
+        )
+    return record
+
+
+def kernels(n=KERNELS_N, rounds=KERNELS_ROUNDS, seed=0, cache="auto"):
+    """Compiled active-pair vs legacy dense batch path on the C_o clock."""
+    print(
+        "kernels: C_o oscillator+phase-clock (q=168), n={}, {} rounds".format(
+            n, rounds
+        )
+    )
+    results = {}
+    for label, compiled in (("compiled", None), ("legacy", False)):
+        print("  {} batch path ...".format(label), end=" ", flush=True)
+        results[label] = _time_kernel(compiled, n, rounds, seed, cache)
+        print("{:.2f}s ({} batches, {} events)".format(
+            results[label]["wall_seconds"],
+            results[label].get("batches", 0),
+            results[label].get("events", 0),
+        ))
+    speedup = results["legacy"]["wall_seconds"] / max(
+        results["compiled"]["wall_seconds"], 1e-9
+    )
+    payload = {
+        "experiment": "compiled_kernel_batch_jumps",
+        "description": (
+            "composed oscillator + phase-clock protocol (ClockParams k=2, "
+            "168 reachable states): compiled active-pair batch jumps vs "
+            "the legacy dense-support batch path at equal accuracy"
+        ),
+        "n": n,
+        "rounds": rounds,
+        "seed": seed,
+        "paths": results,
+        "speedup_legacy_over_compiled": round(speedup, 2),
+        "target_speedup": 3.0,
+        "meets_target": speedup >= 3.0,
+    }
+    print("  speedup: {:.1f}x (target >= 3x)".format(speedup))
+    os.makedirs(RESULTS_DIR, exist_ok=True)
+    for path in (
+        os.path.join(REPO_ROOT, "BENCH_kernels.json"),
+        os.path.join(RESULTS_DIR, "BENCH_kernels.json"),
+    ):
+        with open(path, "w") as handle:
+            json.dump(payload, handle, indent=2)
+            handle.write("\n")
+    print("  wrote BENCH_kernels.json")
+    return payload
+
+
 def full_sweeps(engine="auto", processes=None):
     """The E1-E4 experiment sweeps through the replica runner."""
     import bench_e1_leader_election
@@ -125,11 +235,19 @@ def main(argv=None) -> int:
     ap = argparse.ArgumentParser(description=__doc__)
     ap.add_argument(
         "--quick", action="store_true",
-        help="headline engine comparison only (skip the E1-E4 sweeps)",
+        help="headline + kernels comparisons only (skip the E1-E4 sweeps)",
     )
     ap.add_argument(
         "--n", type=int, default=HEADLINE_N,
         help="headline population size (default 10^6)",
+    )
+    ap.add_argument(
+        "--kernels-n", type=int, default=KERNELS_N,
+        help="kernel-race population size (default {})".format(KERNELS_N),
+    )
+    ap.add_argument(
+        "--kernels-rounds", type=float, default=KERNELS_ROUNDS,
+        help="kernel-race parallel rounds (default {})".format(KERNELS_ROUNDS),
     )
     ap.add_argument("--seed", type=int, default=0)
     ap.add_argument("--engine", choices=ENGINE_CHOICES, default="auto",
@@ -138,9 +256,13 @@ def main(argv=None) -> int:
     args = ap.parse_args(argv)
 
     payload = headline(n=args.n, seed=args.seed)
+    kernel_payload = kernels(
+        n=args.kernels_n, rounds=args.kernels_rounds, seed=args.seed
+    )
     if not args.quick:
         full_sweeps(engine=args.engine, processes=args.processes)
-    return 0 if payload["meets_target"] else 1
+    ok = payload["meets_target"] and kernel_payload["meets_target"]
+    return 0 if ok else 1
 
 
 if __name__ == "__main__":

@@ -36,13 +36,16 @@ from .core import (
 from .engine import (
     ArrayEngine,
     BatchCountEngine,
+    CompiledTable,
     CountEngine,
     Engine,
+    EngineStats,
     LazyTable,
     MatchingEngine,
     MeanFieldSystem,
     ReplicaSet,
     Trace,
+    compile_table,
     map_replicas,
     run_replicas,
 )
@@ -54,10 +57,12 @@ __all__ = [
     "ANY",
     "ArrayEngine",
     "BatchCountEngine",
+    "CompiledTable",
     "CountEngine",
     "ENGINES",
     "ENGINE_CHOICES",
     "Engine",
+    "EngineStats",
     "Formula",
     "LazyTable",
     "MatchingEngine",
@@ -72,6 +77,7 @@ __all__ = [
     "Trace",
     "V",
     "coin_rule",
+    "compile_table",
     "compose",
     "make_engine",
     "map_replicas",

@@ -189,6 +189,12 @@ def build_parser() -> argparse.ArgumentParser:
         default="auto",
         help="simulation engine (default: auto — pick the best fit)",
     )
+    common.add_argument(
+        "--stats",
+        action="store_true",
+        help="print the engine's perf counters (batches, kernel time, "
+        "compiled-table cache status, ...) after the command",
+    )
     sub = parser.add_subparsers(dest="command", required=True)
 
     def add_parser(name, **kwargs):
@@ -239,7 +245,18 @@ def build_parser() -> argparse.ArgumentParser:
 
 def main(argv=None) -> int:
     args = build_parser().parse_args(argv)
-    return args.func(args)
+    code = args.func(args)
+    if getattr(args, "stats", False):
+        import importlib
+
+        # NB: attribute access via the package would find the simulate()
+        # *function* re-exported by repro/__init__.py, not the module
+        _simulate = importlib.import_module(__package__ + ".simulate")
+        if _simulate.LAST_ENGINE is not None:
+            print(_simulate.LAST_ENGINE.stats.format(), file=sys.stderr)
+        else:
+            print("engine stats: no engine was run", file=sys.stderr)
+    return code
 
 
 if __name__ == "__main__":

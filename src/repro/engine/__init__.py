@@ -1,7 +1,8 @@
 """Exact and approximate simulation engines for population protocols."""
 
-from .api import Engine
+from .api import Engine, EngineStats
 from .batch import ArrayEngine, apply_pairs
+from .compiled import CompiledTable, compile_table, protocol_fingerprint
 from .jump import BatchCountEngine
 from .matching import MatchingEngine
 from .meanfield import MeanFieldSystem
@@ -13,8 +14,10 @@ from .table import LazyTable, PairOutcomes, reachable_codes
 __all__ = [
     "ArrayEngine",
     "BatchCountEngine",
+    "CompiledTable",
     "CountEngine",
     "Engine",
+    "EngineStats",
     "LazyTable",
     "MatchingEngine",
     "MeanFieldSystem",
@@ -23,7 +26,9 @@ __all__ = [
     "ReplicaSet",
     "Trace",
     "apply_pairs",
+    "compile_table",
     "map_replicas",
+    "protocol_fingerprint",
     "reachable_codes",
     "run_replicas",
     "spawn_seeds",

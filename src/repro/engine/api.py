@@ -41,7 +41,8 @@ cross-engine round counts differ by a factor of about two (see
 from __future__ import annotations
 
 import abc
-from typing import Callable, Optional
+import time
+from typing import Callable, Dict, Optional
 
 import numpy as np
 
@@ -50,6 +51,133 @@ from ..core.protocol import Protocol
 
 Observer = Callable[[float, Population], None]
 StopCondition = Callable[[Population], bool]
+
+
+class EngineStats:
+    """Uniform perf counters reported by every engine.
+
+    :meth:`Engine.run` refreshes the counters after each call, so
+    ``eng.stats`` always reflects the engine's cumulative work: wall time,
+    scheduler progress, batching behaviour (for engines that batch), the
+    transition-table representation and its compile/cache provenance, and
+    the active-pair sizes seen by the compiled batch kernels.  Fields that
+    do not apply to an engine stay ``None`` and are omitted from
+    :meth:`as_dict` / :meth:`format`.
+    """
+
+    __slots__ = (
+        "engine",
+        "runs",
+        "run_seconds",
+        "interactions",
+        "rounds",
+        "events",
+        "batches",
+        "fallbacks",
+        "kernel_seconds",
+        "active_states",
+        "active_pairs_max",
+        "active_pairs_mean",
+        "table_kind",
+        "table_states",
+        "table_pairs",
+        "table_compile_seconds",
+        "table_cache",
+    )
+
+    _ORDER = (
+        "engine",
+        "runs",
+        "run_seconds",
+        "interactions",
+        "rounds",
+        "events",
+        "batches",
+        "fallbacks",
+        "kernel_seconds",
+        "active_states",
+        "active_pairs_max",
+        "active_pairs_mean",
+        "table_kind",
+        "table_states",
+        "table_pairs",
+        "table_compile_seconds",
+        "table_cache",
+    )
+
+    def __init__(self, engine_name: str):
+        self.engine = engine_name
+        self.runs = 0
+        self.run_seconds = 0.0
+        for name in self._ORDER[3:]:
+            setattr(self, name, None)
+
+    # -- recording ---------------------------------------------------------
+    def record_run(self, engine: "Engine", wall_seconds: float) -> None:
+        """Refresh the counters from an engine after one ``run()`` call."""
+        self.runs += 1
+        self.run_seconds += wall_seconds
+        self.interactions = int(engine.interactions)
+        self.rounds = float(engine.rounds)
+        for attr in ("events", "batches", "fallbacks", "kernel_seconds"):
+            value = getattr(engine, attr, None)
+            if value is not None:
+                setattr(self, attr, value)
+        sizes = getattr(engine, "active_pair_stats", None)
+        if sizes:
+            count, total, peak, states = sizes
+            if count:
+                self.active_pairs_mean = total / count
+                self.active_pairs_max = peak
+                self.active_states = states
+        self.observe_table(getattr(engine, "table", None))
+        compiled = getattr(engine, "_ct", None)
+        if compiled is not None:
+            self.observe_table(compiled)
+
+    def observe_table(self, table: object) -> None:
+        """Record the transition-table representation behind an engine."""
+        if table is None:
+            return
+        if hasattr(table, "cache_status"):  # CompiledTable
+            self.table_kind = "compiled"
+            self.table_states = int(table.num_states)
+            self.table_pairs = int(table.num_pairs)
+            self.table_compile_seconds = float(table.compile_seconds)
+            self.table_cache = table.cache_status
+        elif hasattr(table, "ensure"):  # DenseTable
+            self.table_kind = "dense"
+            self.table_states = int(table.size)
+            self.table_pairs = int(getattr(table, "misses", 0))
+        elif hasattr(table, "cached_pairs"):  # LazyTable
+            self.table_kind = "lazy"
+            self.table_pairs = int(table.cached_pairs)
+
+    # -- reporting ---------------------------------------------------------
+    def as_dict(self) -> Dict[str, object]:
+        """The populated counters, in stable display order."""
+        out: Dict[str, object] = {}
+        for name in self._ORDER:
+            value = getattr(self, name)
+            if value is not None:
+                out[name] = value
+        return out
+
+    def format(self) -> str:
+        """Human-readable one-counter-per-line rendering."""
+        lines = ["engine stats ({}):".format(self.engine)]
+        for name, value in self.as_dict().items():
+            if name == "engine":
+                continue
+            if isinstance(value, float):
+                value = "{:.6g}".format(value)
+            lines.append("  {:<22} {}".format(name, value))
+        return "\n".join(lines)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return "EngineStats({})".format(
+            ", ".join("{}={!r}".format(k, v) for k, v in self.as_dict().items())
+        )
 
 
 class Engine(abc.ABC):
@@ -84,6 +212,7 @@ class Engine(abc.ABC):
         self.protocol = protocol
         self.rng = rng if rng is not None else np.random.default_rng()
         self.interactions = 0
+        self.stats = EngineStats(self.name)
 
     # -- shared surface ----------------------------------------------------
     @property
@@ -106,7 +235,6 @@ class Engine(abc.ABC):
         """
         return self._population
 
-    @abc.abstractmethod
     def run(
         self,
         rounds: Optional[float] = None,
@@ -116,7 +244,36 @@ class Engine(abc.ABC):
         observe_every: float = 1.0,
         **kwargs,
     ) -> "Engine":
-        """Advance the simulation by a budget of rounds/interactions."""
+        """Advance the simulation by a budget of rounds/interactions.
+
+        Times the call and refreshes :attr:`stats` (the uniform
+        :class:`EngineStats` counters) before returning; the actual
+        stepping is delegated to each engine's :meth:`_run`.
+        """
+        start = time.perf_counter()
+        try:
+            return self._run(
+                rounds=rounds,
+                interactions=interactions,
+                stop=stop,
+                observer=observer,
+                observe_every=observe_every,
+                **kwargs,
+            )
+        finally:
+            self.stats.record_run(self, time.perf_counter() - start)
+
+    @abc.abstractmethod
+    def _run(
+        self,
+        rounds: Optional[float] = None,
+        interactions: Optional[int] = None,
+        stop: Optional[StopCondition] = None,
+        observer: Optional[Observer] = None,
+        observe_every: float = 1.0,
+        **kwargs,
+    ) -> "Engine":
+        """Engine-specific stepping behind :meth:`run` (same contract)."""
 
     def run_until(
         self,

@@ -71,10 +71,8 @@ def apply_pairs(
         hits = members[firing]
         out_idx = np.searchsorted(entry.cum, u[firing], side="right")
         out_idx = np.minimum(out_idx, len(entry) - 1)
-        new_a = np.array(entry.codes_a, dtype=np.int64)[out_idx]
-        new_b = np.array(entry.codes_b, dtype=np.int64)[out_idx]
-        agents[idx_a[hits]] = new_a
-        agents[idx_b[hits]] = new_b
+        agents[idx_a[hits]] = entry.codes_a[out_idx]
+        agents[idx_b[hits]] = entry.codes_b[out_idx]
         changed += len(hits)
     return changed
 
@@ -171,7 +169,7 @@ class ArrayEngine(Engine):
         return k
 
     # -- main loop -------------------------------------------------------------
-    def run(
+    def _run(
         self,
         rounds: Optional[float] = None,
         interactions: Optional[int] = None,

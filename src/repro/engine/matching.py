@@ -83,7 +83,7 @@ class MatchingEngine(Engine):
         self.interactions += usable // 2
         return changed
 
-    def run(
+    def _run(
         self,
         rounds: Optional[float] = None,
         interactions: Optional[int] = None,

@@ -169,7 +169,7 @@ class CountEngine(Engine):
         self.events += 1
 
     # -- main loop --------------------------------------------------------------
-    def run(
+    def _run(
         self,
         rounds: Optional[float] = None,
         interactions: Optional[int] = None,

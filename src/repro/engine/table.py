@@ -12,7 +12,7 @@ smallest substrates.
 
 from __future__ import annotations
 
-from typing import Dict, Iterable, List, Set, Tuple
+from typing import Dict, Iterable, List, Optional, Set, Tuple
 
 import numpy as np
 
@@ -20,13 +20,18 @@ from ..core.protocol import Protocol
 
 
 class PairOutcomes:
-    """Aggregated changing outcomes of one ordered state pair."""
+    """Aggregated changing outcomes of one ordered state pair.
+
+    ``codes_a`` / ``codes_b`` are int64 numpy arrays so that engines can
+    index them with outcome-index arrays directly (no per-batch
+    ``np.array(...)`` rebuilds in hot loops).
+    """
 
     __slots__ = ("codes_a", "codes_b", "probs", "cum", "p_change")
 
     def __init__(self, outcomes: List[Tuple[int, int, float]]):
-        self.codes_a = [a for a, _, _ in outcomes]
-        self.codes_b = [b for _, b, _ in outcomes]
+        self.codes_a = np.array([a for a, _, _ in outcomes], dtype=np.int64)
+        self.codes_b = np.array([b for _, b, _ in outcomes], dtype=np.int64)
         self.probs = np.array([p for _, _, p in outcomes], dtype=np.float64)
         self.cum = np.cumsum(self.probs)
         self.p_change = float(self.cum[-1]) if len(outcomes) else 0.0
@@ -40,7 +45,7 @@ class PairOutcomes:
         if u >= self.p_change:
             return -1, -1, False
         idx = int(np.searchsorted(self.cum, u, side="right"))
-        return self.codes_a[idx], self.codes_b[idx], True
+        return int(self.codes_a[idx]), int(self.codes_b[idx]), True
 
     def sample_changing(self, rng: np.random.Generator) -> Tuple[int, int]:
         """Sample an outcome conditioned on the interaction changing state."""
@@ -48,7 +53,7 @@ class PairOutcomes:
             raise ValueError("pair has no changing outcomes")
         u = rng.random() * self.p_change
         idx = int(np.searchsorted(self.cum, u, side="right"))
-        return self.codes_a[idx], self.codes_b[idx]
+        return int(self.codes_a[idx]), int(self.codes_b[idx])
 
 
 class LazyTable:
@@ -90,27 +95,43 @@ class LazyTable:
 
 
 def reachable_codes(
-    protocol: Protocol, initial_codes: Iterable[int], limit: int = 100000
+    protocol: Protocol,
+    initial_codes: Iterable[int],
+    limit: int = 100000,
+    table: Optional[LazyTable] = None,
 ) -> List[int]:
     """Closure of state codes reachable from the initial support.
 
-    Breadth-first exploration over single-interaction transitions.  Useful
-    for sizing mean-field systems and for sanity checks on compiled
-    protocols ("the constant is big, but *this* big?").
+    Breadth-first exploration over single-interaction transitions: each
+    round pairs only the *new frontier* against the accumulated order (in
+    both orientations), never the full order against itself, so every
+    unordered pair is expanded exactly once.  The returned order is
+    deterministic for a given protocol and initial support (sorted initial
+    codes, then discovery rounds in sorted order).
+
+    Pass a pre-built ``table`` to reuse its memoized entries (and to leave
+    the fully explored pair space in it afterwards — the compiled kernel
+    layer builds its flat arrays from exactly that cache).  Useful for
+    sizing mean-field systems, for sanity checks on compiled protocols
+    ("the constant is big, but *this* big?") and as the first stage of
+    :class:`repro.engine.compiled.CompiledTable`.
     """
-    table = LazyTable(protocol)
+    if table is None:
+        table = LazyTable(protocol)
     seen: Set[int] = set(initial_codes)
-    frontier = list(seen)
-    order = list(frontier)
+    order = sorted(seen)
+    frontier = list(order)
     while frontier:
         new: Set[int] = set()
         for a in frontier:
             for b in order:
                 for entry in (table.outcomes(a, b), table.outcomes(b, a)):
                     for code in entry.codes_a:
+                        code = int(code)
                         if code not in seen:
                             new.add(code)
                     for code in entry.codes_b:
+                        code = int(code)
                         if code not in seen:
                             new.add(code)
         if len(seen) + len(new) > limit:

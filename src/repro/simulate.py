@@ -12,8 +12,9 @@ Engine names
     null-skipping.  Always applicable (arbitrary packed state spaces).
 ``batch``
     :class:`~repro.engine.jump.BatchCountEngine` — count-based multinomial
-    jumps, O(q²) per batch, exact fallback.  Always applicable; the default
-    for large populations.
+    jumps over the active pair set (compiled transition kernels with a
+    lazy-table fallback), exact per-event fallback.  Always applicable;
+    the default for large populations.
 ``array``
     :class:`~repro.engine.batch.ArrayEngine` — exact agent array with
     collision-free batching; needs the packed space to fit int64.
@@ -57,6 +58,12 @@ ENGINE_CHOICES = ("auto", "batch", "count", "array", "matching")
 
 #: Occupied-support size up to which count-based engines are preferred.
 SUPPORT_LIMIT = 512
+
+#: The engine most recently constructed by :func:`make_engine` (hence by
+#: :func:`simulate`, the interpreter runtime and every CLI subcommand).
+#: The CLI's ``--stats`` flag reads ``LAST_ENGINE.stats`` after a command
+#: finishes; library users should keep their own engine reference instead.
+LAST_ENGINE: Optional[Engine] = None
 
 
 def default_engine_name(
@@ -103,10 +110,13 @@ def make_engine(
     **engine_opts: Any,
 ) -> Engine:
     """Construct (but do not run) an engine by registry name."""
+    global LAST_ENGINE
     cls = resolve_engine(engine, protocol, population)
     if rng is None and seed is not None:
         rng = np.random.default_rng(seed)
-    return cls(protocol, population, rng=rng, **engine_opts)
+    eng = cls(protocol, population, rng=rng, **engine_opts)
+    LAST_ENGINE = eng
+    return eng
 
 
 def simulate(

@@ -1,0 +1,333 @@
+"""Compiled sparse transition kernels (`repro.engine.compiled`).
+
+Covers: deterministic reachable-closure ordering, bit-identical agreement
+of the CSR arrays with LazyTable, the vectorized apply path, the
+fingerprinted disk cache (hit / miss / memo, invalidation on protocol
+mutation, corruption recovery), the closure-limit fallback rule, and the
+uniform EngineStats surface.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core import Population, Rule, StateSchema, V, single_thread
+from repro.engine import (
+    ArrayEngine,
+    BatchCountEngine,
+    CountEngine,
+    LazyTable,
+    MatchingEngine,
+    compile_table,
+    protocol_fingerprint,
+    reachable_codes,
+)
+from repro.engine.compiled import _MEMO, CompiledTable
+from repro.engine.dense import DenseTable
+from repro.oscillator import make_oscillator_protocol, strong_value, weak_value
+
+
+@pytest.fixture
+def oscillator():
+    return make_oscillator_protocol()
+
+
+def oscillator_population(schema, n):
+    c1, c2 = int(0.8 * (n - 3)), int(0.17 * (n - 3))
+    return Population.from_groups(
+        schema,
+        [
+            ({"osc": strong_value(0)}, c1),
+            ({"osc": weak_value(1)}, c2),
+            ({"osc": weak_value(2)}, (n - 3) - c1 - c2),
+            ({"osc": weak_value(0), "X": True}, 3),
+        ],
+    )
+
+
+def leader_fight(weight=1.0):
+    schema = StateSchema()
+    schema.flag("L")
+    return single_thread(
+        "leader-fight",
+        schema,
+        [Rule(V("L"), V("L"), None, {"L": False}, weight=weight)],
+    )
+
+
+class TestReachableOrder:
+    def test_order_is_deterministic(self, oscillator):
+        pop = oscillator_population(oscillator.schema, 100)
+        codes = list(pop.counts.keys())
+        first = reachable_codes(oscillator, codes)
+        again = reachable_codes(oscillator, reversed(codes))
+        as_set = reachable_codes(make_oscillator_protocol(), set(codes))
+        assert first == again == as_set
+        # initial support leads, sorted; each later wave is sorted too
+        assert first[: len(codes)] == sorted(int(c) for c in codes)
+
+    def test_prebuilt_table_is_reused_and_left_populated(self, oscillator):
+        pop = oscillator_population(oscillator.schema, 100)
+        codes = list(pop.counts.keys())
+        table = LazyTable(oscillator)
+        order = reachable_codes(oscillator, codes, table=table)
+        assert table.cached_pairs > 0
+        assert order == reachable_codes(oscillator, codes)
+
+
+class TestCompiledArrays:
+    def test_csr_layout_is_consistent(self, oscillator):
+        pop = oscillator_population(oscillator.schema, 100)
+        ct = compile_table(oscillator, pop.counts.keys(), cache=None)
+        q = ct.num_states
+        assert ct.off[0] == 0
+        assert ct.off[-1] == len(ct.out_p)
+        assert (np.diff(ct.off) >= 0).all()
+        assert len(ct.off) == q * q + 1
+        assert ((ct.out_a >= 0) & (ct.out_a < q)).all()
+        assert ((ct.out_b >= 0) & (ct.out_b < q)).all()
+        assert (ct.out_p > 0).all()
+
+    def test_matches_lazy_table_bit_for_bit(self, oscillator):
+        pop = oscillator_population(oscillator.schema, 100)
+        ct = compile_table(oscillator, pop.counts.keys(), cache=None)
+        lazy = LazyTable(oscillator)
+        for a in ct.codes:
+            for b in ct.codes:
+                mine = ct.outcomes(int(a), int(b))
+                ref = lazy.outcomes(int(a), int(b))
+                assert np.array_equal(mine.codes_a, ref.codes_a)
+                assert np.array_equal(mine.codes_b, ref.codes_b)
+                # identical floats (not approx): exact engine paths running
+                # on a compiled table must consume the rng identically
+                assert np.array_equal(mine.probs, ref.probs)
+                assert mine.p_change == ref.p_change
+                assert ct.p_change(int(a), int(b)) == ref.p_change
+
+    def test_pair_outside_closure_falls_back_to_protocol(self, oscillator):
+        pop = oscillator_population(oscillator.schema, 100)
+        ct = compile_table(oscillator, pop.counts.keys(), cache=None)
+        outside = [
+            c for c in range(oscillator.schema.num_states) if c not in ct.index
+        ]
+        if not outside:  # pragma: no cover - closure covers the packed space
+            pytest.skip("every packed state is reachable")
+        code = outside[0]
+        ref = LazyTable(oscillator).outcomes(code, code)
+        mine = ct.outcomes(code, code)
+        assert np.array_equal(mine.probs, ref.probs)
+        assert mine.p_change == ref.p_change
+
+
+class TestVectorizedApply:
+    def test_apply_matches_dense_table_stream(self, oscillator):
+        n = 600
+        pop = oscillator_population(oscillator.schema, n)
+        ct = compile_table(oscillator, pop.counts.keys(), cache=None)
+        dense = DenseTable(oscillator)
+        agents_c = pop.to_agent_array(np.random.default_rng(7))
+        agents_d = agents_c.copy()
+        rng_c = np.random.default_rng(42)
+        rng_d = np.random.default_rng(42)
+        perm = np.random.default_rng(5).permutation(n)
+        idx_a, idx_b = perm[: n // 2], perm[n // 2 :]
+        for _ in range(5):
+            changed_c = ct.apply(agents_c, idx_a, idx_b, rng_c)
+            changed_d = dense.apply(agents_d, idx_a, idx_b, rng_d)
+            assert changed_c == changed_d
+            assert np.array_equal(agents_c, agents_d)
+        assert (agents_c != pop.to_agent_array(np.random.default_rng(7))).any()
+
+    def test_apply_rejects_states_outside_closure(self, oscillator):
+        pop = oscillator_population(oscillator.schema, 100)
+        ct = compile_table(oscillator, pop.counts.keys(), cache=None)
+        outside = [
+            c for c in range(oscillator.schema.num_states) if c not in ct.index
+        ]
+        if not outside:  # pragma: no cover
+            pytest.skip("every packed state is reachable")
+        agents = np.full(4, outside[0], dtype=np.int64)
+        with pytest.raises(ValueError):
+            ct.apply(
+                agents,
+                np.array([0, 1]),
+                np.array([2, 3]),
+                np.random.default_rng(0),
+            )
+
+    def test_engines_accept_compiled_table(self, oscillator):
+        n = 300
+        pop = oscillator_population(oscillator.schema, n)
+        ct = compile_table(oscillator, pop.counts.keys(), cache=None)
+        for cls in (ArrayEngine, MatchingEngine):
+            eng = cls(
+                oscillator,
+                oscillator_population(oscillator.schema, n),
+                rng=np.random.default_rng(1),
+                table=ct,
+            )
+            eng.run(rounds=3)
+            assert eng.population.n == n
+
+
+class TestFingerprintCache:
+    def test_miss_then_hit_then_memo(self, tmp_path):
+        protocol = leader_fight()
+        pop = Population.uniform(protocol.schema, 50, {"L": True})
+        codes = list(pop.counts.keys())
+        fp = protocol_fingerprint(protocol, codes)
+        _MEMO.pop(fp, None)
+
+        first = compile_table(protocol, codes, cache=str(tmp_path))
+        assert first.cache_status == "miss"
+        assert (tmp_path / (fp + ".npz")).exists()
+
+        _MEMO.pop(fp, None)
+        second = compile_table(protocol, codes, cache=str(tmp_path))
+        assert second.cache_status == "hit"
+        assert np.array_equal(second.codes, first.codes)
+        assert np.array_equal(second.out_p, first.out_p)
+        assert np.array_equal(second.p_change_matrix, first.p_change_matrix)
+
+        third = compile_table(protocol, codes, cache=str(tmp_path))
+        assert third.cache_status == "memo"
+        assert third is second
+
+    def test_mutated_protocol_misses_the_cache(self, tmp_path):
+        pop_codes = None
+        fingerprints = set()
+        for weight in (1.0, 2.0):
+            protocol = leader_fight(weight=weight)
+            pop = Population.uniform(protocol.schema, 50, {"L": True})
+            pop_codes = list(pop.counts.keys())
+            fingerprints.add(protocol_fingerprint(protocol, pop_codes))
+        assert len(fingerprints) == 2
+
+        # a rule-set mutation (extra rule) also changes the fingerprint
+        schema = StateSchema()
+        schema.flag("L")
+        mutated = single_thread(
+            "leader-fight",
+            schema,
+            [
+                Rule(V("L"), V("L"), None, {"L": False}),
+                Rule(~V("L"), V("L"), {"L": True}, None),
+            ],
+        )
+        fingerprints.add(protocol_fingerprint(mutated, pop_codes))
+        assert len(fingerprints) == 3
+
+        # and each variant gets its own cache file
+        for weight in (1.0, 2.0):
+            protocol = leader_fight(weight=weight)
+            pop = Population.uniform(protocol.schema, 50, {"L": True})
+            _MEMO.pop(protocol_fingerprint(protocol, pop.counts.keys()), None)
+            table = compile_table(
+                protocol, pop.counts.keys(), cache=str(tmp_path)
+            )
+            assert table.cache_status == "miss"
+        assert len(list(tmp_path.glob("*.npz"))) == 2
+
+    def test_initial_support_changes_fingerprint(self):
+        protocol = leader_fight()
+        all_l = Population.uniform(protocol.schema, 50, {"L": True})
+        mixed = Population.from_groups(
+            protocol.schema, [({"L": True}, 25), ({"L": False}, 25)]
+        )
+        assert protocol_fingerprint(
+            protocol, all_l.counts.keys()
+        ) != protocol_fingerprint(protocol, mixed.counts.keys())
+
+    def test_corrupt_cache_entry_recompiles(self, tmp_path):
+        protocol = leader_fight()
+        pop = Population.uniform(protocol.schema, 50, {"L": True})
+        codes = list(pop.counts.keys())
+        fp = protocol_fingerprint(protocol, codes)
+        _MEMO.pop(fp, None)
+        compile_table(protocol, codes, cache=str(tmp_path))
+        path = tmp_path / (fp + ".npz")
+        path.write_bytes(b"not an npz file")
+        _MEMO.pop(fp, None)
+        table = compile_table(protocol, codes, cache=str(tmp_path))
+        assert table.cache_status == "miss"  # corrupt file dropped, rebuilt
+        assert table.num_states == 2
+
+
+class TestFallbackRule:
+    def test_closure_limit_raises(self, oscillator):
+        pop = oscillator_population(oscillator.schema, 100)
+        with pytest.raises(RuntimeError):
+            compile_table(oscillator, pop.counts.keys(), limit=2, cache=None)
+
+    def test_engine_falls_back_to_lazy_table(self, oscillator):
+        pop = oscillator_population(oscillator.schema, 500)
+        eng = BatchCountEngine(
+            oscillator,
+            pop,
+            rng=np.random.default_rng(3),
+            compile_limit=2,
+            cache=None,
+        )
+        assert eng._ct is None
+        assert isinstance(eng.table, LazyTable)
+        eng.run(rounds=5)
+        assert eng.population.n == 500
+
+    def test_compiled_true_propagates_the_error(self, oscillator):
+        pop = oscillator_population(oscillator.schema, 100)
+        with pytest.raises(RuntimeError):
+            BatchCountEngine(
+                oscillator, pop, compiled=True, compile_limit=2, cache=None
+            )
+
+    def test_explicit_table_disables_compilation(self, oscillator):
+        pop = oscillator_population(oscillator.schema, 200)
+        table = LazyTable(oscillator)
+        eng = BatchCountEngine(
+            oscillator, pop, rng=np.random.default_rng(0), table=table
+        )
+        assert eng._ct is None
+        assert eng.table is table
+
+
+class TestEngineStats:
+    def test_batch_engine_reports_compiled_counters(self, oscillator):
+        pop = oscillator_population(oscillator.schema, 20000)
+        eng = BatchCountEngine(
+            oscillator, pop, rng=np.random.default_rng(0), cache=None
+        )
+        eng.run(rounds=20)
+        stats = eng.stats.as_dict()
+        assert stats["engine"] == "batch"
+        assert stats["runs"] == 1
+        assert stats["run_seconds"] > 0
+        assert stats["interactions"] == eng.interactions
+        assert stats["table_kind"] == "compiled"
+        assert stats["table_states"] == eng._ct.num_states
+        assert stats["table_cache"] == "off"
+        assert stats["batches"] == eng.batches
+        if eng.batches:
+            assert stats["active_states"] >= 1
+            assert stats["active_pairs_max"] >= stats["active_pairs_mean"] > 0
+            assert stats["kernel_seconds"] > 0
+        text = eng.stats.format()
+        assert "table_kind" in text and "compiled" in text
+
+    def test_every_engine_populates_stats(self, oscillator):
+        n = 200
+        for cls in (CountEngine, BatchCountEngine, ArrayEngine, MatchingEngine):
+            pop = oscillator_population(oscillator.schema, n)
+            eng = cls(oscillator, pop, rng=np.random.default_rng(1))
+            eng.run(rounds=2)
+            stats = eng.stats.as_dict()
+            assert stats["engine"] == cls.name
+            assert stats["runs"] == 1
+            assert stats["interactions"] > 0
+            assert "table_kind" in stats
+
+    def test_stats_accumulate_across_runs(self, oscillator):
+        pop = oscillator_population(oscillator.schema, 200)
+        eng = CountEngine(oscillator, pop, rng=np.random.default_rng(2))
+        eng.run(rounds=1)
+        eng.run(rounds=1)
+        assert eng.stats.runs == 2
+        assert eng.stats.rounds == pytest.approx(eng.rounds)

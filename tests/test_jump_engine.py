@@ -16,8 +16,15 @@ from repro.baselines.approx_majority import (
     approx_majority_population,
     make_approx_majority,
 )
+from repro.clocks import ClockParams, majority_phase, make_clock_protocol
 from repro.core import Population, Rule, StateSchema, V, single_thread
 from repro.engine import ArrayEngine, BatchCountEngine, CountEngine
+from repro.oscillator import (
+    make_oscillator_protocol,
+    species,
+    strong_value,
+    weak_value,
+)
 
 KS_SEEDS = 50
 KS_ALPHA = 0.01
@@ -221,5 +228,80 @@ class TestStatisticalEquivalence:
         jump = _hitting_times(
             lambda p, r: BatchCountEngine(epidemic, p, rng=r),
             make_pop, stop, (s + 1000 for s in seeds),
+        )
+        assert ks_2samp(exact, jump).pvalue > KS_ALPHA
+
+    def test_oscillator_equivalence(self):
+        # E3 workload: DK18 oscillator from a deep A1-dominant start; the
+        # statistic is the parallel time until A1 loses its majority (the
+        # first leg of the rotation), a hitting time that exercises the
+        # compiled active-pair batch math on a 7-state protocol whose
+        # interactions are mostly effective (no null-skipping shelter).
+        protocol = make_oscillator_protocol()
+        schema = protocol.schema
+        n = 400
+        a1 = species(0)
+
+        def make_pop():
+            c1, c2 = int(0.8 * (n - 3)), int(0.17 * (n - 3))
+            return Population.from_groups(
+                schema,
+                [
+                    ({"osc": strong_value(0)}, c1),
+                    ({"osc": weak_value(1)}, c2),
+                    ({"osc": weak_value(2)}, (n - 3) - c1 - c2),
+                    ({"osc": weak_value(0), "X": True}, 3),
+                ],
+            )
+
+        def dominance_lost(pop):
+            return pop.count(a1) < n // 2
+
+        seeds = range(KS_SEEDS)
+        exact = _hitting_times(
+            lambda p, r: CountEngine(protocol, p, rng=r),
+            make_pop, dominance_lost, seeds,
+        )
+        jump = _hitting_times(
+            lambda p, r: BatchCountEngine(protocol, p, rng=r),
+            make_pop, dominance_lost, (s + 1000 for s in seeds),
+        )
+        assert ks_2samp(exact, jump).pvalue > KS_ALPHA
+
+    def test_phase_clock_equivalence(self):
+        # E4 workload: the composed oscillator + phase clock C_o (k=2 ring,
+        # q = 168 reachable states); the statistic is the time of the first
+        # clock tick (majority phase leaving 0). This is the many-state
+        # regime the compiled kernels exist for — the legacy batch path
+        # degenerates to per-event stepping here.
+        params = ClockParams(module=12, k=2)
+        protocol = make_clock_protocol(params=params)
+        schema = protocol.schema
+        n = 300
+
+        def make_pop():
+            c1, c2 = int(0.8 * (n - 3)), int(0.17 * (n - 3))
+            return Population.from_groups(
+                schema,
+                [
+                    ({"osc": strong_value(0), "clk": 0}, c1),
+                    ({"osc": weak_value(1), "clk": 0}, c2),
+                    ({"osc": weak_value(2), "clk": 0}, (n - 3) - c1 - c2),
+                    ({"osc": weak_value(0), "X": True, "clk": 0}, 3),
+                ],
+            )
+
+        def ticked(pop):
+            phase, frac = majority_phase(pop, params)
+            return phase != 0 and frac >= 0.5
+
+        seeds = range(KS_SEEDS)
+        exact = _hitting_times(
+            lambda p, r: CountEngine(protocol, p, rng=r),
+            make_pop, ticked, seeds,
+        )
+        jump = _hitting_times(
+            lambda p, r: BatchCountEngine(protocol, p, rng=r),
+            make_pop, ticked, (s + 1000 for s in seeds),
         )
         assert ks_2samp(exact, jump).pvalue > KS_ALPHA
