@@ -21,6 +21,19 @@ path degenerates: its global min-count batch cap is throttled by the
 per-event stepping.  The compiled path's per-state cap keeps batching.
 Results (including engine perf counters) go to ``BENCH_kernels.json``;
 the acceptance bar is >= 3x wall clock at equal accuracy.
+
+Regression gate
+---------------
+Before overwriting them, the driver loads the *committed*
+``BENCH_engines.json`` / ``BENCH_kernels.json`` as baselines and compares
+the fresh run against them: a tracked engine/path whose wall time grows
+past ``--gate-wall-threshold`` x the baseline, or whose interaction count
+drifts more than ``--gate-interactions-tol`` relative, is flagged as a
+regression and the driver exits nonzero (in addition to the absolute
+speedup targets).  Baselines recorded at a different ``n`` / ``seed`` /
+``rounds`` are skipped with a note, so exploratory runs with custom sizes
+never trip the gate; ``--no-gate`` disables it entirely.  The verdict is
+printed and, on CI, appended to the GitHub step summary.
 """
 
 from __future__ import annotations
@@ -216,6 +229,129 @@ def kernels(n=KERNELS_N, rounds=KERNELS_ROUNDS, seed=0, cache="auto"):
     return payload
 
 
+# -- regression gate ---------------------------------------------------------
+
+#: Fresh wall time may grow to this multiple of the committed baseline
+#: before the gate flags it (absorbs machine-to-machine noise; override
+#: with --gate-wall-threshold or REPRO_BENCH_WALL_THRESHOLD).
+WALL_THRESHOLD = 2.5
+
+#: Relative drift allowed in interaction counts (same seed => the counts
+#: are deterministic, but legitimate engine changes move them a little).
+INTERACTIONS_TOL = 0.10
+
+
+def load_baseline(path):
+    """The committed bench JSON, or None when absent/unreadable."""
+    try:
+        with open(path) as handle:
+            return json.load(handle)
+    except (OSError, ValueError):
+        return None
+
+
+def _gate_records(label, fresh, baseline, wall_threshold, interactions_tol):
+    """Compare one fresh record dict against its baseline; yield verdicts."""
+    regressions = []
+    base_wall = baseline.get("wall_seconds")
+    wall = fresh.get("wall_seconds")
+    if base_wall and wall is not None and wall > base_wall * wall_threshold:
+        regressions.append(
+            "{}: wall {:.3f}s vs baseline {:.3f}s (> {:.2g}x threshold)".format(
+                label, wall, base_wall, wall_threshold
+            )
+        )
+    base_inter = baseline.get("interactions")
+    inter = fresh.get("interactions")
+    if base_inter and inter is not None:
+        drift = abs(inter - base_inter) / base_inter
+        if drift > interactions_tol:
+            regressions.append(
+                "{}: interactions {} vs baseline {} ({:.1%} drift > {:.1%} "
+                "tolerance)".format(
+                    label, inter, base_inter, drift, interactions_tol
+                )
+            )
+    return regressions
+
+
+def check_regressions(
+    fresh,
+    baseline,
+    *,
+    group_key,
+    config_keys,
+    wall_threshold=WALL_THRESHOLD,
+    interactions_tol=INTERACTIONS_TOL,
+):
+    """Gate one fresh payload against its committed baseline.
+
+    ``group_key`` names the dict of per-engine/per-path records
+    (``"engines"`` for the headline, ``"paths"`` for the kernel race);
+    ``config_keys`` are the fields that must match for the comparison to
+    be meaningful.  Returns ``(regressions, skipped_reason)``.
+    """
+    if baseline is None:
+        return [], "no committed baseline"
+    for key in config_keys:
+        if fresh.get(key) != baseline.get(key):
+            return [], "baseline recorded at {}={!r}, fresh run has {!r}".format(
+                key, baseline.get(key), fresh.get(key)
+            )
+    regressions = []
+    fresh_group = fresh.get(group_key) or {}
+    base_group = baseline.get(group_key) or {}
+    for name in sorted(set(fresh_group) & set(base_group)):
+        regressions.extend(
+            _gate_records(
+                "{}[{}]".format(fresh.get("experiment", group_key), name),
+                fresh_group[name],
+                base_group[name],
+                wall_threshold,
+                interactions_tol,
+            )
+        )
+    return regressions, None
+
+
+def run_gate(payloads_with_baselines, wall_threshold, interactions_tol):
+    """Print the regression verdict for every tracked bench; True = pass."""
+    print("regression gate (wall x{:.2g}, interactions {:.0%}):".format(
+        wall_threshold, interactions_tol
+    ))
+    lines = []
+    ok = True
+    for fresh, baseline, group_key, config_keys in payloads_with_baselines:
+        name = fresh.get("experiment", group_key)
+        regressions, skipped = check_regressions(
+            fresh,
+            baseline,
+            group_key=group_key,
+            config_keys=config_keys,
+            wall_threshold=wall_threshold,
+            interactions_tol=interactions_tol,
+        )
+        if skipped is not None:
+            lines.append("  SKIP {}: {}".format(name, skipped))
+        elif regressions:
+            ok = False
+            for regression in regressions:
+                lines.append("  REGRESSION {}".format(regression))
+        else:
+            lines.append("  OK {}".format(name))
+    for line in lines:
+        print(line)
+    verdict = "PASS" if ok else "FAIL"
+    print("  gate verdict: {}".format(verdict))
+    summary_path = os.environ.get("GITHUB_STEP_SUMMARY")
+    if summary_path:
+        with open(summary_path, "a") as handle:
+            handle.write("## Bench regression gate: {}\n\n".format(verdict))
+            for line in lines:
+                handle.write("- {}\n".format(line.strip()))
+    return ok
+
+
 def full_sweeps(engine="auto", processes=None):
     """The E1-E4 experiment sweeps through the replica runner."""
     import bench_e1_leader_election
@@ -253,7 +389,35 @@ def main(argv=None) -> int:
     ap.add_argument("--engine", choices=ENGINE_CHOICES, default="auto",
                     help="engine for the E1/E2 sweeps")
     ap.add_argument("--processes", type=int, default=None)
+    ap.add_argument(
+        "--no-gate", action="store_true",
+        help="skip the regression gate against the committed bench JSONs",
+    )
+    ap.add_argument(
+        "--baseline-dir", type=str, default=REPO_ROOT,
+        help="directory holding the baseline BENCH_*.json (default: repo root)",
+    )
+    ap.add_argument(
+        "--gate-wall-threshold", type=float,
+        default=float(os.environ.get("REPRO_BENCH_WALL_THRESHOLD",
+                                     WALL_THRESHOLD)),
+        help="flag wall time above this multiple of the baseline "
+        "(default {})".format(WALL_THRESHOLD),
+    )
+    ap.add_argument(
+        "--gate-interactions-tol", type=float, default=INTERACTIONS_TOL,
+        help="relative interaction-count drift allowed "
+        "(default {})".format(INTERACTIONS_TOL),
+    )
     args = ap.parse_args(argv)
+
+    # load the committed baselines BEFORE the fresh run overwrites them
+    baseline_engines = load_baseline(
+        os.path.join(args.baseline_dir, "BENCH_engines.json")
+    )
+    baseline_kernels = load_baseline(
+        os.path.join(args.baseline_dir, "BENCH_kernels.json")
+    )
 
     payload = headline(n=args.n, seed=args.seed)
     kernel_payload = kernels(
@@ -262,6 +426,17 @@ def main(argv=None) -> int:
     if not args.quick:
         full_sweeps(engine=args.engine, processes=args.processes)
     ok = payload["meets_target"] and kernel_payload["meets_target"]
+    if not args.no_gate:
+        gate_ok = run_gate(
+            [
+                (payload, baseline_engines, "engines", ("n", "seed")),
+                (kernel_payload, baseline_kernels, "paths",
+                 ("n", "seed", "rounds")),
+            ],
+            args.gate_wall_threshold,
+            args.gate_interactions_tol,
+        )
+        ok = ok and gate_ok
     return 0 if ok else 1
 
 

@@ -48,8 +48,11 @@ from .engine import (
     compile_table,
     map_replicas,
     run_replicas,
+    run_single_replica,
 )
+from .obs import Manifest, load_manifest, replay_replica, write_manifest
 from .simulate import ENGINE_CHOICES, ENGINES, make_engine, simulate
+from .workloads import Workload, build_workload
 
 __version__ = "1.1.0"
 
@@ -65,6 +68,7 @@ __all__ = [
     "EngineStats",
     "Formula",
     "LazyTable",
+    "Manifest",
     "MatchingEngine",
     "MeanFieldSystem",
     "Population",
@@ -76,13 +80,19 @@ __all__ = [
     "Thread",
     "Trace",
     "V",
+    "Workload",
+    "build_workload",
     "coin_rule",
     "compile_table",
     "compose",
+    "load_manifest",
     "make_engine",
     "map_replicas",
+    "replay_replica",
     "rule",
     "run_replicas",
+    "run_single_replica",
     "simulate",
     "single_thread",
+    "write_manifest",
 ]

@@ -9,6 +9,9 @@ Examples::
     python -m repro predicate --kind at-least --count 7 --threshold 5 --n 200
     python -m repro oscillator --n 4000 --steps 6000 --engine matching
     python -m repro run-program my_protocol.txt --n 1000 --iterations 20
+    python -m repro sweep epidemic --n 300 --replicas 8 --processes 4 \
+        --manifest runs/epidemic.jsonl --stats
+    python -m repro replay runs/epidemic.jsonl --index 3
 
 Every subcommand accepts a shared ``--engine {auto,batch,count,array,
 matching}`` flag (see :mod:`repro.simulate` and docs/ENGINES.md); ``auto``
@@ -174,6 +177,65 @@ def cmd_run_program(args) -> int:
     return 0
 
 
+def cmd_sweep(args) -> int:
+    from .engine.replicas import run_replicas
+    from .workloads import build_workload
+
+    params = {}
+    if args.n is not None:
+        params["n"] = args.n
+    workload = build_workload(args.workload, **params)
+    rs = run_replicas(
+        workload.protocol,
+        workload.population,
+        replicas=args.replicas,
+        engine=args.engine,
+        seed=args.seed if args.seed is not None else 0,
+        processes=args.processes,
+        stop=workload.stop,
+        manifest=args.manifest,
+        manifest_meta={"workload": workload.spec()},
+    )
+    summary = rs.summary()
+    print("sweep {}: {}".format(workload.name, summary))
+    if args.manifest:
+        print("manifest: {}".format(args.manifest))
+    if args.stats:
+        for tally in summary.engines.values():
+            print(tally.format(), file=sys.stderr)
+    fraction = summary.converged_fraction
+    return 0 if fraction is None or fraction == 1.0 else 1
+
+
+def cmd_replay(args) -> int:
+    from .obs import load_manifest, replay_replica
+
+    manifest = load_manifest(args.manifest)
+    original = manifest.record(args.index)
+    fresh = replay_replica(manifest, args.index)
+    match = (
+        fresh.rounds == original.rounds
+        and fresh.interactions == original.interactions
+        and fresh.converged == original.converged
+    )
+    print(
+        "replica {}: recorded rounds={:.4g} interactions={} converged={}".format(
+            original.index, original.rounds, original.interactions,
+            original.converged,
+        )
+    )
+    print(
+        "replayed  : rounds={:.4g} interactions={} converged={} -> {}".format(
+            fresh.rounds, fresh.interactions, fresh.converged,
+            "MATCH" if match else "MISMATCH",
+        )
+    )
+    if getattr(args, "stats", False) and fresh.stats:
+        for key, value in fresh.stats.items():
+            print("  {:<22} {}".format(key, value), file=sys.stderr)
+    return 0 if match else 1
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro",
@@ -240,13 +302,41 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--iterations", type=int, default=10)
     p.set_defaults(func=cmd_run_program)
 
+    p = add_parser(
+        "sweep",
+        help="replica fan-out over a named workload (writes a run manifest)",
+    )
+    from .workloads import WORKLOADS
+
+    p.add_argument("workload", choices=sorted(WORKLOADS))
+    p.add_argument("--n", type=int, default=None, help="population size")
+    p.add_argument("--replicas", type=int, default=8)
+    p.add_argument(
+        "--processes", type=int, default=None,
+        help="worker processes (default: REPRO_PROCESSES env, else the "
+        "affinity-aware CPU count)",
+    )
+    p.add_argument(
+        "--manifest", type=str, default=None,
+        help="write a JSONL run manifest (replayable via 'replay')",
+    )
+    p.set_defaults(func=cmd_sweep, stats_handled=True)
+
+    p = add_parser(
+        "replay",
+        help="re-run one replica of a manifest and check bit-identity",
+    )
+    p.add_argument("manifest", help="path to a JSONL run manifest")
+    p.add_argument("--index", type=int, default=0, help="replica index")
+    p.set_defaults(func=cmd_replay, stats_handled=True)
+
     return parser
 
 
 def main(argv=None) -> int:
     args = build_parser().parse_args(argv)
     code = args.func(args)
-    if getattr(args, "stats", False):
+    if getattr(args, "stats", False) and not getattr(args, "stats_handled", False):
         import importlib
 
         # NB: attribute access via the package would find the simulate()

@@ -16,14 +16,21 @@ from .scaling import (
     fit_stretched_exponential,
     polylog_degree_estimate,
 )
-from .replicas import ConvergenceStats, aggregate_convergence
-from .stats import Summary, print_table, success_rate, summarize
+from .replicas import (
+    ConvergenceStats,
+    EngineTally,
+    aggregate_convergence,
+    aggregate_engine_stats,
+)
+from .stats import Summary, print_table, success_rate, summarize, tally_counters
 
 __all__ = [
     "ConvergencePoint",
     "ConvergenceStats",
+    "EngineTally",
     "PowerFit",
     "aggregate_convergence",
+    "aggregate_engine_stats",
     "agreement_fraction",
     "convergence_time",
     "is_silent",
@@ -38,4 +45,5 @@ __all__ = [
     "print_table",
     "success_rate",
     "summarize",
+    "tally_counters",
 ]

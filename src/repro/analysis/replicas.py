@@ -5,21 +5,106 @@ Turns a collection of per-replica records (from
 mappings with ``rounds`` / ``interactions`` / ``wall`` / ``converged``
 entries) into the summary statistics the benches report: bootstrap medians
 of the convergence time in rounds and interactions, total/median wall
-clock, and the converged fraction.
+clock, the converged fraction — and, when the records carry per-worker
+``EngineStats`` payloads (``ReplicaRecord.stats``), a per-engine
+:class:`EngineTally` of the counters that would otherwise die at the
+process boundary: batches, fallbacks, kernel seconds, and the compiled
+transition-table cache provenance across all R workers.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass
-from typing import Any, Iterable, List, Optional
+from dataclasses import dataclass, field
+from typing import Any, Dict, Iterable, List, Optional
 
-from .stats import Summary, summarize
+from .stats import Summary, summarize, tally_counters
 
 
 def _get(record: Any, key: str, default=None):
     if isinstance(record, dict):
         return record.get(key, default)
     return getattr(record, key, default)
+
+
+@dataclass
+class EngineTally:
+    """Summed ``EngineStats`` counters of every replica run on one engine.
+
+    ``counters`` holds the numeric fields summed across replicas
+    (``interactions``, ``events``, ``batches``, ``fallbacks``,
+    ``kernel_seconds``, ``run_seconds``, ``stop_evals``, ...); fields no
+    replica reported are absent, not zero.  ``categories`` tallies the
+    non-numeric fields as ``{field: {value: replicas}}`` — in particular
+    ``table_cache`` records the compiled-table provenance mix (how many
+    workers compiled fresh vs hit the in-process memo or the on-disk
+    cache).
+    """
+
+    engine: str
+    replicas: int
+    counters: Dict[str, float] = field(default_factory=dict)
+    categories: Dict[str, Dict[str, int]] = field(default_factory=dict)
+
+    @property
+    def cache_hit_rate(self) -> Optional[float]:
+        """Fraction of workers whose compiled table came from a cache."""
+        statuses = self.categories.get("table_cache")
+        if not statuses:
+            return None
+        total = sum(statuses.values())
+        hits = sum(
+            count for status, count in statuses.items()
+            if status != "compiled"
+        )
+        return hits / total if total else None
+
+    def format(self) -> str:
+        """Human-readable one-counter-per-line rendering."""
+        lines = ["engine {} ({} replicas):".format(self.engine, self.replicas)]
+        for name, value in self.counters.items():
+            if isinstance(value, float) and not value.is_integer():
+                value = "{:.6g}".format(value)
+            lines.append("  {:<22} {}".format(name, value))
+        for name, buckets in self.categories.items():
+            mix = ", ".join(
+                "{}x {}".format(count, label)
+                for label, count in sorted(buckets.items())
+            )
+            lines.append("  {:<22} {}".format(name, mix))
+        rate = self.cache_hit_rate
+        if rate is not None:
+            lines.append("  {:<22} {:.0%}".format("table_cache_hit_rate", rate))
+        return "\n".join(lines)
+
+    def __str__(self) -> str:
+        return self.format()
+
+
+def aggregate_engine_stats(records: Iterable[Any]) -> Dict[str, EngineTally]:
+    """Group the records' ``stats`` dicts by engine and tally each group.
+
+    Records without a ``stats`` payload (hand-built dicts, pre-manifest
+    data) are skipped; an empty result means no record carried stats.
+    """
+    groups: Dict[str, List[Dict[str, Any]]] = {}
+    for record in records:
+        stats = _get(record, "stats")
+        if not stats:
+            continue
+        engine = stats.get("engine") or _get(record, "engine") or "unknown"
+        groups.setdefault(engine, []).append(stats)
+    tallies: Dict[str, EngineTally] = {}
+    for engine, stats_dicts in groups.items():
+        sums, categories = tally_counters(stats_dicts)
+        sums.pop("rounds", None)  # per-replica, summarized elsewhere
+        categories.pop("engine", None)
+        tallies[engine] = EngineTally(
+            engine=engine,
+            replicas=len(stats_dicts),
+            counters=sums,
+            categories=categories,
+        )
+    return tallies
 
 
 @dataclass
@@ -32,6 +117,9 @@ class ConvergenceStats:
     interactions: Optional[Summary]
     wall: Optional[Summary]
     wall_total: float
+    #: Per-engine :class:`EngineTally` of the workers' ``EngineStats``
+    #: (empty when the records carry no stats payloads).
+    engines: Dict[str, EngineTally] = field(default_factory=dict)
 
     def __str__(self) -> str:
         parts = ["{} replicas".format(self.replicas)]
@@ -40,15 +128,45 @@ class ConvergenceStats:
         parts.append("rounds {}".format(self.rounds))
         if self.wall is not None:
             parts.append("wall {:.2f}s total".format(self.wall_total))
+        for engine, tally in self.engines.items():
+            bits = ["{} x{}".format(engine, tally.replicas)]
+            for key in ("batches", "fallbacks"):
+                if key in tally.counters:
+                    bits.append("{} {:.0f}".format(key, tally.counters[key]))
+            if "kernel_seconds" in tally.counters:
+                bits.append(
+                    "kernel {:.2f}s".format(tally.counters["kernel_seconds"])
+                )
+            rate = tally.cache_hit_rate
+            if rate is not None:
+                bits.append("cache {:.0%}".format(rate))
+            parts.append("[{}]".format(" ".join(bits)))
         return ", ".join(parts)
 
 
 def aggregate_convergence(records: Iterable[Any]) -> ConvergenceStats:
-    """Aggregate per-replica records into :class:`ConvergenceStats`."""
+    """Aggregate per-replica records into :class:`ConvergenceStats`.
+
+    Every record must carry a ``rounds`` entry; a missing/None value
+    raises a ``ValueError`` naming the field and the offending record
+    index instead of letting ``float(None)`` surface an opaque
+    ``TypeError`` deep in numpy.
+    """
     records = list(records)
     if not records:
         raise ValueError("no replica records to aggregate")
-    rounds: List[float] = [float(_get(r, "rounds")) for r in records]
+    rounds: List[float] = []
+    for position, record in enumerate(records):
+        value = _get(record, "rounds")
+        if value is None:
+            index = _get(record, "index", position)
+            raise ValueError(
+                "replica record {} (index {}) has no 'rounds' field; "
+                "every record must report its elapsed parallel time".format(
+                    position, index
+                )
+            )
+        rounds.append(float(value))
     interactions = [_get(r, "interactions") for r in records]
     walls = [_get(r, "wall") for r in records]
     flags = [_get(r, "converged") for r in records]
@@ -64,4 +182,5 @@ def aggregate_convergence(records: Iterable[Any]) -> ConvergenceStats:
         else None,
         wall=summarize([float(w) for w in walls]) if have_wall else None,
         wall_total=float(sum(float(w) for w in walls)) if have_wall else 0.0,
+        engines=aggregate_engine_stats(records),
     )

@@ -1,10 +1,10 @@
 """Small statistics helpers shared by the benches: medians with bootstrap
-confidence intervals and tidy table printing."""
+confidence intervals, counter tallies, and tidy table printing."""
 
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import List, Optional, Sequence
+from typing import Dict, Iterable, List, Mapping, Optional, Sequence, Tuple
 
 import numpy as np
 
@@ -45,6 +45,30 @@ def summarize(
         high=float(high),
         trials=int(arr.size),
     )
+
+
+def tally_counters(
+    dicts: Iterable[Mapping[str, object]],
+) -> Tuple[Dict[str, float], Dict[str, Dict[str, int]]]:
+    """Merge a sequence of flat counter dicts (e.g. ``EngineStats.as_dict()``).
+
+    Numeric fields are *summed* across the inputs (missing keys count as
+    absent, not zero); non-numeric fields (table kind, cache provenance,
+    engine name, ...) are tallied as ``{field: {value: occurrences}}``.
+    Returns ``(sums, categories)``.  Booleans are treated as categories,
+    not numbers, so ``True``/``False`` flags keep their meaning.
+    """
+    sums: Dict[str, float] = {}
+    categories: Dict[str, Dict[str, int]] = {}
+    for counters in dicts:
+        for key, value in counters.items():
+            if isinstance(value, bool) or not isinstance(value, (int, float)):
+                bucket = categories.setdefault(key, {})
+                label = str(value)
+                bucket[label] = bucket.get(label, 0) + 1
+            else:
+                sums[key] = sums.get(key, 0) + value
+    return sums, categories
 
 
 def success_rate(outcomes: Sequence[bool]) -> float:

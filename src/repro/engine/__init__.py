@@ -7,7 +7,15 @@ from .jump import BatchCountEngine
 from .matching import MatchingEngine
 from .meanfield import MeanFieldSystem
 from .recorder import Trace
-from .replicas import ReplicaRecord, ReplicaSet, map_replicas, run_replicas, spawn_seeds
+from .replicas import (
+    ReplicaRecord,
+    ReplicaSet,
+    available_cpus,
+    map_replicas,
+    run_replicas,
+    run_single_replica,
+    spawn_seeds,
+)
 from .sequential import CountEngine
 from .table import LazyTable, PairOutcomes, reachable_codes
 
@@ -26,10 +34,12 @@ __all__ = [
     "ReplicaSet",
     "Trace",
     "apply_pairs",
+    "available_cpus",
     "compile_table",
     "map_replicas",
     "protocol_fingerprint",
     "reachable_codes",
     "run_replicas",
+    "run_single_replica",
     "spawn_seeds",
 ]

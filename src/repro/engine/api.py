@@ -31,6 +31,16 @@ Shared surface
     ``run_until(stop, max_rounds, **kwargs) -> bool`` is provided by the
     base class on top of ``run``.
 
+Stop verdicts
+    :meth:`Engine.run` wraps any ``stop`` predicate in a recorder, so
+    after the call :attr:`Engine.stop_verdict` holds the engine's *own*
+    last evaluation (``None`` if the run never evaluated it).
+    ``run_until``, the replica runner and the benches reuse that verdict
+    instead of calling ``stop`` again on the final population — a
+    stateful/hysteresis predicate (e.g. a clock-phase stop) can flip on a
+    second call and misreport convergence, so the predicate is never
+    re-evaluated once the engine has spoken.
+
 Time normalization caveat: for the sequential-scheduler engines one round
 is ``n`` interactions; for :class:`~repro.engine.matching.MatchingEngine`
 one round is one matching step (``n // 2`` simultaneous interactions), so
@@ -53,6 +63,28 @@ Observer = Callable[[float, Population], None]
 StopCondition = Callable[[Population], bool]
 
 
+class _StopRecorder:
+    """Wrap a stop predicate and remember the engine's last verdict.
+
+    :meth:`Engine.run` passes the wrapper (not the raw predicate) down to
+    the engine loops, so every internal evaluation is counted and the
+    final one becomes :attr:`Engine.stop_verdict` — the single source of
+    truth for "did the engine stop because ``stop`` held".
+    """
+
+    __slots__ = ("stop", "verdict", "calls")
+
+    def __init__(self, stop: StopCondition):
+        self.stop = stop
+        self.verdict: Optional[bool] = None
+        self.calls = 0
+
+    def __call__(self, population: Population) -> bool:
+        self.calls += 1
+        self.verdict = bool(self.stop(population))
+        return self.verdict
+
+
 class EngineStats:
     """Uniform perf counters reported by every engine.
 
@@ -72,6 +104,7 @@ class EngineStats:
         "interactions",
         "rounds",
         "events",
+        "stop_evals",
         "batches",
         "fallbacks",
         "kernel_seconds",
@@ -92,6 +125,7 @@ class EngineStats:
         "interactions",
         "rounds",
         "events",
+        "stop_evals",
         "batches",
         "fallbacks",
         "kernel_seconds",
@@ -213,6 +247,11 @@ class Engine(abc.ABC):
         self.rng = rng if rng is not None else np.random.default_rng()
         self.interactions = 0
         self.stats = EngineStats(self.name)
+        #: The engine's own last evaluation of the ``stop`` predicate during
+        #: the most recent :meth:`run` call — ``True``/``False`` as the
+        #: engine saw it, ``None`` if that run had no ``stop`` or never
+        #: evaluated it (e.g. a silent configuration with zero events).
+        self.stop_verdict: Optional[bool] = None
 
     # -- shared surface ----------------------------------------------------
     @property
@@ -248,19 +287,29 @@ class Engine(abc.ABC):
 
         Times the call and refreshes :attr:`stats` (the uniform
         :class:`EngineStats` counters) before returning; the actual
-        stepping is delegated to each engine's :meth:`_run`.
+        stepping is delegated to each engine's :meth:`_run`.  ``stop`` is
+        wrapped in a recorder so :attr:`stop_verdict` afterwards holds the
+        engine's own final evaluation — callers must reuse it instead of
+        re-evaluating a (possibly stateful) predicate.
         """
+        recorder = _StopRecorder(stop) if stop is not None else None
+        self.stop_verdict = None
         start = time.perf_counter()
         try:
             return self._run(
                 rounds=rounds,
                 interactions=interactions,
-                stop=stop,
+                stop=recorder,
                 observer=observer,
                 observe_every=observe_every,
                 **kwargs,
             )
         finally:
+            if recorder is not None:
+                self.stop_verdict = recorder.verdict
+                self.stats.stop_evals = (
+                    self.stats.stop_evals or 0
+                ) + recorder.calls
             self.stats.record_run(self, time.perf_counter() - start)
 
     @abc.abstractmethod
@@ -281,8 +330,15 @@ class Engine(abc.ABC):
         max_rounds: float,
         **kwargs,
     ) -> bool:
-        """Run until ``stop`` holds; returns whether it did within budget."""
+        """Run until ``stop`` holds; returns whether it did within budget.
+
+        The returned verdict is the engine's *own* last evaluation of
+        ``stop`` (see :attr:`stop_verdict`); the predicate is only called
+        here if the run never evaluated it at all.
+        """
         self.run(rounds=max_rounds, stop=stop, **kwargs)
+        if self.stop_verdict is not None:
+            return self.stop_verdict
         return bool(stop(self.population))
 
 

@@ -49,13 +49,25 @@ def spawn_seeds(seed: Optional[int], k: int) -> List[np.random.SeedSequence]:
 
 @dataclass
 class ReplicaRecord:
-    """Outcome of one replica run."""
+    """Outcome of one replica run.
+
+    Besides the convergence outcome, each record carries the worker's
+    full observability payload: ``engine`` (the resolved engine name),
+    ``stats`` (the worker's :class:`~repro.engine.api.EngineStats`
+    counters as a plain dict — they survive the process boundary), and
+    ``seed`` (the replica's seed-sequence coordinates,
+    ``{"entropy": ..., "spawn_key": [...]}``, enough to re-seed and
+    replay this exact replica — see :mod:`repro.obs`).
+    """
 
     index: int
     rounds: float
     interactions: int
     wall: float
     converged: Optional[bool] = None
+    engine: Optional[str] = None
+    stats: Optional[Dict[str, Any]] = None
+    seed: Optional[Dict[str, Any]] = None
     extra: Dict[str, Any] = field(default_factory=dict)
 
 
@@ -91,25 +103,81 @@ class ReplicaSet:
         return sum(flags) / len(flags)
 
     def summary(self):
-        """Convergence statistics (see :mod:`repro.analysis.replicas`)."""
+        """Convergence statistics (see :mod:`repro.analysis.replicas`).
+
+        Includes the per-engine :class:`~repro.analysis.replicas.EngineTally`
+        aggregation of every worker's ``EngineStats`` (batches, fallbacks,
+        kernel seconds, table cache provenance) under ``.engines``.
+        """
         from ..analysis.replicas import aggregate_convergence
 
         return aggregate_convergence(self.records)
+
+    def stats_by_engine(self):
+        """Per-engine aggregation of the workers' ``EngineStats`` dicts."""
+        from ..analysis.replicas import aggregate_engine_stats
+
+        return aggregate_engine_stats(self.records)
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return "ReplicaSet({} replicas)".format(len(self.records))
 
 
+def available_cpus() -> int:
+    """CPUs actually usable by this process (affinity-aware).
+
+    ``os.cpu_count()`` reports the machine, not the cgroup/affinity mask
+    CI runners and nested fan-outs actually get; prefer
+    ``os.process_cpu_count()`` (3.13+) or the scheduler affinity set.
+    """
+    getter = getattr(os, "process_cpu_count", None)
+    if getter is not None:
+        return getter() or 1
+    try:
+        return len(os.sched_getaffinity(0)) or 1
+    except (AttributeError, OSError):  # pragma: no cover - non-Linux fallback
+        return os.cpu_count() or 1
+
+
 def _resolve_processes(processes: Optional[int], replicas: int) -> int:
+    """Worker count: explicit argument > ``REPRO_PROCESSES`` > affinity.
+
+    The default (and the env override) is capped at :func:`available_cpus`
+    so fan-outs never oversubscribe a CI runner or a nested pool; an
+    explicit ``processes`` argument is honored as given (capped only at
+    the replica count).
+    """
     if processes is None:
-        processes = os.cpu_count() or 1
+        env = os.environ.get("REPRO_PROCESSES", "").strip()
+        if env:
+            try:
+                processes = int(env)
+            except ValueError:
+                raise ValueError(
+                    "REPRO_PROCESSES must be an integer, got {!r}".format(env)
+                ) from None
+        else:
+            processes = available_cpus()
+        processes = min(processes, available_cpus())
     return max(1, min(processes, replicas))
 
 
-def _engine_replica(payload) -> ReplicaRecord:
-    """Worker: run one seeded engine replica (top-level for pickling)."""
-    (index, seed_seq, protocol, population, engine, engine_opts, run_kwargs,
-     stop) = payload
+def run_single_replica(
+    index: int,
+    seed_seq: np.random.SeedSequence,
+    protocol: Protocol,
+    population: Population,
+    engine: str = "auto",
+    engine_opts: Optional[Dict[str, Any]] = None,
+    run_kwargs: Optional[Dict[str, Any]] = None,
+    stop: Optional[Callable[[Population], bool]] = None,
+) -> ReplicaRecord:
+    """Run one seeded replica and return its full record.
+
+    The single-replica body of :func:`run_replicas` — also the replay
+    primitive of :mod:`repro.obs`: the same ``(index, seed_seq, ...)``
+    inputs give a bit-identical record (minus wall time).
+    """
     from ..simulate import make_engine
 
     rng = np.random.default_rng(seed_seq)
@@ -117,16 +185,40 @@ def _engine_replica(payload) -> ReplicaRecord:
         protocol, population.copy(), engine=engine, rng=rng, **(engine_opts or {})
     )
     start = time.perf_counter()
-    eng.run(stop=stop, **run_kwargs)
+    eng.run(stop=stop, **(run_kwargs or {}))
     wall = time.perf_counter() - start
     final = eng.population
+    converged: Optional[bool] = None
+    if stop is not None:
+        # the engine's own verdict; never re-evaluate a (possibly
+        # stateful) predicate that the engine already stopped on
+        converged = eng.stop_verdict
+        if converged is None:  # run never evaluated stop (e.g. silent)
+            converged = bool(stop(final))
     return ReplicaRecord(
         index=index,
         rounds=float(eng.rounds),
         interactions=int(eng.interactions),
         wall=wall,
-        converged=bool(stop(final)) if stop is not None else None,
+        converged=converged,
+        engine=eng.name,
+        stats=eng.stats.as_dict(),
+        seed={
+            "entropy": seed_seq.entropy,
+            "spawn_key": list(seed_seq.spawn_key),
+        },
         extra={"support": final.support_size, "engine": eng.name},
+    )
+
+
+def _engine_replica(payload) -> ReplicaRecord:
+    """Worker: run one seeded engine replica (top-level for pickling)."""
+    (index, seed_seq, protocol, population, engine, engine_opts, run_kwargs,
+     stop) = payload
+    return run_single_replica(
+        index, seed_seq, protocol, population,
+        engine=engine, engine_opts=engine_opts, run_kwargs=run_kwargs,
+        stop=stop,
     )
 
 
@@ -154,6 +246,8 @@ def run_replicas(
     processes: Optional[int] = None,
     stop: Optional[Callable[[Population], bool]] = None,
     engine_opts: Optional[Dict[str, Any]] = None,
+    manifest: Optional[str] = None,
+    manifest_meta: Optional[Dict[str, Any]] = None,
     **run_kwargs,
 ) -> ReplicaSet:
     """Run ``replicas`` independently seeded copies of one simulation.
@@ -168,26 +262,54 @@ def run_replicas(
     seed:
         Root seed; replica ``k`` gets the ``k``-th spawned child stream.
     processes:
-        Worker processes (default: all cores, capped at ``replicas``);
+        Worker processes (default: the ``REPRO_PROCESSES`` env override,
+        else the affinity-aware CPU count; capped at ``replicas``);
         ``1`` runs in-process.
     stop:
-        Convergence predicate, evaluated by each replica's engine and once
-        more on the final population to fill ``ReplicaRecord.converged``.
+        Convergence predicate, evaluated by each replica's engine; the
+        engine's own final verdict fills ``ReplicaRecord.converged`` (the
+        predicate is *not* re-evaluated on the final population, so
+        stateful predicates report what the engine actually saw).
         Must be picklable (a module-level function or ``functools.partial``
         of one) when ``processes > 1``.
+    manifest:
+        Path of a JSONL run manifest to write (one header line plus one
+        record per replica; see :mod:`repro.obs`).  Any single replica can
+        be re-seeded and replayed bit-identically from it.
+    manifest_meta:
+        Extra JSON-serializable fields merged into the manifest header
+        (e.g. a ``workload`` spec that :func:`repro.obs.replay_replica`
+        can rebuild the protocol from).
     run_kwargs:
         Passed to ``engine.run`` (``rounds=...``, ``observe_every=...``, ...).
     """
     if replicas < 1:
         raise ValueError("need at least one replica")
-    seeds = spawn_seeds(seed, replicas)
+    root = np.random.SeedSequence(seed)
+    seeds = list(root.spawn(replicas))
     payloads = [
         (k, seeds[k], protocol, population, engine, engine_opts, run_kwargs, stop)
         for k in range(replicas)
     ]
     processes = _resolve_processes(processes, replicas)
     records = _fan_out(_engine_replica, payloads, processes)
-    return ReplicaSet(records)
+    replica_set = ReplicaSet(records)
+    if manifest is not None:
+        from ..obs import write_manifest
+
+        write_manifest(
+            manifest,
+            replica_set,
+            seed_entropy=root.entropy,
+            engine=engine,
+            engine_opts=engine_opts,
+            run_kwargs=run_kwargs,
+            protocol=protocol,
+            population=population,
+            processes=processes,
+            meta=manifest_meta,
+        )
+    return replica_set
 
 
 def map_replicas(

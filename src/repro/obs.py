@@ -1,0 +1,286 @@
+"""Run manifests: durable observability for replica fan-outs.
+
+Every multi-replica sweep is an experiment about a *distribution* of
+convergence times, so losing a single replica's context (its seed, its
+engine, its perf counters) means losing the ability to explain an outlier.
+This module gives :func:`repro.engine.replicas.run_replicas` a structured
+JSONL *run manifest*:
+
+* line 1 — one ``{"kind": "run", ...}`` header: schema version, root seed
+  entropy, engine name/options, run kwargs, worker count, a protocol
+  fingerprint (see :func:`repro.engine.compiled.protocol_fingerprint`)
+  and any caller-supplied metadata (typically a
+  :meth:`repro.workloads.Workload.spec` so the run can be rebuilt).
+* one ``{"kind": "replica", ...}`` line per replica: the replica's
+  seed-sequence coordinates (entropy + spawn key — enough to re-seed the
+  exact generator), resolved engine name, full ``EngineStats`` payload,
+  and the convergence outcome.
+
+The loader side turns a manifest back into live objects:
+:func:`load_manifest` parses the JSONL, :func:`replica_seed` rebuilds any
+replica's :class:`numpy.random.SeedSequence`, and :func:`replay_replica`
+re-runs one replica through the same single-replica primitive the pool
+workers use (:func:`repro.engine.replicas.run_single_replica`), giving a
+bit-identical record (modulo wall time) for debugging.
+
+Values in ``run_kwargs`` / ``engine_opts`` that do not survive JSON
+(observer callables, rng objects) are recorded as ``{"!repr": "..."}``
+placeholders and *excluded* from replay; everything the paper's sweeps
+pass (budgets, observe grids, batch knobs) round-trips exactly.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, List, Optional
+
+import numpy as np
+
+from .core.population import Population
+from .core.protocol import Protocol
+from .engine.replicas import ReplicaRecord, ReplicaSet, run_single_replica
+
+#: Manifest format version; bump on incompatible schema changes.
+SCHEMA_VERSION = 1
+
+
+def _jsonable(value: Any) -> Any:
+    """Best-effort JSON projection; irreplayable values become !repr."""
+    if isinstance(value, dict):
+        return {str(k): _jsonable(v) for k, v in value.items()}
+    if isinstance(value, (list, tuple)):
+        return [_jsonable(v) for v in value]
+    if isinstance(value, np.generic):
+        return value.item()
+    if value is None or isinstance(value, (bool, int, float, str)):
+        return value
+    return {"!repr": repr(value)}
+
+
+def _replayable(mapping: Optional[Dict[str, Any]]) -> Dict[str, Any]:
+    """Drop the !repr placeholders a manifest cannot replay."""
+    out: Dict[str, Any] = {}
+    for key, value in (mapping or {}).items():
+        if isinstance(value, dict) and set(value) == {"!repr"}:
+            continue
+        out[key] = value
+    return out
+
+
+def _protocol_summary(
+    protocol: Optional[Protocol], population: Optional[Population]
+) -> Optional[Dict[str, Any]]:
+    """Name + fingerprint of the protocol actually swept (if known)."""
+    if protocol is None:
+        return None
+    summary: Dict[str, Any] = {
+        "name": protocol.name,
+        "num_states": int(protocol.schema.num_states),
+    }
+    if population is not None:
+        from .engine.compiled import protocol_fingerprint
+
+        summary["fingerprint"] = protocol_fingerprint(
+            protocol, population.counts.keys()
+        )
+        summary["n"] = int(population.n)
+        summary["support"] = int(population.support_size)
+    return summary
+
+
+def write_manifest(
+    path: str,
+    replica_set: ReplicaSet,
+    *,
+    seed_entropy: Optional[int] = None,
+    engine: str = "auto",
+    engine_opts: Optional[Dict[str, Any]] = None,
+    run_kwargs: Optional[Dict[str, Any]] = None,
+    protocol: Optional[Protocol] = None,
+    population: Optional[Population] = None,
+    processes: Optional[int] = None,
+    meta: Optional[Dict[str, Any]] = None,
+) -> str:
+    """Write a JSONL run manifest for a completed replica fan-out.
+
+    Returns the path written.  The header line carries everything shared
+    by the sweep; each subsequent line is one replica's record.  Extra
+    ``meta`` fields are merged into the header (a ``workload`` spec there
+    lets :func:`replay_replica` rebuild the protocol without the caller
+    re-supplying it).
+    """
+    header: Dict[str, Any] = {
+        "kind": "run",
+        "schema_version": SCHEMA_VERSION,
+        "root_entropy": _jsonable(seed_entropy),
+        "replicas": len(replica_set),
+        "engine": engine,
+        "engine_opts": _jsonable(engine_opts or {}),
+        "run_kwargs": _jsonable(run_kwargs or {}),
+        "processes": processes,
+        "protocol": _protocol_summary(protocol, population),
+    }
+    for key, value in (meta or {}).items():
+        header[key] = _jsonable(value)
+    directory = os.path.dirname(os.path.abspath(path))
+    os.makedirs(directory, exist_ok=True)
+    with open(path, "w") as handle:
+        handle.write(json.dumps(header) + "\n")
+        for record in replica_set:
+            line = {
+                "kind": "replica",
+                "index": record.index,
+                "seed": _jsonable(record.seed),
+                "engine": record.engine,
+                "rounds": record.rounds,
+                "interactions": record.interactions,
+                "wall": record.wall,
+                "converged": record.converged,
+                "stats": _jsonable(record.stats),
+                "extra": _jsonable(record.extra),
+            }
+            handle.write(json.dumps(line) + "\n")
+    return path
+
+
+@dataclass
+class Manifest:
+    """A parsed run manifest: one header plus per-replica records."""
+
+    path: str
+    header: Dict[str, Any]
+    records: List[ReplicaRecord] = field(default_factory=list)
+
+    def __len__(self) -> int:
+        return len(self.records)
+
+    def __iter__(self):
+        return iter(self.records)
+
+    def record(self, index: int) -> ReplicaRecord:
+        """The record with replica ``index`` (not list position)."""
+        for record in self.records:
+            if record.index == index:
+                return record
+        raise KeyError(
+            "manifest {} has no replica with index {}".format(self.path, index)
+        )
+
+    def replica_set(self) -> ReplicaSet:
+        """The records as a :class:`ReplicaSet` (summary(), stats, ...)."""
+        return ReplicaSet(self.records)
+
+
+def load_manifest(path: str) -> Manifest:
+    """Parse a JSONL run manifest written by :func:`write_manifest`."""
+    header: Optional[Dict[str, Any]] = None
+    records: List[ReplicaRecord] = []
+    with open(path) as handle:
+        for line_number, line in enumerate(handle, start=1):
+            line = line.strip()
+            if not line:
+                continue
+            try:
+                payload = json.loads(line)
+            except json.JSONDecodeError as exc:
+                raise ValueError(
+                    "manifest {} line {} is not valid JSON: {}".format(
+                        path, line_number, exc
+                    )
+                ) from None
+            kind = payload.get("kind")
+            if kind == "run":
+                if header is not None:
+                    raise ValueError(
+                        "manifest {} has two header lines".format(path)
+                    )
+                version = payload.get("schema_version")
+                if version != SCHEMA_VERSION:
+                    raise ValueError(
+                        "manifest {} has schema_version {!r}; this reader "
+                        "understands {}".format(path, version, SCHEMA_VERSION)
+                    )
+                header = payload
+            elif kind == "replica":
+                records.append(
+                    ReplicaRecord(
+                        index=int(payload["index"]),
+                        rounds=float(payload["rounds"]),
+                        interactions=int(payload["interactions"]),
+                        wall=float(payload["wall"]),
+                        converged=payload.get("converged"),
+                        engine=payload.get("engine"),
+                        stats=payload.get("stats"),
+                        seed=payload.get("seed"),
+                        extra=payload.get("extra") or {},
+                    )
+                )
+            else:
+                raise ValueError(
+                    "manifest {} line {} has unknown kind {!r}".format(
+                        path, line_number, kind
+                    )
+                )
+    if header is None:
+        raise ValueError("manifest {} has no header line".format(path))
+    return Manifest(path=path, header=header, records=records)
+
+
+def replica_seed(record: ReplicaRecord) -> np.random.SeedSequence:
+    """Rebuild the exact :class:`~numpy.random.SeedSequence` of a replica."""
+    if not record.seed:
+        raise ValueError(
+            "replica {} carries no seed coordinates; the manifest predates "
+            "seed recording".format(record.index)
+        )
+    return np.random.SeedSequence(
+        entropy=record.seed["entropy"],
+        spawn_key=tuple(record.seed["spawn_key"]),
+    )
+
+
+def replay_replica(
+    manifest: Manifest,
+    index: int,
+    *,
+    protocol: Optional[Protocol] = None,
+    population: Optional[Population] = None,
+    stop: Optional[Callable[[Population], bool]] = None,
+) -> ReplicaRecord:
+    """Re-run one replica of a manifest and return the fresh record.
+
+    The protocol/population/stop triple is taken from the arguments when
+    given, else rebuilt from the header's ``workload`` spec (see
+    :mod:`repro.workloads`).  The replay goes through the same
+    single-replica primitive the pool workers use, seeded with the exact
+    recorded seed sequence, so ``rounds`` / ``interactions`` /
+    ``converged`` come back bit-identical to the original record (wall
+    time excepted).
+    """
+    record = manifest.record(index)
+    if protocol is None or population is None:
+        spec = manifest.header.get("workload")
+        if not spec:
+            raise ValueError(
+                "manifest {} records no workload spec; pass protocol= and "
+                "population= explicitly to replay".format(manifest.path)
+            )
+        from .workloads import build_workload
+
+        workload = build_workload(spec["name"], **_replayable(spec.get("params")))
+        protocol = workload.protocol
+        population = workload.population
+        if stop is None:
+            stop = workload.stop
+    return run_single_replica(
+        record.index,
+        replica_seed(record),
+        protocol,
+        population,
+        engine=manifest.header.get("engine", "auto"),
+        engine_opts=_replayable(manifest.header.get("engine_opts")),
+        run_kwargs=_replayable(manifest.header.get("run_kwargs")),
+        stop=stop,
+    )

@@ -1,0 +1,95 @@
+"""Named reference workloads for replica sweeps.
+
+A *workload* bundles everything :func:`repro.engine.replicas.run_replicas`
+needs — a protocol, an initial population, and a module-level (hence
+picklable) convergence predicate — behind a name and a parameter dict, so
+sweeps can be described declaratively: by the CLI (``python -m repro
+sweep epidemic --n 300 --replicas 8``), by the CI determinism smoke job,
+and by the run manifests of :mod:`repro.obs`, whose replay loader rebuilds
+the exact workload from the recorded ``{"name": ..., "params": ...}``
+spec.
+
+These are deliberately the small closed-form processes the paper leans
+on everywhere: the one-way epidemic (the O(log n) broadcast primitive
+behind every phase clock) and the leader fight ``L + L -> L + F`` (the
+pairwise-elimination core of Theorem 3.1's leader election).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, Tuple
+
+from .core import Population, Rule, StateSchema, V, single_thread
+from .core.protocol import Protocol
+
+
+def all_infected(population: Population) -> bool:
+    """Stop predicate of the ``epidemic`` workload: everyone has the bit."""
+    return population.all_satisfy(V("I"))
+
+
+def unique_leader(population: Population) -> bool:
+    """Stop predicate of the ``leader`` workload: exactly one L left."""
+    return population.count(V("L")) == 1
+
+
+def _build_epidemic(n: int = 300, infected: int = 1):
+    schema = StateSchema()
+    schema.flag("I")
+    protocol = single_thread(
+        "epidemic", schema, [Rule(V("I"), ~V("I"), None, {"I": True})]
+    )
+    population = Population.from_groups(
+        schema, [({"I": True}, infected), ({"I": False}, n - infected)]
+    )
+    return protocol, population, all_infected
+
+
+def _build_leader(n: int = 300):
+    schema = StateSchema()
+    schema.flag("L")
+    protocol = single_thread(
+        "leader-fight", schema, [Rule(V("L"), V("L"), None, {"L": False})]
+    )
+    population = Population.uniform(schema, n, {"L": True})
+    return protocol, population, unique_leader
+
+
+@dataclass
+class Workload:
+    """A named (protocol, population, stop) triple plus its build params."""
+
+    name: str
+    protocol: Protocol
+    population: Population
+    stop: Callable[[Population], bool]
+    params: Dict[str, Any] = field(default_factory=dict)
+
+    def spec(self) -> Dict[str, Any]:
+        """The JSON-serializable spec a manifest records for replay."""
+        return {"name": self.name, "params": dict(self.params)}
+
+
+#: Registry of workload builders by name.
+WORKLOADS: Dict[str, Callable[..., Tuple[Protocol, Population, Callable]]] = {
+    "epidemic": _build_epidemic,
+    "leader": _build_leader,
+}
+
+
+def build_workload(name: str, **params: Any) -> Workload:
+    """Build a registered workload; raises ``ValueError`` on unknown names."""
+    try:
+        builder = WORKLOADS[name]
+    except KeyError:
+        raise ValueError(
+            "unknown workload {!r}; choose from {}".format(
+                name, ", ".join(sorted(WORKLOADS))
+            )
+        ) from None
+    protocol, population, stop = builder(**params)
+    return Workload(
+        name=name, protocol=protocol, population=population, stop=stop,
+        params=params,
+    )

@@ -145,6 +145,87 @@ class TestConformance:
         assert eng.rounds >= 4.0 - 1e-9
 
 
+class CountingStop:
+    """Stop predicate that counts its evaluations (picklable)."""
+
+    def __init__(self):
+        self.calls = 0
+
+    def __call__(self, population):
+        self.calls += 1
+        return all_infected(population)
+
+
+class OneShotStop:
+    """Hysteresis predicate: answers True exactly once, then False.
+
+    Models the clock-phase stops used in E4, which latch on a phase
+    crossing — re-evaluating them after the engine has stopped flips the
+    answer and misreports convergence.
+    """
+
+    def __init__(self):
+        self.fired = False
+
+    def __call__(self, population):
+        if self.fired:
+            return False
+        if all_infected(population):
+            self.fired = True
+            return True
+        return False
+
+
+@pytest.mark.parametrize("engine_cls", ALL_ENGINES)
+class TestStopVerdict:
+    """The engine's own stop evaluation is captured once and reused."""
+
+    def test_verdict_recorded(self, engine_cls, epidemic):
+        pop = epidemic_population(epidemic.schema, 120)
+        eng = engine_cls(epidemic, pop, rng=np.random.default_rng(0))
+        eng.run(stop=all_infected)
+        assert eng.stop_verdict is True
+
+    def test_verdict_false_when_budget_exhausted(self, engine_cls, epidemic):
+        pop = epidemic_population(epidemic.schema, 500)
+        eng = engine_cls(epidemic, pop, rng=np.random.default_rng(1))
+        eng.run(rounds=0.5, stop=all_infected)
+        if eng.stop_verdict is not None:
+            assert eng.stop_verdict is False
+
+    def test_verdict_reset_between_runs(self, engine_cls, epidemic):
+        pop = epidemic_population(epidemic.schema, 120)
+        eng = engine_cls(epidemic, pop, rng=np.random.default_rng(2))
+        eng.run(stop=all_infected)
+        assert eng.stop_verdict is True
+        eng.run(rounds=1.0)
+        assert eng.stop_verdict is None
+
+    def test_run_until_does_not_reevaluate(self, engine_cls, epidemic):
+        pop = epidemic_population(epidemic.schema, 120)
+        eng = engine_cls(epidemic, pop, rng=np.random.default_rng(3))
+        stop = CountingStop()
+        assert eng.run_until(stop, max_rounds=500.0)
+        # every recorded call came from inside the engine loop: the
+        # wrapper's count and the predicate's own count must agree
+        assert stop.calls == eng.stats.stop_evals
+
+    def test_run_until_honours_hysteresis(self, engine_cls, epidemic):
+        pop = epidemic_population(epidemic.schema, 120)
+        eng = engine_cls(epidemic, pop, rng=np.random.default_rng(4))
+        stop = OneShotStop()
+        # the engine stops on the single True; a second evaluation would
+        # return False and misreport convergence
+        assert eng.run_until(stop, max_rounds=500.0) is True
+
+    def test_stop_evals_counter(self, engine_cls, epidemic):
+        pop = epidemic_population(epidemic.schema, 120)
+        eng = engine_cls(epidemic, pop, rng=np.random.default_rng(5))
+        stop = CountingStop()
+        eng.run(stop=stop)
+        assert eng.stats.stop_evals == stop.calls > 0
+
+
 class TestRequireBudget:
     def test_rejects_all_none(self):
         with pytest.raises(ValueError):

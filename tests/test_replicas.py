@@ -13,10 +13,20 @@ import pickle
 import numpy as np
 import pytest
 
-from repro.analysis import ConvergenceStats, aggregate_convergence
+from repro.analysis import (
+    ConvergenceStats,
+    EngineTally,
+    aggregate_convergence,
+    aggregate_engine_stats,
+)
 from repro.core import Population, Rule, StateSchema, V, single_thread
 from repro.engine import ReplicaSet, map_replicas, run_replicas
-from repro.engine.replicas import ReplicaRecord, spawn_seeds
+from repro.engine.replicas import (
+    ReplicaRecord,
+    _resolve_processes,
+    run_single_replica,
+    spawn_seeds,
+)
 
 
 def make_epidemic():
@@ -161,6 +171,18 @@ class TestRunReplicas:
         )
         assert rs.interactions.tolist() == serial.interactions.tolist()
 
+    @pytest.mark.slow
+    def test_determinism_across_process_counts(self):
+        # the CI determinism smoke: same root seed, 1 vs 4 workers
+        protocol, population = make_epidemic()
+        kwargs = dict(replicas=8, engine="count", seed=12, stop=all_infected)
+        serial = run_replicas(protocol, population, processes=1, **kwargs)
+        pooled = run_replicas(protocol, population, processes=4, **kwargs)
+        assert serial.interactions.tolist() == pooled.interactions.tolist()
+        assert serial.rounds.tolist() == pooled.rounds.tolist()
+        assert [r.converged for r in serial] == [r.converged for r in pooled]
+        assert [r.seed for r in serial] == [r.seed for r in pooled]
+
 
 def _square(seed_seq, offset=0):
     value = int(np.random.default_rng(seed_seq).integers(100))
@@ -223,3 +245,168 @@ class TestAggregation:
         stats = rs.summary()
         assert stats.replicas == 3
         assert "3 replicas" in str(stats)
+
+    def test_missing_rounds_raises_clear_error(self):
+        records = [
+            ReplicaRecord(index=0, rounds=5.0, interactions=10, wall=0.1),
+            ReplicaRecord(index=7, rounds=None, interactions=10, wall=0.1),
+        ]
+        with pytest.raises(ValueError) as excinfo:
+            aggregate_convergence(records)
+        message = str(excinfo.value)
+        assert "'rounds'" in message
+        assert "record 1" in message
+        assert "index 7" in message
+
+    def test_missing_rounds_in_dict_records(self):
+        with pytest.raises(ValueError, match="'rounds'"):
+            aggregate_convergence([{"rounds": 3.0}, {"interactions": 9}])
+
+
+class CountingStop:
+    """Stop predicate that counts its evaluations (picklable)."""
+
+    def __init__(self):
+        self.calls = 0
+
+    def __call__(self, population):
+        self.calls += 1
+        return population.all_satisfy(V("I"))
+
+
+class TestStopSingleEvaluation:
+    """The worker reuses the engine's own stop verdict (no double eval)."""
+
+    @pytest.mark.parametrize("engine", ["count", "batch"])
+    def test_stop_not_reevaluated_on_final_population(self, engine):
+        protocol, population = make_epidemic()
+        stop = CountingStop()
+        record = run_single_replica(
+            0, np.random.SeedSequence(3), protocol, population,
+            engine=engine, stop=stop,
+        )
+        assert record.converged is True
+        # every call happened inside the engine loop: the engine's own
+        # counter and the predicate's agree, so no extra post-hoc call
+        assert record.stats["stop_evals"] == stop.calls
+
+    def test_hysteresis_predicate_not_flipped(self):
+        # a latch that answers True exactly once (the E4 clock-phase
+        # shape): a second evaluation would flip the reported outcome
+        class OneShot:
+            fired = False
+
+            def __call__(self, population):
+                if self.fired:
+                    return False
+                if population.all_satisfy(V("I")):
+                    self.fired = True
+                    return True
+                return False
+
+        protocol, population = make_epidemic()
+        record = run_single_replica(
+            0, np.random.SeedSequence(4), protocol, population,
+            engine="count", stop=OneShot(),
+        )
+        assert record.converged is True
+
+    def test_silent_budget_run_still_fills_converged(self):
+        # a rounds-budget run whose engine never evaluates stop falls
+        # back to one (and only one) final evaluation
+        protocol, population = make_epidemic()
+        stop = CountingStop()
+        record = run_single_replica(
+            0, np.random.SeedSequence(5), protocol, population,
+            engine="count", stop=stop, run_kwargs={"rounds": 400.0},
+        )
+        assert record.converged is not None
+
+
+class TestResolveProcesses:
+    def test_explicit_argument_wins(self, monkeypatch):
+        monkeypatch.setenv("REPRO_PROCESSES", "1")
+        assert _resolve_processes(3, replicas=8) == 3
+
+    def test_env_override(self, monkeypatch):
+        monkeypatch.setattr(
+            "repro.engine.replicas.available_cpus", lambda: 16
+        )
+        monkeypatch.setenv("REPRO_PROCESSES", "2")
+        assert _resolve_processes(None, replicas=8) == 2
+
+    def test_env_capped_at_affinity(self, monkeypatch):
+        monkeypatch.setattr(
+            "repro.engine.replicas.available_cpus", lambda: 2
+        )
+        monkeypatch.setenv("REPRO_PROCESSES", "64")
+        assert _resolve_processes(None, replicas=8) == 2
+
+    def test_default_is_affinity(self, monkeypatch):
+        monkeypatch.delenv("REPRO_PROCESSES", raising=False)
+        monkeypatch.setattr(
+            "repro.engine.replicas.available_cpus", lambda: 4
+        )
+        assert _resolve_processes(None, replicas=8) == 4
+
+    def test_capped_at_replicas(self, monkeypatch):
+        monkeypatch.delenv("REPRO_PROCESSES", raising=False)
+        monkeypatch.setattr(
+            "repro.engine.replicas.available_cpus", lambda: 64
+        )
+        assert _resolve_processes(None, replicas=3) == 3
+
+    def test_bad_env_rejected(self, monkeypatch):
+        monkeypatch.setenv("REPRO_PROCESSES", "many")
+        with pytest.raises(ValueError, match="REPRO_PROCESSES"):
+            _resolve_processes(None, replicas=8)
+
+
+class TestEngineStatsThreading:
+    def _replica_set(self, engine="batch"):
+        protocol, population = make_epidemic()
+        return run_replicas(
+            protocol, population, replicas=4, engine=engine, seed=2,
+            processes=1, stop=all_infected,
+        )
+
+    def test_records_carry_stats_and_seed(self):
+        rs = self._replica_set()
+        for record in rs:
+            assert record.engine == "batch"
+            assert record.stats["engine"] == "batch"
+            assert record.stats["interactions"] == record.interactions
+            assert record.seed["entropy"] == 2
+            assert record.seed["spawn_key"] == [record.index]
+
+    def test_summary_aggregates_per_engine(self):
+        rs = self._replica_set()
+        summary = rs.summary()
+        assert set(summary.engines) == {"batch"}
+        tally = summary.engines["batch"]
+        assert isinstance(tally, EngineTally)
+        assert tally.replicas == 4
+        assert tally.counters["interactions"] == int(rs.interactions.sum())
+        assert tally.counters["runs"] == 4
+        assert "kernel_seconds" in tally.counters
+        assert "batch x4" in str(summary)
+
+    def test_stats_by_engine(self):
+        rs = self._replica_set(engine="count")
+        tallies = rs.stats_by_engine()
+        assert set(tallies) == {"count"}
+        assert tallies["count"].counters["events"] > 0
+        assert "engine count (4 replicas)" in tallies["count"].format()
+
+    def test_table_cache_provenance_tallied(self):
+        rs = self._replica_set()
+        tally = rs.stats_by_engine()["batch"]
+        statuses = tally.categories.get("table_cache")
+        assert statuses and sum(statuses.values()) == 4
+        assert tally.cache_hit_rate is not None
+
+    def test_records_without_stats_are_skipped(self):
+        tallies = aggregate_engine_stats(
+            [ReplicaRecord(index=0, rounds=1.0, interactions=5, wall=0.1)]
+        )
+        assert tallies == {}
