@@ -352,6 +352,130 @@ def run_gate(payloads_with_baselines, wall_threshold, interactions_tol):
     return ok
 
 
+def chaos(seed=0, processes=2):
+    """Fault-injection smoke: crash + hang + corrupt cache, then resume.
+
+    Exercises the supervised replica pool end to end: a sweep where one
+    replica always crashes its worker and another always hangs must
+    complete without raising and report both failures in ``summary()``;
+    resuming the manifest with the faults removed must reproduce the
+    clean (no-fault) sweep bit-identically.  Also checks corrupt-cache
+    recovery and measures the health guards' overhead on the kernel-race
+    workload.  Returns True on success.
+    """
+    import shutil
+    import tempfile
+
+    from repro import FaultPlan, resume_sweep, run_replicas
+    from repro.engine import BatchCountEngine, clear_memo, compile_table
+    from repro.faults import ALWAYS, corrupt_cache_entry
+    from repro.workloads import build_workload
+
+    print("chaos: supervised sweep with injected crash + hang, then resume")
+    workload = build_workload("epidemic", n=2000)
+    replicas = 6
+    common = dict(
+        replicas=replicas,
+        engine="batch",
+        seed=seed,
+        stop=workload.stop,
+        engine_opts={"guards": True},
+    )
+    workdir = tempfile.mkdtemp(prefix="repro-chaos-")
+    ok = True
+    try:
+        clean = run_replicas(
+            workload.protocol, workload.population, processes=1, **common
+        )
+        reference = [r.interactions for r in sorted(clean.ok, key=lambda r: r.index)]
+
+        plan = FaultPlan(
+            crash={1: ALWAYS}, hang={2: ALWAYS}, hang_seconds=30.0
+        )
+        manifest = os.path.join(workdir, "chaos.jsonl")
+        faulted = run_replicas(
+            workload.protocol,
+            workload.population,
+            processes=processes,
+            manifest=manifest,
+            manifest_meta={"workload": workload.spec()},
+            faults=plan,
+            timeout=5.0,
+            max_retries=1,
+            backoff=0.05,
+            **common,
+        )
+        summary = faulted.summary()
+        print("  faulted sweep: {}".format(summary))
+        failed_statuses = set(summary.failures)
+        if not failed_statuses >= {"failed", "timeout"}:
+            print("  FAIL: expected a 'failed' and a 'timeout' record, "
+                  "got {}".format(summary.failures))
+            ok = False
+
+        resumed = resume_sweep(manifest, processes=processes)
+        resumed_interactions = [
+            r.interactions for r in sorted(resumed.ok, key=lambda r: r.index)
+        ]
+        if resumed_interactions == reference and len(resumed.ok) == replicas:
+            print("  resume: bit-identical to the no-fault sweep "
+                  "({} replicas)".format(replicas))
+        else:
+            print("  FAIL: resumed sweep differs from the no-fault run")
+            ok = False
+
+        # corrupt-cache recovery: a truncated .npz must recompile cleanly
+        cache_dir = os.path.join(workdir, "cache")
+        os.makedirs(cache_dir)
+        codes = list(workload.population.counts.keys())
+        clear_memo()  # the sweeps above memoized this table in-process
+        compile_table(workload.protocol, codes, cache=cache_dir)
+        assert corrupt_cache_entry(cache_dir), "no cache entry was written"
+        clear_memo()
+        table = compile_table(workload.protocol, codes, cache=cache_dir)
+        if table.cache_status == "corrupt" and table.cache_corrupt == 1:
+            print("  corrupt cache entry: dropped and recompiled")
+        else:
+            print("  FAIL: corrupt cache not reported (status={})".format(
+                table.cache_status
+            ))
+            ok = False
+
+        # guard overhead on the kernel-race workload (target <= 5%; the
+        # 10% bar leaves noise headroom on loaded CI machines)
+        def _timed(guards):
+            protocol, population = _clock_workload(KERNELS_N)
+            eng = BatchCountEngine(
+                protocol,
+                population,
+                rng=np.random.default_rng(seed),
+                guards=guards,
+            )
+            start = time.perf_counter()
+            eng.run(rounds=KERNELS_ROUNDS)
+            return time.perf_counter() - start
+
+        _timed(None)  # warm the compile cache
+        bare = min(_timed(None) for _ in range(3))
+        guarded = min(_timed(True) for _ in range(3))
+        overhead = guarded / max(bare, 1e-9) - 1.0
+        print("  guard overhead on kernel race: {:+.1%} "
+              "(bare {:.3f}s, guarded {:.3f}s)".format(overhead, bare, guarded))
+        if overhead > 0.10:
+            print("  FAIL: guard overhead above the 10% chaos bar")
+            ok = False
+    finally:
+        shutil.rmtree(workdir, ignore_errors=True)
+    print("  chaos verdict: {}".format("PASS" if ok else "FAIL"))
+    summary_path = os.environ.get("GITHUB_STEP_SUMMARY")
+    if summary_path:
+        with open(summary_path, "a") as handle:
+            handle.write("## Chaos smoke: {}\n".format(
+                "PASS" if ok else "FAIL"
+            ))
+    return ok
+
+
 def full_sweeps(engine="auto", processes=None):
     """The E1-E4 experiment sweeps through the replica runner."""
     import bench_e1_leader_election
@@ -372,6 +496,11 @@ def main(argv=None) -> int:
     ap.add_argument(
         "--quick", action="store_true",
         help="headline + kernels comparisons only (skip the E1-E4 sweeps)",
+    )
+    ap.add_argument(
+        "--chaos", action="store_true",
+        help="fault-injection smoke only: crash + hang + corrupt-cache "
+        "sweep, resume bit-identity, guard overhead (skips the benches)",
     )
     ap.add_argument(
         "--n", type=int, default=HEADLINE_N,
@@ -410,6 +539,9 @@ def main(argv=None) -> int:
         "(default {})".format(INTERACTIONS_TOL),
     )
     args = ap.parse_args(argv)
+
+    if args.chaos:
+        return 0 if chaos(seed=args.seed, processes=args.processes or 2) else 1
 
     # load the committed baselines BEFORE the fresh run overwrites them
     baseline_engines = load_baseline(

@@ -40,17 +40,29 @@ from .engine import (
     CountEngine,
     Engine,
     EngineStats,
+    HealthMonitor,
     LazyTable,
     MatchingEngine,
     MeanFieldSystem,
     ReplicaSet,
+    SimulationHealthError,
     Trace,
     compile_table,
     map_replicas,
     run_replicas,
     run_single_replica,
+    supervise,
 )
-from .obs import Manifest, load_manifest, replay_replica, write_manifest
+from .faults import FaultPlan
+from .obs import (
+    Manifest,
+    ManifestWriter,
+    load_manifest,
+    replay_replica,
+    resume_sweep,
+    verify_fingerprint,
+    write_manifest,
+)
 from .simulate import ENGINE_CHOICES, ENGINES, make_engine, simulate
 from .workloads import Workload, build_workload
 
@@ -66,15 +78,19 @@ __all__ = [
     "ENGINE_CHOICES",
     "Engine",
     "EngineStats",
+    "FaultPlan",
     "Formula",
+    "HealthMonitor",
     "LazyTable",
     "Manifest",
+    "ManifestWriter",
     "MatchingEngine",
     "MeanFieldSystem",
     "Population",
     "Protocol",
     "ReplicaSet",
     "Rule",
+    "SimulationHealthError",
     "State",
     "StateSchema",
     "Thread",
@@ -89,10 +105,13 @@ __all__ = [
     "make_engine",
     "map_replicas",
     "replay_replica",
+    "resume_sweep",
     "rule",
     "run_replicas",
     "run_single_replica",
     "simulate",
     "single_thread",
+    "supervise",
+    "verify_fingerprint",
     "write_manifest",
 ]

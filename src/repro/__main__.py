@@ -11,6 +11,7 @@ Examples::
     python -m repro run-program my_protocol.txt --n 1000 --iterations 20
     python -m repro sweep epidemic --n 300 --replicas 8 --processes 4 \
         --manifest runs/epidemic.jsonl --stats
+    python -m repro sweep --resume runs/epidemic.jsonl
     python -m repro replay runs/epidemic.jsonl --index 3
 
 Every subcommand accepts a shared ``--engine {auto,batch,count,array,
@@ -181,28 +182,55 @@ def cmd_sweep(args) -> int:
     from .engine.replicas import run_replicas
     from .workloads import build_workload
 
-    params = {}
-    if args.n is not None:
-        params["n"] = args.n
-    workload = build_workload(args.workload, **params)
-    rs = run_replicas(
-        workload.protocol,
-        workload.population,
-        replicas=args.replicas,
-        engine=args.engine,
-        seed=args.seed if args.seed is not None else 0,
-        processes=args.processes,
-        stop=workload.stop,
-        manifest=args.manifest,
-        manifest_meta={"workload": workload.spec()},
-    )
+    if args.resume:
+        from .obs import resume_sweep
+
+        rs = resume_sweep(
+            args.resume,
+            processes=args.processes,
+            timeout=args.timeout,
+            max_retries=args.max_retries,
+        )
+        name = "resume {}".format(args.resume)
+        manifest_path = args.resume
+    else:
+        if args.workload is None:
+            print(
+                "error: a workload name is required unless --resume is given",
+                file=sys.stderr,
+            )
+            return 2
+        params = {}
+        if args.n is not None:
+            params["n"] = args.n
+        workload = build_workload(args.workload, **params)
+        rs = run_replicas(
+            workload.protocol,
+            workload.population,
+            replicas=args.replicas,
+            engine=args.engine,
+            seed=args.seed if args.seed is not None else 0,
+            processes=args.processes,
+            stop=workload.stop,
+            # sweeps run unattended, so the health guards default on;
+            # they add <5% on the batch engines (see docs/ROBUSTNESS.md)
+            engine_opts=None if args.no_guards else {"guards": True},
+            manifest=args.manifest,
+            manifest_meta={"workload": workload.spec()},
+            timeout=args.timeout,
+            max_retries=2 if args.max_retries is None else args.max_retries,
+        )
+        name = workload.name
+        manifest_path = args.manifest
     summary = rs.summary()
-    print("sweep {}: {}".format(workload.name, summary))
-    if args.manifest:
-        print("manifest: {}".format(args.manifest))
+    print("sweep {}: {}".format(name, summary))
+    if manifest_path:
+        print("manifest: {}".format(manifest_path))
     if args.stats:
         for tally in summary.engines.values():
             print(tally.format(), file=sys.stderr)
+    if summary.failures:
+        return 1
     fraction = summary.converged_fraction
     return 0 if fraction is None or fraction == 1.0 else 1
 
@@ -308,7 +336,10 @@ def build_parser() -> argparse.ArgumentParser:
     )
     from .workloads import WORKLOADS
 
-    p.add_argument("workload", choices=sorted(WORKLOADS))
+    p.add_argument(
+        "workload", nargs="?", choices=sorted(WORKLOADS),
+        help="workload name (omit when resuming via --resume)",
+    )
     p.add_argument("--n", type=int, default=None, help="population size")
     p.add_argument("--replicas", type=int, default=8)
     p.add_argument(
@@ -318,7 +349,28 @@ def build_parser() -> argparse.ArgumentParser:
     )
     p.add_argument(
         "--manifest", type=str, default=None,
-        help="write a JSONL run manifest (replayable via 'replay')",
+        help="write a JSONL run manifest (replayable via 'replay', "
+        "resumable via --resume)",
+    )
+    p.add_argument(
+        "--resume", type=str, default=None, metavar="MANIFEST",
+        help="finish an interrupted sweep: re-run only the replicas with "
+        "no ok record in MANIFEST (same seeds, bit-identical results) "
+        "and append them to it",
+    )
+    p.add_argument(
+        "--timeout", type=float, default=None,
+        help="per-replica wall-clock timeout in seconds (default: none)",
+    )
+    p.add_argument(
+        "--max-retries", type=int, default=None,
+        help="retries per failed/timed-out replica (default: 2, or the "
+        "manifest's recorded setting when resuming)",
+    )
+    p.add_argument(
+        "--no-guards", action="store_true",
+        help="disable the engine health guards that sweeps enable by "
+        "default (conservation, finiteness, overflow headroom)",
     )
     p.set_defaults(func=cmd_sweep, stats_handled=True)
 

@@ -47,15 +47,17 @@ class EngineTally:
 
     @property
     def cache_hit_rate(self) -> Optional[float]:
-        """Fraction of workers whose compiled table came from a cache."""
+        """Fraction of workers whose compiled table came from a cache.
+
+        Only ``"hit"`` (on-disk cache) and ``"memo"`` (in-process memo)
+        count as hits; ``"miss"``, ``"off"`` and ``"corrupt"`` (a cache
+        entry that failed to load and forced a recompile) do not.
+        """
         statuses = self.categories.get("table_cache")
         if not statuses:
             return None
         total = sum(statuses.values())
-        hits = sum(
-            count for status, count in statuses.items()
-            if status != "compiled"
-        )
+        hits = statuses.get("hit", 0) + statuses.get("memo", 0)
         return hits / total if total else None
 
     def format(self) -> str:
@@ -109,23 +111,53 @@ def aggregate_engine_stats(records: Iterable[Any]) -> Dict[str, EngineTally]:
 
 @dataclass
 class ConvergenceStats:
-    """Summary of a replica fan-out's convergence behaviour."""
+    """Summary of a replica fan-out's convergence behaviour.
+
+    ``replicas`` counts every record handed to the aggregator;
+    ``failures`` tallies the non-``ok`` ones by status (``"failed"``,
+    ``"timeout"``), and the convergence summaries (``rounds``,
+    ``interactions``, ``wall``, ``converged_fraction``) cover only the
+    ``ok`` records — a replica that died carries no meaningful timings.
+    ``rounds`` is ``None`` only when every replica failed.  ``retries``
+    is the total number of extra attempts the supervisor spent (0 when
+    every replica succeeded first try).
+    """
 
     replicas: int
     converged_fraction: Optional[float]
-    rounds: Summary
+    rounds: Optional[Summary]
     interactions: Optional[Summary]
     wall: Optional[Summary]
     wall_total: float
     #: Per-engine :class:`EngineTally` of the workers' ``EngineStats``
     #: (empty when the records carry no stats payloads).
     engines: Dict[str, EngineTally] = field(default_factory=dict)
+    #: Non-``ok`` record tally, e.g. ``{"failed": 1, "timeout": 2}``.
+    failures: Dict[str, int] = field(default_factory=dict)
+    #: Total retry attempts across all records (sum of ``attempts - 1``).
+    retries: int = 0
+
+    @property
+    def ok(self) -> int:
+        """Number of records the convergence summaries are built from."""
+        return self.replicas - sum(self.failures.values())
 
     def __str__(self) -> str:
         parts = ["{} replicas".format(self.replicas)]
+        if self.failures:
+            mix = ", ".join(
+                "{} {}".format(count, status)
+                for status, count in sorted(self.failures.items())
+            )
+            parts.append("{} failed ({})".format(
+                sum(self.failures.values()), mix
+            ))
+        if self.retries:
+            parts.append("{} retries".format(self.retries))
         if self.converged_fraction is not None:
             parts.append("{:.0%} converged".format(self.converged_fraction))
-        parts.append("rounds {}".format(self.rounds))
+        if self.rounds is not None:
+            parts.append("rounds {}".format(self.rounds))
         if self.wall is not None:
             parts.append("wall {:.2f}s total".format(self.wall_total))
         for engine, tally in self.engines.items():
@@ -147,40 +179,56 @@ class ConvergenceStats:
 def aggregate_convergence(records: Iterable[Any]) -> ConvergenceStats:
     """Aggregate per-replica records into :class:`ConvergenceStats`.
 
-    Every record must carry a ``rounds`` entry; a missing/None value
-    raises a ``ValueError`` naming the field and the offending record
-    index instead of letting ``float(None)`` surface an opaque
-    ``TypeError`` deep in numpy.
+    Records are partitioned by ``status`` (absent = ``"ok"``): the
+    convergence summaries cover only the ok records, while failed and
+    timed-out ones land in the ``failures`` tally — their NaN rounds
+    must not poison the bootstrap medians.  Every ok record must carry a
+    ``rounds`` entry; a missing/None value raises a ``ValueError``
+    naming the field and the offending record index instead of letting
+    ``float(None)`` surface an opaque ``TypeError`` deep in numpy.
     """
     records = list(records)
     if not records:
         raise ValueError("no replica records to aggregate")
+    failures: Dict[str, int] = {}
+    retries = 0
+    ok_records: List[Any] = []
+    for record in records:
+        retries += max(int(_get(record, "attempts", 1) or 1) - 1, 0)
+        status = _get(record, "status", "ok") or "ok"
+        if status == "ok":
+            ok_records.append(record)
+        else:
+            failures[status] = failures.get(status, 0) + 1
     rounds: List[float] = []
-    for position, record in enumerate(records):
+    for position, record in enumerate(ok_records):
         value = _get(record, "rounds")
         if value is None:
             index = _get(record, "index", position)
             raise ValueError(
                 "replica record {} (index {}) has no 'rounds' field; "
-                "every record must report its elapsed parallel time".format(
-                    position, index
-                )
+                "every ok record must report its elapsed parallel "
+                "time".format(position, index)
             )
         rounds.append(float(value))
-    interactions = [_get(r, "interactions") for r in records]
-    walls = [_get(r, "wall") for r in records]
-    flags = [_get(r, "converged") for r in records]
+    interactions = [_get(r, "interactions") for r in ok_records]
+    walls = [_get(r, "wall") for r in ok_records]
+    flags = [_get(r, "converged") for r in ok_records]
     flags = [f for f in flags if f is not None]
-    have_interactions = all(i is not None for i in interactions)
-    have_wall = all(w is not None for w in walls)
+    have_interactions = bool(ok_records) and all(
+        i is not None for i in interactions
+    )
+    have_wall = bool(ok_records) and all(w is not None for w in walls)
     return ConvergenceStats(
         replicas=len(records),
         converged_fraction=(sum(flags) / len(flags)) if flags else None,
-        rounds=summarize(rounds),
+        rounds=summarize(rounds) if rounds else None,
         interactions=summarize([float(i) for i in interactions])
         if have_interactions
         else None,
         wall=summarize([float(w) for w in walls]) if have_wall else None,
         wall_total=float(sum(float(w) for w in walls)) if have_wall else 0.0,
-        engines=aggregate_engine_stats(records),
+        engines=aggregate_engine_stats(ok_records),
+        failures=failures,
+        retries=retries,
     )

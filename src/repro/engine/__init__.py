@@ -2,7 +2,14 @@
 
 from .api import Engine, EngineStats
 from .batch import ArrayEngine, apply_pairs
-from .compiled import CompiledTable, compile_table, protocol_fingerprint
+from .compiled import (
+    CompiledTable,
+    clear_memo,
+    compile_table,
+    corrupt_cache_events,
+    protocol_fingerprint,
+)
+from .health import HealthMonitor, SimulationHealthError, resolve_guards
 from .jump import BatchCountEngine
 from .matching import MatchingEngine
 from .meanfield import MeanFieldSystem
@@ -10,11 +17,13 @@ from .recorder import Trace
 from .replicas import (
     ReplicaRecord,
     ReplicaSet,
+    TaskOutcome,
     available_cpus,
     map_replicas,
     run_replicas,
     run_single_replica,
     spawn_seeds,
+    supervise,
 )
 from .sequential import CountEngine
 from .table import LazyTable, PairOutcomes, reachable_codes
@@ -26,20 +35,27 @@ __all__ = [
     "CountEngine",
     "Engine",
     "EngineStats",
+    "HealthMonitor",
     "LazyTable",
     "MatchingEngine",
     "MeanFieldSystem",
     "PairOutcomes",
     "ReplicaRecord",
     "ReplicaSet",
+    "SimulationHealthError",
+    "TaskOutcome",
     "Trace",
     "apply_pairs",
     "available_cpus",
+    "clear_memo",
     "compile_table",
+    "corrupt_cache_events",
     "map_replicas",
     "protocol_fingerprint",
     "reachable_codes",
+    "resolve_guards",
     "run_replicas",
     "run_single_replica",
     "spawn_seeds",
+    "supervise",
 ]

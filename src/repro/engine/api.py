@@ -116,6 +116,7 @@ class EngineStats:
         "table_pairs",
         "table_compile_seconds",
         "table_cache",
+        "cache_corrupt",
     )
 
     _ORDER = (
@@ -137,6 +138,7 @@ class EngineStats:
         "table_pairs",
         "table_compile_seconds",
         "table_cache",
+        "cache_corrupt",
     )
 
     def __init__(self, engine_name: str):
@@ -179,6 +181,9 @@ class EngineStats:
             self.table_pairs = int(table.num_pairs)
             self.table_compile_seconds = float(table.compile_seconds)
             self.table_cache = table.cache_status
+            corrupt = int(getattr(table, "cache_corrupt", 0) or 0)
+            if corrupt:  # stays None (omitted) on the common clean path
+                self.cache_corrupt = corrupt
         elif hasattr(table, "ensure"):  # DenseTable
             self.table_kind = "dense"
             self.table_states = int(table.size)
@@ -237,8 +242,11 @@ class Engine(abc.ABC):
         protocol: Protocol,
         population: Population,
         rng: Optional[np.random.Generator],
+        guards: object = None,
     ) -> None:
         """Validate the (protocol, population) pair and set shared fields."""
+        from .health import resolve_guards
+
         if population.schema is not protocol.schema:
             raise ValueError("population and protocol use different schemas")
         if population.n < 2:
@@ -247,6 +255,9 @@ class Engine(abc.ABC):
         self.rng = rng if rng is not None else np.random.default_rng()
         self.interactions = 0
         self.stats = EngineStats(self.name)
+        #: Optional :class:`~repro.engine.health.HealthMonitor` invoked
+        #: from the stepping loops (``guards=`` constructor option).
+        self.guards = resolve_guards(guards)
         #: The engine's own last evaluation of the ``stop`` predicate during
         #: the most recent :meth:`run` call — ``True``/``False`` as the
         #: engine saw it, ``None`` if that run had no ``stop`` or never
@@ -294,6 +305,10 @@ class Engine(abc.ABC):
         """
         recorder = _StopRecorder(stop) if stop is not None else None
         self.stop_verdict = None
+        if self.guards is not None:
+            # attach() is idempotent per engine: the first run records the
+            # expected population size and vets any compiled table.
+            self.guards.attach(self)
         start = time.perf_counter()
         try:
             return self._run(

@@ -106,8 +106,9 @@ class ArrayEngine(Engine):
         rng: Optional[np.random.Generator] = None,
         table: Optional[LazyTable] = None,
         batch_pairs: Optional[int] = None,
+        guards: object = None,
     ):
-        self._init_common(protocol, population, rng)
+        self._init_common(protocol, population, rng, guards=guards)
         if protocol.schema.num_states >= 2 ** 62:
             raise ValueError(
                 "packed state space too large for int64 agent arrays; "

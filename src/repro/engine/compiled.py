@@ -63,6 +63,20 @@ CACHE_ENV = "REPRO_TABLE_CACHE"
 #: In-process memo: fingerprint -> CompiledTable (shared, read-only arrays).
 _MEMO: Dict[str, "CompiledTable"] = {}
 
+#: Process-wide count of corrupt on-disk cache entries discarded by
+#: :meth:`CompiledTable.load` (mutable cell so the classmethod can bump it).
+_CORRUPT_EVENTS = [0]
+
+
+def clear_memo() -> None:
+    """Drop the in-process compiled-table memo (tests / fault injection)."""
+    _MEMO.clear()
+
+
+def corrupt_cache_events() -> int:
+    """Total corrupt cache entries this process has discarded so far."""
+    return _CORRUPT_EVENTS[0]
+
 
 def default_cache_dir() -> Optional[str]:
     """Resolve the on-disk cache directory (``None`` = disk cache off)."""
@@ -149,8 +163,11 @@ class CompiledTable:
         self.fingerprint = fingerprint
         self.compile_seconds = compile_seconds
         #: how this table was obtained: "miss" (freshly compiled), "hit"
-        #: (loaded from disk), "memo" (in-process reuse), "off" (no cache)
+        #: (loaded from disk), "memo" (in-process reuse), "off" (no cache),
+        #: "corrupt" (cache entry existed but failed to load; recompiled)
         self.cache_status = cache_status
+        #: corrupt cache entries discarded while obtaining this table
+        self.cache_corrupt = 0
         self._entries: Dict[Tuple[int, int], PairOutcomes] = {}
         # lazily built padded arrays for the vectorized apply() path
         self._pad_cum: Optional[np.ndarray] = None
@@ -388,6 +405,7 @@ class CompiledTable:
                 )
         except Exception:
             # corrupt / truncated cache entry: recompile rather than crash
+            _CORRUPT_EVENTS[0] += 1
             try:
                 os.unlink(path)
             except OSError:
@@ -425,6 +443,7 @@ def compile_table(
             return memo
         cache_dir = default_cache_dir() if cache == "auto" else str(cache)
         if cache_dir is not None:
+            corrupt_before = _CORRUPT_EVENTS[0]
             loaded = CompiledTable.load(protocol, fingerprint, cache_dir)
             if loaded is not None:
                 if loaded.num_states > limit:
@@ -442,6 +461,10 @@ def compile_table(
         table.cache_status = "miss"
         cache_dir = default_cache_dir() if cache == "auto" else str(cache)
         if cache_dir is not None:
+            corrupted = _CORRUPT_EVENTS[0] - corrupt_before
+            if corrupted:
+                table.cache_status = "corrupt"
+                table.cache_corrupt = corrupted
             table.save(cache_dir)
         _MEMO[fingerprint] = table
     return table

@@ -128,6 +128,7 @@ class BatchCountEngine(CountEngine):
         compiled: Union[None, bool, CompiledTable] = None,
         compile_limit: int = COMPILE_STATE_LIMIT,
         cache: object = "auto",
+        guards: object = None,
     ):
         if batch is not None and batch < 1:
             raise ValueError("batch must be a positive integer or None")
@@ -149,7 +150,7 @@ class BatchCountEngine(CountEngine):
                 ct = None  # closure too large: legacy LazyTable path
         if ct is not None and table is None:
             table = ct  # exact fallback shares the compiled probabilities
-        super().__init__(protocol, population, rng=rng, table=table)
+        super().__init__(protocol, population, rng=rng, table=table, guards=guards)
 
         self.batch = batch
         self.accuracy = float(accuracy)
@@ -447,6 +448,15 @@ class BatchCountEngine(CountEngine):
                 act, weights = self._active_weights()
             else:
                 weights = self._effective_weights()
+            if self.guards is not None:
+                # NaN weights would otherwise degrade silently (cap=0 →
+                # exact path) — vet them before they feed any arithmetic.
+                if use_compiled:
+                    self.guards.check_weights(
+                        self, weights, codes=self._ct.codes[act]
+                    )
+                else:
+                    self.guards.check_weights(self, weights, codes=self._codes)
             total_weight = float(weights.sum())
             p_change = total_weight / pairs_total
             if p_change <= 1e-15:
@@ -489,6 +499,8 @@ class BatchCountEngine(CountEngine):
                 if stop is not None and stop(self._population):
                     break
                 continue
+            if self.guards is not None:
+                self.guards.check_batch(self, batch)
 
             if use_compiled:
                 self._active_count += 1
@@ -530,6 +542,8 @@ class BatchCountEngine(CountEngine):
                 self.events += self._batch_events
                 events_done += self._batch_events
                 self.batches += 1
+                if self.guards is not None:
+                    self.guards.after_batch(self)
                 emit_up_to(self.interactions)
             if stop is not None and stop(self._population):
                 break

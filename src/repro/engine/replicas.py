@@ -21,6 +21,25 @@ no pool overhead.  Replica seeds come from
 :meth:`numpy.random.SeedSequence.spawn`, guaranteeing independent streams
 regardless of worker scheduling.
 
+Fault tolerance
+---------------
+The fan-out is *supervised* (:func:`supervise`): each worker process owns
+a duplex pipe to the parent, which attributes every crash, hang and
+exception to the specific replica that caused it.  A replica that fails
+or exceeds the per-replica ``timeout`` is retried up to ``max_retries``
+times with exponential backoff on a **fresh seed child**
+(``SeedSequence(root_entropy, spawn_key=(k, attempt))``, recorded as
+``seed["retry_of"]``); dead workers are reaped and replaced without
+disturbing the replicas running on their siblings.  Exhausted replicas
+come back as explicit ``ReplicaRecord(status="failed"|"timeout", ...)``
+records instead of raising — ``summary()`` reports the failure tally and
+aggregates only the ``ok`` records.  A
+:class:`~repro.engine.health.SimulationHealthError` from a worker is
+**non-retryable** (the failure is deterministic in the seed), and a
+:class:`TimeoutError` subclass raised *inside* a worker (e.g. an injected
+hang under ``processes=1``) is recorded with ``status="timeout"`` just
+like a supervisor-enforced deadline.
+
 The usual spawn caveats apply with ``processes > 1``: ``stop``/``task``
 callables must be module-level (or ``functools.partial`` of one), and the
 calling ``__main__`` must be an importable file — from a REPL or stdin
@@ -29,16 +48,20 @@ script, use ``processes=1``.
 
 from __future__ import annotations
 
+import heapq
 import multiprocessing
+import multiprocessing.connection
 import os
 import time
+from collections import deque
 from dataclasses import dataclass, field
-from typing import Any, Callable, Dict, List, Optional, Sequence
+from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
 
 from ..core.population import Population
 from ..core.protocol import Protocol
+from .health import SimulationHealthError
 
 
 def spawn_seeds(seed: Optional[int], k: int) -> List[np.random.SeedSequence]:
@@ -58,6 +81,14 @@ class ReplicaRecord:
     ``seed`` (the replica's seed-sequence coordinates,
     ``{"entropy": ..., "spawn_key": [...]}``, enough to re-seed and
     replay this exact replica — see :mod:`repro.obs`).
+
+    Supervision fields: ``status`` is ``"ok"`` for a completed run,
+    ``"failed"`` for a replica whose worker crashed or raised (``error``
+    holds the reason), ``"timeout"`` for one that exceeded the
+    supervisor's per-replica deadline; ``attempts`` counts how many times
+    the replica was started (1 = no retries).  A retried replica's
+    ``seed`` carries ``retry_of`` (the original spawn key) alongside the
+    fresh retry coordinates.
     """
 
     index: int
@@ -69,10 +100,19 @@ class ReplicaRecord:
     stats: Optional[Dict[str, Any]] = None
     seed: Optional[Dict[str, Any]] = None
     extra: Dict[str, Any] = field(default_factory=dict)
+    status: str = "ok"
+    error: Optional[str] = None
+    attempts: int = 1
 
 
 class ReplicaSet:
-    """Aggregated outcomes of a replica fan-out."""
+    """Aggregated outcomes of a replica fan-out.
+
+    The numeric array views (``rounds``/``interactions``/``wall``) and
+    ``converged_fraction`` cover only the ``ok`` records — failed and
+    timed-out replicas have no meaningful convergence numbers; inspect
+    them via :attr:`failures` and the tally in :meth:`summary`.
+    """
 
     def __init__(self, records: Sequence[ReplicaRecord]):
         self.records = list(records)
@@ -84,20 +124,30 @@ class ReplicaSet:
         return iter(self.records)
 
     @property
+    def ok(self) -> List[ReplicaRecord]:
+        """Records of replicas that completed successfully."""
+        return [r for r in self.records if getattr(r, "status", "ok") == "ok"]
+
+    @property
+    def failures(self) -> List[ReplicaRecord]:
+        """Records of replicas that failed or timed out."""
+        return [r for r in self.records if getattr(r, "status", "ok") != "ok"]
+
+    @property
     def rounds(self) -> np.ndarray:
-        return np.array([r.rounds for r in self.records], dtype=float)
+        return np.array([r.rounds for r in self.ok], dtype=float)
 
     @property
     def interactions(self) -> np.ndarray:
-        return np.array([r.interactions for r in self.records], dtype=float)
+        return np.array([r.interactions for r in self.ok], dtype=float)
 
     @property
     def wall(self) -> np.ndarray:
-        return np.array([r.wall for r in self.records], dtype=float)
+        return np.array([r.wall for r in self.ok], dtype=float)
 
     @property
     def converged_fraction(self) -> Optional[float]:
-        flags = [r.converged for r in self.records if r.converged is not None]
+        flags = [r.converged for r in self.ok if r.converged is not None]
         if not flags:
             return None
         return sum(flags) / len(flags)
@@ -171,19 +221,28 @@ def run_single_replica(
     engine_opts: Optional[Dict[str, Any]] = None,
     run_kwargs: Optional[Dict[str, Any]] = None,
     stop: Optional[Callable[[Population], bool]] = None,
+    faults: Optional[Any] = None,
+    attempt: int = 0,
 ) -> ReplicaRecord:
     """Run one seeded replica and return its full record.
 
     The single-replica body of :func:`run_replicas` — also the replay
     primitive of :mod:`repro.obs`: the same ``(index, seed_seq, ...)``
-    inputs give a bit-identical record (minus wall time).
+    inputs give a bit-identical record (minus wall time).  ``faults`` is
+    an optional :class:`repro.faults.FaultPlan` whose injectors fire
+    here, inside the worker; ``attempt`` is the supervisor's retry
+    counter (0 on the first attempt).
     """
     from ..simulate import make_engine
 
+    if faults is not None:
+        faults.before_run(index, attempt)
     rng = np.random.default_rng(seed_seq)
     eng = make_engine(
         protocol, population.copy(), engine=engine, rng=rng, **(engine_opts or {})
     )
+    if faults is not None:
+        faults.tamper_engine(eng, index, attempt)
     start = time.perf_counter()
     eng.run(stop=stop, **(run_kwargs or {}))
     wall = time.perf_counter() - start
@@ -195,6 +254,12 @@ def run_single_replica(
         converged = eng.stop_verdict
         if converged is None:  # run never evaluated stop (e.g. silent)
             converged = bool(stop(final))
+    seed_coords: Dict[str, Any] = {
+        "entropy": seed_seq.entropy,
+        "spawn_key": list(seed_seq.spawn_key),
+    }
+    if attempt > 0:
+        seed_coords["retry_of"] = [index]
     return ReplicaRecord(
         index=index,
         rounds=float(eng.rounds),
@@ -203,22 +268,23 @@ def run_single_replica(
         converged=converged,
         engine=eng.name,
         stats=eng.stats.as_dict(),
-        seed={
-            "entropy": seed_seq.entropy,
-            "spawn_key": list(seed_seq.spawn_key),
-        },
+        seed=seed_coords,
         extra={"support": final.support_size, "engine": eng.name},
+        status="ok",
+        attempts=attempt + 1,
     )
 
 
 def _engine_replica(payload) -> ReplicaRecord:
     """Worker: run one seeded engine replica (top-level for pickling)."""
     (index, seed_seq, protocol, population, engine, engine_opts, run_kwargs,
-     stop) = payload
+     stop, *rest) = payload
+    faults = rest[0] if len(rest) > 0 else None
+    attempt = rest[1] if len(rest) > 1 else 0
     return run_single_replica(
         index, seed_seq, protocol, population,
         engine=engine, engine_opts=engine_opts, run_kwargs=run_kwargs,
-        stop=stop,
+        stop=stop, faults=faults, attempt=attempt,
     )
 
 
@@ -228,12 +294,377 @@ def _task_replica(payload):
     return task(seed_seq)
 
 
-def _fan_out(worker: Callable, payloads: List, processes: int) -> List:
-    if processes <= 1:
-        return [worker(p) for p in payloads]
+# ---------------------------------------------------------------------------
+# Supervised worker pool
+# ---------------------------------------------------------------------------
+
+@dataclass
+class TaskOutcome:
+    """Final fate of one supervised task (after any retries)."""
+
+    key: Any
+    status: str  # "ok" | "failed" | "timeout"
+    value: Any = None
+    error: Optional[str] = None
+    attempts: int = 1
+    wall: float = 0.0  # wall time of the *final* attempt
+
+
+def _describe_error(exc: BaseException) -> str:
+    return "{}: {}".format(type(exc).__name__, exc)
+
+
+def _pool_worker_main(conn, worker: Callable) -> None:
+    """Worker-process loop: serve ``(task_id, payload)`` requests.
+
+    Replies ``(task_id, status, value, nonretryable)`` per task; a
+    ``None`` message (or a closed pipe) shuts the worker down.  All
+    exceptions — including :class:`TimeoutError` subclasses, reported
+    with ``status="timeout"`` — are turned into replies, never tracebacks:
+    the parent decides what to do with them.
+    """
+    while True:
+        try:
+            msg = conn.recv()
+        except (EOFError, OSError):
+            break
+        if msg is None:
+            break
+        task_id, payload = msg
+        try:
+            # ack starts the parent's wall-clock deadline: a fresh spawn
+            # spends noticeable time importing before it can begin work,
+            # and that startup cost must not eat into the task's timeout
+            conn.send(("ack", task_id))
+        except (BrokenPipeError, OSError):
+            break
+        try:
+            reply = ("done", task_id, "ok", worker(payload), False)
+        except BaseException as exc:  # noqa: BLE001 - report, don't die
+            status = "timeout" if isinstance(exc, TimeoutError) else "failed"
+            nonretryable = isinstance(exc, SimulationHealthError)
+            reply = ("done", task_id, status, _describe_error(exc), nonretryable)
+        try:
+            conn.send(reply)
+        except (BrokenPipeError, OSError):
+            break
+        except Exception as exc:  # unpicklable result
+            conn.send(("done", task_id, "failed", _describe_error(exc), True))
+    conn.close()
+
+
+class _PoolWorker:
+    """Parent-side handle of one supervised worker process."""
+
+    __slots__ = ("process", "conn", "task_id", "started", "deadline")
+
+    def __init__(self, ctx, worker: Callable):
+        self.conn, child = ctx.Pipe(duplex=True)
+        self.process = ctx.Process(
+            target=_pool_worker_main, args=(child, worker), daemon=True
+        )
+        self.process.start()
+        child.close()
+        self.task_id: Optional[int] = None
+        self.started = 0.0
+        self.deadline: Optional[float] = None
+
+    def reap(self) -> Optional[int]:
+        """Close the pipe and join a dead/doomed worker; return exit code."""
+        try:
+            self.conn.close()
+        except OSError:  # pragma: no cover - already closed
+            pass
+        self.process.join(timeout=5.0)
+        if self.process.is_alive():  # pragma: no cover - stuck worker
+            self.process.kill()
+            self.process.join(timeout=5.0)
+        return self.process.exitcode
+
+    def terminate(self) -> None:
+        """Forcibly stop the worker (timeout enforcement)."""
+        self.process.terminate()
+        self.reap()
+
+
+def _retry_delay(backoff: float, failures: int) -> float:
+    """Exponential backoff: ``backoff * 2**(failures-1)`` seconds."""
+    return backoff * (2.0 ** max(failures - 1, 0))
+
+
+def _supervise_serial(
+    worker: Callable,
+    tasks: List[Tuple[Any, Any]],
+    timeout: Optional[float],
+    max_retries: int,
+    backoff: float,
+    retry_payload: Optional[Callable[[Any, Any, int], Any]],
+    on_result: Optional[Callable[[TaskOutcome], None]],
+) -> List[TaskOutcome]:
+    """In-process supervision: same status bookkeeping, no processes.
+
+    A real wall-clock ``timeout`` cannot be enforced in-process; only
+    workers that *raise* a :class:`TimeoutError` subclass (e.g. the
+    simulated hang injector) produce ``status="timeout"`` here.
+    """
+    outcomes = []
+    for key, payload in tasks:
+        failures = 0
+        current = payload
+        while True:
+            start = time.perf_counter()
+            status, value, error, nonretryable = "ok", None, None, False
+            try:
+                value = worker(current)
+            except SimulationHealthError as exc:
+                status, error, nonretryable = "failed", _describe_error(exc), True
+            except TimeoutError as exc:
+                status, error = "timeout", _describe_error(exc)
+            except Exception as exc:  # noqa: BLE001 - record, don't raise
+                status, error = "failed", _describe_error(exc)
+            wall = time.perf_counter() - start
+            if status == "ok" or nonretryable or failures >= max_retries:
+                attempts = failures + 1
+                outcome = TaskOutcome(key, status, value, error, attempts, wall)
+                outcomes.append(outcome)
+                if on_result is not None:
+                    on_result(outcome)
+                break
+            failures += 1
+            delay = _retry_delay(backoff, failures)
+            if delay > 0.0:
+                time.sleep(delay)
+            if retry_payload is not None:
+                current = retry_payload(key, payload, failures)
+    return outcomes
+
+
+def _supervise_pool(
+    worker: Callable,
+    tasks: List[Tuple[Any, Any]],
+    processes: int,
+    timeout: Optional[float],
+    max_retries: int,
+    backoff: float,
+    retry_payload: Optional[Callable[[Any, Any, int], Any]],
+    on_result: Optional[Callable[[TaskOutcome], None]],
+) -> List[TaskOutcome]:
+    """Process-pool supervision with per-task attribution.
+
+    Each worker owns a duplex pipe, so every crash (pipe EOF), hang
+    (deadline exceeded → terminate that worker only) and exception is
+    attributed to the one task the worker was running; sibling replicas
+    are never disturbed, unlike ``Pool``/``ProcessPoolExecutor`` whose
+    pool-wide failure modes kill innocent in-flight work.
+    """
     ctx = multiprocessing.get_context("spawn")
-    with ctx.Pool(processes) as pool:
-        return pool.map(worker, payloads)
+    state = {
+        tid: {"key": key, "base": payload, "current": payload, "failures": 0}
+        for tid, (key, payload) in enumerate(tasks)
+    }
+    ready = deque(range(len(tasks)))
+    retry_heap: List[Tuple[float, int]] = []
+    outcomes: Dict[int, TaskOutcome] = {}
+    workers = [_PoolWorker(ctx, worker) for _ in range(min(processes, len(tasks)))]
+    idle = deque(workers)
+    busy: Dict[int, _PoolWorker] = {}
+
+    def finish(tid: int, status: str, value, error, wall: float) -> None:
+        # "failures" counts failed attempts; a success adds one more attempt
+        st = state[tid]
+        attempts = st["failures"] + 1 if status == "ok" else st["failures"]
+        outcome = TaskOutcome(st["key"], status, value, error, attempts, wall)
+        outcomes[tid] = outcome
+        if on_result is not None:
+            on_result(outcome)
+
+    def handle_failure(
+        tid: int, status: str, error: str, nonretryable: bool, wall: float
+    ) -> None:
+        st = state[tid]
+        st["failures"] += 1
+        if nonretryable or st["failures"] > max_retries:
+            finish(tid, status, None, error, wall)
+            return
+        if retry_payload is not None:
+            st["current"] = retry_payload(st["key"], st["base"], st["failures"])
+        when = time.monotonic() + _retry_delay(backoff, st["failures"])
+        heapq.heappush(retry_heap, (when, tid))
+
+    def replace_worker(dead: _PoolWorker) -> None:
+        workers.remove(dead)
+        fresh = _PoolWorker(ctx, worker)
+        workers.append(fresh)
+        idle.append(fresh)
+
+    try:
+        while len(outcomes) < len(tasks):
+            now = time.monotonic()
+            while retry_heap and retry_heap[0][0] <= now:
+                _, tid = heapq.heappop(retry_heap)
+                ready.append(tid)
+
+            while ready and idle:
+                tid = ready.popleft()
+                w = idle.popleft()
+                st = state[tid]
+                try:
+                    w.conn.send((tid, st["current"]))
+                except (BrokenPipeError, OSError):
+                    # worker died while idle: replace it, re-queue the task
+                    w.reap()
+                    replace_worker(w)
+                    ready.appendleft(tid)
+                    continue
+                w.task_id = tid
+                w.started = time.monotonic()
+                # the deadline is armed when the worker acks the task —
+                # spawn/startup time must not count against the timeout
+                w.deadline = None
+                busy[tid] = w
+
+            if not busy:
+                if retry_heap:
+                    time.sleep(max(0.0, retry_heap[0][0] - time.monotonic()))
+                    continue
+                if ready:
+                    continue  # all workers just died; dispatch retries
+                break  # every task finished between dispatch rounds
+
+            wait_until: Optional[float] = None
+            for w in busy.values():
+                if w.deadline is not None:
+                    wait_until = (
+                        w.deadline
+                        if wait_until is None
+                        else min(wait_until, w.deadline)
+                    )
+            if retry_heap:
+                head = retry_heap[0][0]
+                wait_until = head if wait_until is None else min(wait_until, head)
+            wait_s = (
+                None
+                if wait_until is None
+                else max(0.0, wait_until - time.monotonic())
+            )
+            conn_to_worker = {w.conn: w for w in busy.values()}
+            ready_conns = multiprocessing.connection.wait(
+                list(conn_to_worker), timeout=wait_s
+            )
+
+            for conn in ready_conns:
+                w = conn_to_worker[conn]
+                tid = w.task_id
+                wall = time.monotonic() - w.started
+                try:
+                    msg = conn.recv()
+                except (EOFError, OSError):
+                    # the worker process died mid-task (crash/OOM kill)
+                    code = w.reap()
+                    del busy[tid]
+                    replace_worker(w)
+                    handle_failure(
+                        tid,
+                        "failed",
+                        "worker process died (exit code {})".format(code),
+                        False,
+                        wall,
+                    )
+                    continue
+                if msg[0] == "ack":
+                    # the worker actually started the task: arm the clock
+                    w.started = time.monotonic()
+                    if timeout is not None:
+                        w.deadline = w.started + timeout
+                    continue
+                _, _, status, value, nonretryable = msg
+                del busy[tid]
+                w.task_id = None
+                idle.append(w)
+                if status == "ok":
+                    finish(tid, "ok", value, None, wall)
+                else:
+                    handle_failure(tid, status, value, nonretryable, wall)
+
+            if timeout is not None:
+                now = time.monotonic()
+                for tid, w in list(busy.items()):
+                    if w.deadline is not None and now >= w.deadline:
+                        w.terminate()
+                        del busy[tid]
+                        replace_worker(w)
+                        handle_failure(
+                            tid,
+                            "timeout",
+                            "replica exceeded the {:.3g}s wall-clock "
+                            "timeout".format(timeout),
+                            False,
+                            now - w.started,
+                        )
+    finally:
+        for w in workers:
+            if w.task_id is None:
+                try:
+                    w.conn.send(None)
+                except (BrokenPipeError, OSError):
+                    pass
+        for w in workers:
+            if w.task_id is not None:
+                w.terminate()
+            else:
+                w.reap()
+    return [outcomes[tid] for tid in range(len(tasks))]
+
+
+def supervise(
+    worker: Callable,
+    tasks: List[Tuple[Any, Any]],
+    *,
+    processes: int,
+    timeout: Optional[float] = None,
+    max_retries: int = 2,
+    backoff: float = 0.1,
+    retry_payload: Optional[Callable[[Any, Any, int], Any]] = None,
+    on_result: Optional[Callable[[TaskOutcome], None]] = None,
+) -> List[TaskOutcome]:
+    """Run ``tasks`` (``(key, payload)`` pairs) under supervision.
+
+    Every task ends in exactly one :class:`TaskOutcome` — this function
+    never raises for task-level failures.  ``retry_payload(key, base,
+    attempt)`` builds the payload of retry ``attempt`` (1-based);
+    ``on_result`` observes each final outcome as it is reached (out of
+    submission order under a pool), which is how the manifest writer
+    checkpoints finished replicas.  With ``processes <= 1`` the tasks run
+    in-process with the same retry/status bookkeeping (but no preemptive
+    timeout — see :func:`_supervise_serial`).
+    """
+    if max_retries < 0:
+        raise ValueError("max_retries must be >= 0")
+    if timeout is not None and timeout <= 0:
+        raise ValueError("timeout must be positive (or None)")
+    if processes <= 1:
+        return _supervise_serial(
+            worker, tasks, timeout, max_retries, backoff, retry_payload, on_result
+        )
+    return _supervise_pool(
+        worker, tasks, processes, timeout, max_retries, backoff,
+        retry_payload, on_result,
+    )
+
+
+def _retry_seed(
+    root: np.random.SeedSequence, index: int, attempt: int
+) -> np.random.SeedSequence:
+    """Fresh seed child for retry ``attempt`` (1-based) of replica ``index``.
+
+    Root children carry ``spawn_key=(index,)``; retry children use
+    ``spawn_key=(index, attempt)`` with ``attempt >= 1`` — the streams
+    never collide with any first-attempt stream (no child is ever spawned
+    *from* a replica seed).
+    """
+    return np.random.SeedSequence(
+        entropy=root.entropy, spawn_key=(index, attempt)
+    )
 
 
 def run_replicas(
@@ -248,6 +679,12 @@ def run_replicas(
     engine_opts: Optional[Dict[str, Any]] = None,
     manifest: Optional[str] = None,
     manifest_meta: Optional[Dict[str, Any]] = None,
+    manifest_append: bool = False,
+    timeout: Optional[float] = None,
+    max_retries: int = 2,
+    backoff: float = 0.1,
+    faults: Optional[Any] = None,
+    indices: Optional[Sequence[int]] = None,
     **run_kwargs,
 ) -> ReplicaSet:
     """Run ``replicas`` independently seeded copies of one simulation.
@@ -274,32 +711,82 @@ def run_replicas(
         of one) when ``processes > 1``.
     manifest:
         Path of a JSONL run manifest to write (one header line plus one
-        record per replica; see :mod:`repro.obs`).  Any single replica can
-        be re-seeded and replayed bit-identically from it.
+        record per replica; see :mod:`repro.obs`).  The header is written
+        up front and each record is flushed as its replica finishes, so a
+        killed sweep leaves a usable checkpoint behind.  Any single
+        replica can be re-seeded and replayed bit-identically from it.
     manifest_meta:
         Extra JSON-serializable fields merged into the manifest header
         (e.g. a ``workload`` spec that :func:`repro.obs.replay_replica`
         can rebuild the protocol from).
+    manifest_append:
+        Append records to an existing manifest instead of starting a new
+        one (the resume path — no second header is written).
+    timeout:
+        Per-replica wall-clock deadline in seconds; a replica past it has
+        its worker terminated and is retried (``processes > 1`` only — the
+        in-process path cannot preempt, though workers raising a
+        ``TimeoutError`` subclass still record ``status="timeout"``).
+    max_retries:
+        How many times a failed/timed-out replica is retried before being
+        recorded as ``status="failed"``/``"timeout"``; each retry runs on
+        a fresh seed child after exponential backoff
+        (``backoff * 2**(retry-1)`` seconds).  Health-guard violations
+        (:class:`~repro.engine.health.SimulationHealthError`) are never
+        retried — they are deterministic in the protocol, not transient.
+    faults:
+        Optional :class:`repro.faults.FaultPlan` of injected failures
+        (chaos testing); automatically switched to simulated mode when
+        running in-process.
+    indices:
+        Run only these replica indices (with their original seeds) — the
+        resume path of ``python -m repro sweep --resume``.  The returned
+        set contains just those records.
     run_kwargs:
         Passed to ``engine.run`` (``rounds=...``, ``observe_every=...``, ...).
     """
     if replicas < 1:
-        raise ValueError("need at least one replica")
+        raise ValueError(
+            "replicas must be a positive integer, got {}".format(replicas)
+        )
     root = np.random.SeedSequence(seed)
     seeds = list(root.spawn(replicas))
-    payloads = [
-        (k, seeds[k], protocol, population, engine, engine_opts, run_kwargs, stop)
-        for k in range(replicas)
-    ]
-    processes = _resolve_processes(processes, replicas)
-    records = _fan_out(_engine_replica, payloads, processes)
-    replica_set = ReplicaSet(records)
-    if manifest is not None:
-        from ..obs import write_manifest
+    if indices is None:
+        run_indices = list(range(replicas))
+    else:
+        run_indices = sorted(set(int(i) for i in indices))
+        bad = [i for i in run_indices if not 0 <= i < replicas]
+        if bad:
+            raise ValueError(
+                "replica indices {} out of range for {} replicas".format(
+                    bad, replicas
+                )
+            )
+        if not run_indices:
+            raise ValueError("indices is empty: nothing to run")
+    processes = _resolve_processes(processes, len(run_indices))
+    plan = faults
+    if plan is not None and processes <= 1:
+        plan = plan.simulated()
 
-        write_manifest(
+    def payload_for(k: int, seed_seq, attempt: int):
+        return (
+            k, seed_seq, protocol, population, engine, engine_opts,
+            run_kwargs, stop, plan, attempt,
+        )
+
+    def retry_payload(key, base, attempt):
+        return payload_for(key, _retry_seed(root, key, attempt), attempt)
+
+    tasks = [(k, payload_for(k, seeds[k], 0)) for k in run_indices]
+
+    writer = None
+    if manifest is not None:
+        from ..obs import ManifestWriter
+
+        writer = ManifestWriter(
             manifest,
-            replica_set,
+            append=manifest_append,
             seed_entropy=root.entropy,
             engine=engine,
             engine_opts=engine_opts,
@@ -307,9 +794,74 @@ def run_replicas(
             protocol=protocol,
             population=population,
             processes=processes,
+            replicas=replicas,
+            supervisor={
+                "timeout": timeout,
+                "max_retries": max_retries,
+                "backoff": backoff,
+            },
             meta=manifest_meta,
         )
-    return replica_set
+
+    def outcome_record(outcome: TaskOutcome) -> ReplicaRecord:
+        if outcome.status == "ok":
+            record = outcome.value
+            record.attempts = outcome.attempts
+            return record
+        # the worker never returned: synthesize a record of the failure,
+        # pointing at the seed coordinates of the last attempt made
+        last_attempt = max(outcome.attempts - 1, 0)
+        if last_attempt > 0:
+            seed_seq = _retry_seed(root, outcome.key, last_attempt)
+            seed_coords = {
+                "entropy": seed_seq.entropy,
+                "spawn_key": list(seed_seq.spawn_key),
+                "retry_of": [outcome.key],
+            }
+        else:
+            seed_seq = seeds[outcome.key]
+            seed_coords = {
+                "entropy": seed_seq.entropy,
+                "spawn_key": list(seed_seq.spawn_key),
+            }
+        return ReplicaRecord(
+            index=outcome.key,
+            rounds=float("nan"),
+            interactions=0,
+            wall=outcome.wall,
+            converged=None,
+            engine=engine,
+            stats=None,
+            seed=seed_coords,
+            status=outcome.status,
+            error=outcome.error,
+            attempts=outcome.attempts,
+        )
+
+    records_by_index: Dict[int, ReplicaRecord] = {}
+
+    def on_result(outcome: TaskOutcome) -> None:
+        record = outcome_record(outcome)
+        records_by_index[record.index] = record
+        if writer is not None:
+            writer.append_record(record)
+
+    try:
+        supervise(
+            _engine_replica,
+            tasks,
+            processes=processes,
+            timeout=timeout,
+            max_retries=max_retries,
+            backoff=backoff,
+            retry_payload=retry_payload,
+            on_result=on_result,
+        )
+    finally:
+        if writer is not None:
+            writer.close()
+    records = [records_by_index[k] for k in sorted(records_by_index)]
+    return ReplicaSet(records)
 
 
 def map_replicas(
@@ -318,16 +870,47 @@ def map_replicas(
     *,
     seed: Optional[int] = 0,
     processes: Optional[int] = None,
+    timeout: Optional[float] = None,
+    max_retries: int = 0,
+    backoff: float = 0.1,
 ) -> List[Any]:
     """Fan a picklable ``task(seed_sequence)`` out over ``replicas`` seeds.
 
     The generic sibling of :func:`run_replicas` for trials that build
     their own protocol/interpreter internally (the benchmark sweeps).
-    Results come back in replica order.
+    Results come back in replica order.  Runs under the same supervisor
+    (``timeout``/``max_retries``/``backoff`` as in :func:`run_replicas`,
+    retries on fresh seed children), but unlike :func:`run_replicas` a
+    replica that exhausts its retries **raises** — generic tasks have no
+    record schema to absorb a failure into.
     """
     if replicas < 1:
-        raise ValueError("need at least one replica")
-    seeds = spawn_seeds(seed, replicas)
-    payloads = [(task, seeds[k]) for k in range(replicas)]
+        raise ValueError(
+            "replicas must be a positive integer, got {}".format(replicas)
+        )
+    root = np.random.SeedSequence(seed)
+    seeds = list(root.spawn(replicas))
     processes = _resolve_processes(processes, replicas)
-    return _fan_out(_task_replica, payloads, processes)
+    tasks = [(k, (task, seeds[k])) for k in range(replicas)]
+
+    def retry_payload(key, base, attempt):
+        return (task, _retry_seed(root, key, attempt))
+
+    outcomes = supervise(
+        _task_replica,
+        tasks,
+        processes=processes,
+        timeout=timeout,
+        max_retries=max_retries,
+        backoff=backoff,
+        retry_payload=retry_payload,
+    )
+    bad = [o for o in outcomes if o.status != "ok"]
+    if bad:
+        raise RuntimeError(
+            "{} of {} replicas failed; first failure (replica {}, "
+            "status {}): {}".format(
+                len(bad), replicas, bad[0].key, bad[0].status, bad[0].error
+            )
+        )
+    return [o.value for o in outcomes]

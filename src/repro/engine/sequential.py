@@ -49,8 +49,9 @@ class CountEngine(Engine):
         *,
         rng: Optional[np.random.Generator] = None,
         table: Optional[LazyTable] = None,
+        guards: object = None,
     ):
-        self._init_common(protocol, population, rng)
+        self._init_common(protocol, population, rng, guards=guards)
         self._population = population
         self.table = table if table is not None else LazyTable(protocol)
         self.events = 0  # effective (state-changing) interactions
@@ -167,6 +168,8 @@ class CountEngine(Engine):
         entry = self.table.outcomes(self._codes[i], self._codes[j])
         self._apply_outcome(i, j, entry)
         self.events += 1
+        if self.guards is not None:
+            self.guards.after_event(self)
 
     # -- main loop --------------------------------------------------------------
     def _run(

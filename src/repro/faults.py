@@ -1,0 +1,198 @@
+"""Deterministic fault injection for the replica supervisor and engines.
+
+Multi-hour sweeps die in practice to a small set of failure shapes: a
+worker process is OOM-killed, a worker wedges on a stuck filesystem, a
+cached transition table is truncated by a full disk, a bad deploy ships a
+corrupt rule table.  This module injects exactly those faults *on
+purpose* — keyed by replica index and attempt number so chaos tests are
+fully deterministic — letting the test suite and the ``--chaos`` smoke in
+``benchmarks/run_all.py`` prove that the supervised pool, the health
+guards and the resumable manifests actually degrade gracefully.
+
+Injectors
+---------
+* **worker crash** (:attr:`FaultPlan.crash`) — ``os._exit`` from inside a
+  pool worker, indistinguishable from an OOM kill; the supervisor must
+  detect the dead worker, respawn it and retry the replica.
+* **worker hang** (:attr:`FaultPlan.hang`) — the worker sleeps past any
+  reasonable deadline; the supervisor must enforce its per-replica
+  timeout, terminate the worker and retry.
+* **rule-table corruption** (:attr:`FaultPlan.corrupt_table`) — a
+  replica's compiled transition table is tampered with in-memory
+  (:func:`corrupt_table` modes below); the engine's health guards must
+  catch it with a :class:`~repro.engine.health.SimulationHealthError`,
+  which the supervisor records as a *non-retryable* failure.
+* **cache corruption** (:func:`corrupt_cache_entry`) — on-disk ``.npz``
+  table-cache entries are overwritten with garbage; ``CompiledTable.load``
+  must survive, recompile, and count a ``cache_corrupt`` event.
+
+A :class:`FaultPlan` travels (pickled) inside each replica payload, so
+injection happens inside the worker process itself.  ``simulate=True``
+(see :meth:`FaultPlan.simulated`) converts process-level faults into
+in-process exceptions — :class:`InjectedCrash` / :class:`InjectedHang` —
+so the serial (``processes=1``) supervisor path can exercise the same
+retry/timeout bookkeeping without killing or stalling the test runner.
+"""
+
+from __future__ import annotations
+
+import copy
+import os
+import time
+from dataclasses import dataclass, field, replace
+from pathlib import Path
+from typing import Dict, List, Optional
+
+import numpy as np
+
+#: Schedule marker: inject on *every* attempt (never let the replica pass).
+ALWAYS = -1
+
+#: Exit code used by injected worker crashes (recognizable in supervisor logs).
+CRASH_EXIT_CODE = 73
+
+
+class InjectedCrash(RuntimeError):
+    """Simulated worker crash (serial mode only; real workers ``_exit``)."""
+
+
+class InjectedHang(TimeoutError):
+    """Simulated worker hang (serial mode only; real workers sleep)."""
+
+
+#: Supported in-memory table corruption modes (see :func:`corrupt_table`).
+CORRUPT_MODES = ("nan", "drop", "bitflip")
+
+
+def corrupt_table(table, mode: str = "nan"):
+    """Return a corrupted *copy* of a compiled transition table.
+
+    The copy matters: compiled tables are memoized process-wide
+    (``repro.engine.compiled._MEMO``), so corrupting one in place would
+    poison every other replica sharing the memo entry.
+
+    Modes
+    -----
+    ``"nan"``
+        Poison one entry of the dense ``p_change`` matrix with NaN — the
+        health guards' finite-probabilities check must catch it before
+        any batch draw.
+    ``"drop"``
+        Zero the outcome-offset table so batch events consume agents
+        without producing outcomes (a non-conserving rule table) — the
+        conservation guard must catch the shrinking population.
+    ``"bitflip"``
+        Flip the low bit of one outcome offset, the classic single-bit
+        cache corruption: outcome windows shift onto the wrong rules and
+        the count invariants break in short order.
+    """
+    if mode not in CORRUPT_MODES:
+        raise ValueError(
+            "unknown corruption mode {!r}; choose from {}".format(
+                mode, ", ".join(CORRUPT_MODES)
+            )
+        )
+    bad = copy.copy(table)
+    if mode == "nan":
+        p = table.p_change_matrix.copy()
+        p.flat[0] = np.nan
+        bad.p_change_matrix = p
+    elif mode == "drop":
+        bad.off = np.zeros_like(table.off)
+    else:  # bitflip
+        off = table.off.copy()
+        off[len(off) // 2] ^= 1
+        bad.off = off
+    return bad
+
+
+def corrupt_cache_entry(cache_dir, pattern: str = "*.npz") -> List[str]:
+    """Overwrite cached ``.npz`` table entries with garbage bytes.
+
+    Returns the corrupted paths (empty if the directory holds no
+    entries).  ``CompiledTable.load`` must treat these as cache misses —
+    recorded as ``cache_corrupt`` — and recompile from the protocol.
+    """
+    corrupted = []
+    for path in sorted(Path(cache_dir).glob(pattern)):
+        path.write_bytes(b"not an npz" + bytes(range(32)))
+        corrupted.append(str(path))
+    return corrupted
+
+
+@dataclass
+class FaultPlan:
+    """Deterministic injection schedule keyed by replica index.
+
+    ``crash`` / ``hang`` map a replica index to the number of *failing
+    attempts*: ``{3: 1}`` crashes replica 3's first attempt only (the
+    retry succeeds), ``{3: ALWAYS}`` crashes every attempt.
+    ``corrupt_table`` maps a replica index to a :func:`corrupt_table`
+    mode; table corruption applies on every attempt (the fault is in the
+    "deployed" table, not the worker), so those replicas fail
+    non-retryably via the health guards.
+    """
+
+    crash: Dict[int, int] = field(default_factory=dict)
+    hang: Dict[int, int] = field(default_factory=dict)
+    corrupt_table: Dict[int, str] = field(default_factory=dict)
+    #: How long an injected hang sleeps; far above any supervisor timeout
+    #: so the worker is always reaped by the deadline, never by waking up.
+    hang_seconds: float = 60.0
+    #: Raise :class:`InjectedCrash`/:class:`InjectedHang` instead of
+    #: ``_exit``/sleeping — for the serial supervisor path and fast tests.
+    simulate: bool = False
+
+    def simulated(self) -> "FaultPlan":
+        """A copy of this plan with process-level faults turned into
+        exceptions (safe under ``processes=1``)."""
+        return replace(self, simulate=True)
+
+    def _due(self, schedule: Dict[int, int], index: int, attempt: int) -> bool:
+        failing = schedule.get(index)
+        if failing is None:
+            return False
+        return failing == ALWAYS or attempt < failing
+
+    def before_run(self, index: int, attempt: int = 0) -> None:
+        """Crash/hang hook, called by the worker before building the engine."""
+        if self._due(self.crash, index, attempt):
+            if self.simulate:
+                raise InjectedCrash(
+                    "injected crash in replica {} (attempt {})".format(
+                        index, attempt
+                    )
+                )
+            os._exit(CRASH_EXIT_CODE)
+        if self._due(self.hang, index, attempt):
+            if self.simulate:
+                raise InjectedHang(
+                    "injected hang in replica {} (attempt {})".format(
+                        index, attempt
+                    )
+                )
+            time.sleep(self.hang_seconds)
+
+    def tamper_engine(self, engine, index: int, attempt: int = 0) -> None:
+        """Swap the engine's compiled table for a corrupted copy."""
+        mode = self.corrupt_table.get(index)
+        if mode is None:
+            return
+        table = getattr(engine, "_ct", None)
+        if table is None:
+            raise RuntimeError(
+                "cannot corrupt the table of replica {}: engine {!r} has no "
+                "compiled table".format(index, engine.name)
+            )
+        bad = corrupt_table(table, mode)
+        engine._ct = bad
+        if getattr(engine, "table", None) is table:
+            engine.table = bad
+
+    def touches(self, index: int) -> bool:
+        """Whether any injector is scheduled for this replica index."""
+        return (
+            index in self.crash
+            or index in self.hang
+            or index in self.corrupt_table
+        )

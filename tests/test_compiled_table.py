@@ -248,8 +248,13 @@ class TestFingerprintCache:
         path.write_bytes(b"not an npz file")
         _MEMO.pop(fp, None)
         table = compile_table(protocol, codes, cache=str(tmp_path))
-        assert table.cache_status == "miss"  # corrupt file dropped, rebuilt
+        assert table.cache_status == "corrupt"  # corrupt file dropped, rebuilt
+        assert table.cache_corrupt == 1
         assert table.num_states == 2
+        # the rebuilt table was re-saved, so a fresh load is a clean hit
+        _MEMO.pop(fp, None)
+        again = compile_table(protocol, codes, cache=str(tmp_path))
+        assert again.cache_status == "hit"
 
 
 class TestFallbackRule:
