@@ -22,6 +22,12 @@ per-event stepping.  The compiled path's per-state cap keeps batching.
 Results (including engine perf counters) go to ``BENCH_kernels.json``;
 the acceptance bar is >= 3x wall clock at equal accuracy.
 
+The *ensemble* run races R solo batch engines against one
+``EnsembleEngine`` advancing all R replica rows per stacked batch on the
+E3 oscillator sweep (``BENCH_ensemble.json``); the acceptance bar is
+>= 5x wall clock with a passing pooled KS test (p > 0.001) over the
+final species counts — faster only counts at equal statistical accuracy.
+
 Regression gate
 ---------------
 Before overwriting them, the driver loads the *committed*
@@ -226,6 +232,148 @@ def kernels(n=KERNELS_N, rounds=KERNELS_ROUNDS, seed=0, cache="auto"):
             json.dump(payload, handle, indent=2)
             handle.write("\n")
     print("  wrote BENCH_kernels.json")
+    return payload
+
+
+ENSEMBLE_N = 4000
+ENSEMBLE_ROUNDS = 40.0
+ENSEMBLE_REPLICAS = 64
+ENSEMBLE_KS_ALPHA = 0.001
+
+
+def _oscillator_population(schema, n, n_x=3):
+    from repro.core import Population
+    from repro.oscillator import weak_value
+
+    third = (n - n_x) // 3
+    return Population.from_groups(
+        schema,
+        [
+            ({"osc": weak_value(0)}, third + (n - n_x) - 3 * third),
+            ({"osc": weak_value(1)}, third),
+            ({"osc": weak_value(2)}, third),
+            ({"osc": weak_value(0), "X": True}, n_x),
+        ],
+    )
+
+
+def ensemble_sweep(
+    n=ENSEMBLE_N, rounds=ENSEMBLE_ROUNDS, replicas=ENSEMBLE_REPLICAS, seed=0
+):
+    """Stacked ensemble rows vs per-replica batch engines on E3.
+
+    Runs the same R-replica oscillator sweep twice to a fixed parallel-time
+    horizon: once as R solo ``BatchCountEngine`` runs (the per-replica
+    strategy every sweep used before the ensemble engine) and once as one
+    ``EnsembleEngine`` advancing all R rows per stacked batch.  Statistical
+    equivalence is gated by a pooled two-sample KS test over the final
+    A1/A2/A3 species counts; the acceptance bar is >= 5x wall clock at a
+    passing KS (the stacked kernels amortize the per-batch numpy dispatch
+    that dominates solo batch engines at oscillator-sized active sets).
+    """
+    from scipy.stats import ks_2samp
+
+    from repro.engine import BatchCountEngine, EnsembleEngine
+    from repro.oscillator import make_oscillator_protocol, species
+
+    print(
+        "ensemble: E3 oscillator sweep, n={}, {} rounds, {} replicas".format(
+            n, rounds, replicas
+        )
+    )
+    protocol = make_oscillator_protocol()
+    formulas = [species(i) for i in range(3)]
+    # compile once up front so neither contender pays the table build
+    EnsembleEngine(
+        protocol,
+        _oscillator_population(protocol.schema, n),
+        rng=np.random.default_rng(seed),
+    )
+
+    print("  per-replica batch engines ...", end=" ", flush=True)
+    start = time.perf_counter()
+    solo_counts = []
+    solo_interactions = 0
+    solo_batches = 0
+    for k in range(replicas):
+        eng = BatchCountEngine(
+            protocol,
+            _oscillator_population(protocol.schema, n),
+            rng=np.random.default_rng(np.random.SeedSequence(seed, spawn_key=(k,))),
+        )
+        eng.run(rounds=rounds)
+        solo_interactions += int(eng.interactions)
+        solo_batches += int(eng.batches)
+        solo_counts.extend(eng.population.count(f) for f in formulas)
+    solo_wall = time.perf_counter() - start
+    print("{:.2f}s ({} batches)".format(solo_wall, solo_batches))
+
+    print("  stacked ensemble engine ...", end=" ", flush=True)
+    start = time.perf_counter()
+    ens = EnsembleEngine(
+        protocol,
+        _oscillator_population(protocol.schema, n),
+        rng=np.random.default_rng(np.random.SeedSequence(seed, spawn_key=(777,))),
+        rows=replicas,
+    )
+    ens.run(rounds=rounds)
+    ens_wall = time.perf_counter() - start
+    ens_counts = [
+        ens.row_population(r).count(f) for r in range(replicas) for f in formulas
+    ]
+    ens_interactions = sum(
+        ens.row_interactions_of(r) for r in range(replicas)
+    )
+    print("{:.2f}s ({} batches)".format(ens_wall, ens.batches))
+
+    ks = ks_2samp(solo_counts, ens_counts)
+    speedup = solo_wall / max(ens_wall, 1e-9)
+    distribution_ok = bool(ks.pvalue > ENSEMBLE_KS_ALPHA)
+    payload = {
+        "experiment": "ensemble_stacked_replicas",
+        "description": (
+            "E3 oscillator replica sweep to a fixed horizon: R solo batch "
+            "engines vs one EnsembleEngine advancing all R rows per "
+            "stacked batch; pooled KS over final species counts gates "
+            "statistical equivalence"
+        ),
+        "n": n,
+        "rounds": rounds,
+        "replicas": replicas,
+        "seed": seed,
+        "engines": {
+            "batch_per_replica": {
+                "wall_seconds": round(solo_wall, 4),
+                "interactions": solo_interactions,
+                "batches": solo_batches,
+            },
+            "ensemble": {
+                "wall_seconds": round(ens_wall, 4),
+                "interactions": int(ens_interactions),
+                "batches": int(ens.batches),
+                "fallbacks": int(ens.fallbacks),
+                "kernel_seconds": round(float(ens.kernel_seconds), 4),
+            },
+        },
+        "ks_pvalue": round(float(ks.pvalue), 6),
+        "ks_alpha": ENSEMBLE_KS_ALPHA,
+        "distribution_ok": distribution_ok,
+        "speedup_batch_over_ensemble": round(speedup, 2),
+        "target_speedup": 5.0,
+        "meets_target": bool(speedup >= 5.0 and distribution_ok),
+    }
+    print("  speedup: {:.1f}x (target >= 5x), KS p={:.3g} ({})".format(
+        speedup, ks.pvalue, "ok" if distribution_ok else "FAIL"
+    ))
+    os.makedirs(RESULTS_DIR, exist_ok=True)
+    for path in (
+        os.path.join(REPO_ROOT, "BENCH_ensemble.json"),
+        os.path.join(RESULTS_DIR, "BENCH_ensemble.json"),
+    ):
+        with open(path, "w") as handle:
+            json.dump(payload, handle, indent=2)
+            handle.write("\n")
+    print("  wrote BENCH_ensemble.json")
     return payload
 
 
@@ -550,20 +698,30 @@ def main(argv=None) -> int:
     baseline_kernels = load_baseline(
         os.path.join(args.baseline_dir, "BENCH_kernels.json")
     )
+    baseline_ensemble = load_baseline(
+        os.path.join(args.baseline_dir, "BENCH_ensemble.json")
+    )
 
     payload = headline(n=args.n, seed=args.seed)
     kernel_payload = kernels(
         n=args.kernels_n, rounds=args.kernels_rounds, seed=args.seed
     )
+    ensemble_payload = ensemble_sweep(seed=args.seed)
     if not args.quick:
         full_sweeps(engine=args.engine, processes=args.processes)
-    ok = payload["meets_target"] and kernel_payload["meets_target"]
+    ok = (
+        payload["meets_target"]
+        and kernel_payload["meets_target"]
+        and ensemble_payload["meets_target"]
+    )
     if not args.no_gate:
         gate_ok = run_gate(
             [
                 (payload, baseline_engines, "engines", ("n", "seed")),
                 (kernel_payload, baseline_kernels, "paths",
                  ("n", "seed", "rounds")),
+                (ensemble_payload, baseline_ensemble, "engines",
+                 ("n", "seed", "rounds", "replicas")),
             ],
             args.gate_wall_threshold,
             args.gate_interactions_tol,

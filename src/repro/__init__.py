@@ -40,6 +40,7 @@ from .engine import (
     CountEngine,
     Engine,
     EngineStats,
+    EnsembleEngine,
     HealthMonitor,
     LazyTable,
     MatchingEngine,
@@ -78,6 +79,7 @@ __all__ = [
     "ENGINE_CHOICES",
     "Engine",
     "EngineStats",
+    "EnsembleEngine",
     "FaultPlan",
     "Formula",
     "HealthMonitor",

@@ -204,17 +204,30 @@ def cmd_sweep(args) -> int:
         if args.n is not None:
             params["n"] = args.n
         workload = build_workload(args.workload, **params)
+        engine = args.engine
+        # sweeps run unattended, so the health guards default on;
+        # they add <5% on the batch engines (see docs/ROBUSTNESS.md)
+        engine_opts = {} if args.no_guards else {"guards": True}
+        if args.ensemble_chunk is not None:
+            if engine == "auto":
+                engine = "ensemble"
+            if engine != "ensemble":
+                print(
+                    "error: --ensemble-chunk only applies to the ensemble "
+                    "engine (got --engine {})".format(engine),
+                    file=sys.stderr,
+                )
+                return 2
+            engine_opts["ensemble_chunk"] = args.ensemble_chunk
         rs = run_replicas(
             workload.protocol,
             workload.population,
             replicas=args.replicas,
-            engine=args.engine,
+            engine=engine,
             seed=args.seed if args.seed is not None else 0,
             processes=args.processes,
             stop=workload.stop,
-            # sweeps run unattended, so the health guards default on;
-            # they add <5% on the batch engines (see docs/ROBUSTNESS.md)
-            engine_opts=None if args.no_guards else {"guards": True},
+            engine_opts=engine_opts or None,
             manifest=args.manifest,
             manifest_meta={"workload": workload.spec()},
             timeout=args.timeout,
@@ -371,6 +384,13 @@ def build_parser() -> argparse.ArgumentParser:
         "--no-guards", action="store_true",
         help="disable the engine health guards that sweeps enable by "
         "default (conservation, finiteness, overflow headroom)",
+    )
+    p.add_argument(
+        "--ensemble-chunk", type=int, default=None, metavar="R",
+        help="advance replicas in stacked chunks of R rows on the "
+        "ensemble engine (implies --engine ensemble; the engine's "
+        "default chunk is 16 when --engine ensemble is given without "
+        "this flag)",
     )
     p.set_defaults(func=cmd_sweep, stats_handled=True)
 

@@ -49,15 +49,21 @@ class EngineTally:
     def cache_hit_rate(self) -> Optional[float]:
         """Fraction of workers whose compiled table came from a cache.
 
-        Only ``"hit"`` (on-disk cache) and ``"memo"`` (in-process memo)
-        count as hits; ``"miss"``, ``"off"`` and ``"corrupt"`` (a cache
-        entry that failed to load and forced a recompile) do not.
+        ``"hit"`` (on-disk cache), ``"memo"`` (in-process memo) and
+        ``"prewarmed"`` (a cache populated by the replica runner's parent
+        process before fan-out) count as hits; ``"miss"``, ``"off"`` and
+        ``"corrupt"`` (a cache entry that failed to load and forced a
+        recompile) do not.
         """
         statuses = self.categories.get("table_cache")
         if not statuses:
             return None
         total = sum(statuses.values())
-        hits = statuses.get("hit", 0) + statuses.get("memo", 0)
+        hits = (
+            statuses.get("hit", 0)
+            + statuses.get("memo", 0)
+            + statuses.get("prewarmed", 0)
+        )
         return hits / total if total else None
 
     def format(self) -> str:

@@ -9,17 +9,21 @@ from .compiled import (
     corrupt_cache_events,
     protocol_fingerprint,
 )
+from .ensemble import EnsembleEngine, VectorizedStop
 from .health import HealthMonitor, SimulationHealthError, resolve_guards
 from .jump import BatchCountEngine
 from .matching import MatchingEngine
 from .meanfield import MeanFieldSystem
 from .recorder import Trace
 from .replicas import (
+    DEFAULT_ENSEMBLE_CHUNK,
     ReplicaRecord,
     ReplicaSet,
     TaskOutcome,
     available_cpus,
+    ensemble_chunk_members,
     map_replicas,
+    run_ensemble_chunk,
     run_replicas,
     run_single_replica,
     spawn_seeds,
@@ -33,8 +37,10 @@ __all__ = [
     "BatchCountEngine",
     "CompiledTable",
     "CountEngine",
+    "DEFAULT_ENSEMBLE_CHUNK",
     "Engine",
     "EngineStats",
+    "EnsembleEngine",
     "HealthMonitor",
     "LazyTable",
     "MatchingEngine",
@@ -45,15 +51,18 @@ __all__ = [
     "SimulationHealthError",
     "TaskOutcome",
     "Trace",
+    "VectorizedStop",
     "apply_pairs",
     "available_cpus",
     "clear_memo",
     "compile_table",
     "corrupt_cache_events",
+    "ensemble_chunk_members",
     "map_replicas",
     "protocol_fingerprint",
     "reachable_codes",
     "resolve_guards",
+    "run_ensemble_chunk",
     "run_replicas",
     "run_single_replica",
     "spawn_seeds",

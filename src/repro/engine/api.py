@@ -111,6 +111,7 @@ class EngineStats:
         "active_states",
         "active_pairs_max",
         "active_pairs_mean",
+        "ensemble_rows",
         "table_kind",
         "table_states",
         "table_pairs",
@@ -133,6 +134,7 @@ class EngineStats:
         "active_states",
         "active_pairs_max",
         "active_pairs_mean",
+        "ensemble_rows",
         "table_kind",
         "table_states",
         "table_pairs",

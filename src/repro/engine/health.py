@@ -248,6 +248,38 @@ class HealthMonitor:
             "(corrupt probability row in the transition table?)",
         )
 
+    def check_rows(
+        self, engine, counts: np.ndarray, codes, expected_n: int
+    ) -> None:
+        """Row-wise conservation/nonnegativity over an ensemble count matrix.
+
+        The ensemble engine's state is an ``(R, q)`` matrix — one replica
+        per row, each of which must individually conserve ``expected_n``
+        agents and stay non-negative (the single-population hooks above
+        cannot see per-row violations that cancel across rows).
+        """
+        if self.nonnegative:
+            negative = counts < 0
+            if negative.any():
+                self._raise(
+                    "nonnegative",
+                    self._offending(negative.any(axis=0), codes),
+                    "ensemble row state counts went negative",
+                )
+        if self.conservation:
+            totals = counts.sum(axis=1)
+            bad = totals != expected_n
+            if bad.any():
+                row = int(np.nonzero(bad)[0][0])
+                self._raise(
+                    "conservation",
+                    [],
+                    "ensemble row {} sums to {} but each replica started "
+                    "with {} agents".format(
+                        row, int(totals[row]), expected_n
+                    ),
+                )
+
     def check_batch(self, engine, batch: int) -> None:
         """Int64-headroom guard immediately before a multinomial draw."""
         if not self.headroom:

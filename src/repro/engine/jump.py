@@ -76,6 +76,49 @@ from .table import LazyTable
 MAX_BATCH = 2 ** 62
 
 
+def split_outcomes_grouped(
+    rng: np.random.Generator,
+    delta: np.ndarray,
+    counts: np.ndarray,
+    start: np.ndarray,
+    width: np.ndarray,
+    out_p: np.ndarray,
+    out_a: np.ndarray,
+    out_b: np.ndarray,
+    rows: Optional[np.ndarray] = None,
+) -> None:
+    """Split per-cell event counts over each pair's outcome distribution.
+
+    Cells are grouped by outcome-list width ``w`` and each group is drawn
+    as one stacked ``(m, w)`` multinomial with 2-D pvals — a handful of
+    RNG calls total, regardless of how many cells fired.  Draws scatter
+    into ``delta``: a 1-D vector over compiled states, or a 2-D ``(R, q)``
+    ensemble matrix when ``rows`` gives each cell's row index.  Cells with
+    non-positive width or zero outcome mass (corrupt offsets) are skipped —
+    their events vanish, which the conservation guard then reports.
+    """
+    for w in np.unique(width):
+        if w <= 0:
+            continue
+        sel = np.nonzero(width == w)[0]
+        pos = start[sel][:, None] + np.arange(int(w))
+        pv = out_p[pos]
+        tot = pv.sum(axis=1, keepdims=True)
+        good = tot[:, 0] > 0.0
+        if not good.all():
+            sel, pos, pv, tot = sel[good], pos[good], pv[good], tot[good]
+            if not len(sel):
+                continue
+        draws = rng.multinomial(counts[sel], pv / tot)
+        if rows is None:
+            np.add.at(delta, out_a[pos].ravel(), draws.ravel())
+            np.add.at(delta, out_b[pos].ravel(), draws.ravel())
+        else:
+            rep = np.repeat(rows[sel], int(w))
+            np.add.at(delta, (rep, out_a[pos].ravel()), draws.ravel())
+            np.add.at(delta, (rep, out_b[pos].ravel()), draws.ravel())
+
+
 class BatchCountEngine(CountEngine):
     """Count-based engine advancing by multinomial batch jumps.
 
@@ -240,17 +283,33 @@ class BatchCountEngine(CountEngine):
         cell_counts = self.rng.multinomial(fired, flat / flat.sum())
         deltas: Dict[int, int] = {}
         size = len(self._codes)
-        for cell in np.nonzero(cell_counts)[0]:
-            count = int(cell_counts[cell])
-            i, j = divmod(int(cell), size)
-            entry = self.table.outcomes(self._codes[i], self._codes[j])
-            split = self.rng.multinomial(count, entry.probs / entry.probs.sum())
-            for code, d in ((self._codes[i], -count), (self._codes[j], -count)):
-                deltas[code] = deltas.get(code, 0) + d
-            for k in np.nonzero(split)[0]:
-                m = int(split[k])
-                for code in (int(entry.codes_a[k]), int(entry.codes_b[k])):
-                    deltas[code] = deltas.get(code, 0) + m
+        nz = np.nonzero(cell_counts)[0]
+        counts = cell_counts[nz].astype(np.int64)
+        cells_i = nz // size
+        cells_j = nz % size
+        entries = [
+            self.table.outcomes(self._codes[i], self._codes[j])
+            for i, j in zip(cells_i, cells_j)
+        ]
+        for i, j, count in zip(cells_i, cells_j, counts):
+            for code in (self._codes[i], self._codes[j]):
+                deltas[code] = deltas.get(code, 0) - int(count)
+        # split each cell's events over its outcome distribution with one
+        # stacked multinomial per distinct outcome width (2-D pvals) instead
+        # of a python-loop draw per active cell
+        widths = np.array([len(e.probs) for e in entries], dtype=np.int64)
+        for w in np.unique(widths):
+            sel = np.nonzero(widths == w)[0]
+            pv = np.stack([entries[s].probs for s in sel])
+            splits = self.rng.multinomial(
+                counts[sel], pv / pv.sum(axis=1, keepdims=True)
+            )
+            for row, s in enumerate(sel):
+                entry = entries[s]
+                for k in np.nonzero(splits[row])[0]:
+                    m = int(splits[row][k])
+                    for code in (int(entry.codes_a[k]), int(entry.codes_b[k])):
+                        deltas[code] = deltas.get(code, 0) + m
         for code, delta in deltas.items():
             idx = self._index.get(code)
             have = self._c[idx] if idx is not None else 0.0
@@ -334,33 +393,17 @@ class BatchCountEngine(CountEngine):
         delta = np.zeros(q, dtype=np.int64)
         np.add.at(delta, gi, -counts)
         np.add.at(delta, gj, -counts)
-        # split each cell's events over its outcome distribution with a
-        # vectorized binomial chain over outcome positions (cells have a
-        # handful of outcomes, so this is a few array-binomial draws)
+        # split each cell's events over its outcome distribution with one
+        # stacked multinomial per distinct outcome width: cells grouped by
+        # width w draw as a single (m, w) multinomial with 2-D pvals,
+        # replacing the per-position binomial chain
         pair_flat = gi * q + gj
         start = ct.off[pair_flat]
         width = ct.off[pair_flat + 1] - start
-        remaining = counts.copy()
-        rem_p = np.zeros(len(nz), dtype=np.float64)
-        for t in range(int(width.max())):
-            has = width > t
-            rem_p[has] += ct.out_p[start[has] + t]
-        for t in range(int(width.max())):
-            live = (width > t) & (remaining > 0)
-            if not live.any():
-                break
-            pos = start[live] + t
-            p_t = ct.out_p[pos]
-            last = width[live] == t + 1
-            with np.errstate(divide="ignore", invalid="ignore"):
-                ratio = np.where(
-                    last, 1.0, np.clip(p_t / rem_p[live], 0.0, 1.0)
-                )
-            draw = self.rng.binomial(remaining[live], ratio)
-            np.add.at(delta, ct.out_a[pos], draw)
-            np.add.at(delta, ct.out_b[pos], draw)
-            remaining[live] -= draw
-            rem_p[live] = rem_p[live] - p_t
+        split_outcomes_grouped(
+            self.rng, delta, counts, start, width,
+            ct.out_p, ct.out_a, ct.out_b,
+        )
         if np.any(self._full_c + delta < 0):
             return None
         self._batch_events = fired

@@ -57,17 +57,33 @@ class MeanFieldSystem:
                     delta[self.index[new_a]] += p
                     delta[self.index[new_b]] += p
                 self._terms.append((i, j, delta))
+        self._rate_arrays: Optional[Tuple[np.ndarray, np.ndarray, np.ndarray]] = None
 
     @classmethod
     def from_initial(cls, protocol: Protocol, initial_codes: Sequence[int]) -> "MeanFieldSystem":
         """Build the system over the reachable closure of the initial support."""
         return cls(protocol, reachable_codes(protocol, initial_codes))
 
+    def _compiled_rates(self) -> Tuple[np.ndarray, np.ndarray, np.ndarray]:
+        """Stacked pair-rate arrays, built once and cached between RHS calls."""
+        if self._rate_arrays is None:
+            size = len(self.codes)
+            if self._terms:
+                ti = np.array([i for i, _, _ in self._terms], dtype=np.int64)
+                tj = np.array([j for _, j, _ in self._terms], dtype=np.int64)
+                deltas = np.stack([d for _, _, d in self._terms])
+            else:
+                ti = np.zeros(0, dtype=np.int64)
+                tj = np.zeros(0, dtype=np.int64)
+                deltas = np.zeros((0, size), dtype=np.float64)
+            self._rate_arrays = (ti, tj, deltas)
+        return self._rate_arrays
+
     def derivative(self, x: np.ndarray) -> np.ndarray:
-        dx = np.zeros_like(x)
-        for i, j, delta in self._terms:
-            dx += (x[i] * x[j]) * delta
-        return dx
+        ti, tj, deltas = self._compiled_rates()
+        if not len(ti):
+            return np.zeros_like(x)
+        return (x[ti] * x[tj]) @ deltas
 
     def initial_vector(self, population: Population) -> np.ndarray:
         n = population.n
@@ -85,14 +101,20 @@ class MeanFieldSystem:
         t_eval: Optional[np.ndarray] = None,
         rtol: float = 1e-8,
         atol: float = 1e-10,
+        dense_output: bool = False,
     ):
-        """Integrate the mean-field dynamics over parallel time."""
+        """Integrate the mean-field dynamics over parallel time.
+
+        ``dense_output=True`` attaches a continuous interpolant
+        (``solution.sol``) so callers can evaluate the trajectory at
+        arbitrary parallel times after the fact.
+        """
 
         def rhs(_t: float, x: np.ndarray) -> np.ndarray:
             return self.derivative(x)
 
         return solve_ivp(rhs, t_span, x0, t_eval=t_eval, rtol=rtol, atol=atol,
-                         method="LSODA")
+                         method="LSODA", dense_output=dense_output)
 
     def fraction_series(self, solution, code: int) -> np.ndarray:
         return solution.y[self.index[code]]

@@ -70,6 +70,42 @@ def spawn_seeds(seed: Optional[int], k: int) -> List[np.random.SeedSequence]:
     return list(root.spawn(k))
 
 
+#: Default replica-row count per ensemble chunk (``engine="ensemble"``).
+#: A fixed constant, never derived from the worker count, so chunk
+#: membership — and therefore every chunk's shared draw stream — is
+#: identical across ``processes`` settings and across resume runs.
+DEFAULT_ENSEMBLE_CHUNK = 16
+
+#: Spawn-key salt of the per-chunk shared generators.  Chunk keys are the
+#: 3-tuple ``(salt, first_index, attempt)`` — replica streams use length-1
+#: keys ``(k,)`` and retry streams length-2 keys ``(k, attempt)``, so the
+#: three families can never collide.
+ENSEMBLE_SEED_SALT = 0x454E53  # "ENS"
+
+
+def _ensemble_shared_seed(
+    root: np.random.SeedSequence, chunk_start: int, attempt: int
+) -> np.random.SeedSequence:
+    """Seed of the chunk's *shared* stacked-draw generator."""
+    return np.random.SeedSequence(
+        entropy=root.entropy,
+        spawn_key=(ENSEMBLE_SEED_SALT, chunk_start, attempt),
+    )
+
+
+def ensemble_chunk_members(block: int, chunk: int, replicas: int) -> List[int]:
+    """Replica indices of ensemble chunk ``block``.
+
+    Chunks are fixed blocks of the full index space (block ``j`` owns
+    ``[j*chunk, min((j+1)*chunk, replicas))``), independent of process
+    count and of which indices a resume requests — a resumed block
+    re-runs whole and reproduces its rows bit-identically.
+    """
+    lo = block * chunk
+    hi = min(lo + chunk, replicas)
+    return list(range(lo, hi))
+
+
 @dataclass
 class ReplicaRecord:
     """Outcome of one replica run.
@@ -288,10 +324,159 @@ def _engine_replica(payload) -> ReplicaRecord:
     )
 
 
+def run_ensemble_chunk(
+    indices: Sequence[int],
+    seed_seqs: Sequence[np.random.SeedSequence],
+    shared_seq: np.random.SeedSequence,
+    protocol: Protocol,
+    population: Population,
+    engine_opts: Optional[Dict[str, Any]] = None,
+    run_kwargs: Optional[Dict[str, Any]] = None,
+    stop: Optional[Callable[[Population], bool]] = None,
+    faults: Optional[Any] = None,
+    attempt: int = 0,
+) -> List[ReplicaRecord]:
+    """Run one ensemble chunk: the replicas ``indices`` as stacked rows.
+
+    The chunked sibling of :func:`run_single_replica` — one
+    :class:`~repro.engine.ensemble.EnsembleEngine` advances every row of
+    the chunk per stacked batch.  Each row keeps its *own* replica seed
+    stream (``seed_seqs[pos]`` drives only row ``pos``'s exact fallback
+    path), while all stacked draws come from the generator seeded by
+    ``shared_seq``; the same ``(indices, seed_seqs, shared_seq, ...)``
+    inputs reproduce the chunk bit-identically (minus wall time), which is
+    what :func:`repro.obs.replay_replica` relies on.
+
+    Returns one :class:`ReplicaRecord` per row, in ``indices`` order, with
+    the chunk's wall time apportioned evenly and per-row
+    :meth:`~repro.engine.ensemble.EnsembleEngine.row_stats` counters.
+    """
+    from .ensemble import EnsembleEngine
+
+    indices = [int(k) for k in indices]
+    seed_seqs = list(seed_seqs)
+    if len(seed_seqs) != len(indices):
+        raise ValueError("need exactly one seed sequence per chunk index")
+    if faults is not None:
+        for k in indices:
+            faults.before_run(k, attempt)
+    row_rngs = [np.random.default_rng(s) for s in seed_seqs]
+    eng = EnsembleEngine(
+        protocol,
+        population.copy(),
+        rng=np.random.default_rng(shared_seq),
+        rows=len(indices),
+        row_rngs=row_rngs,
+        **(engine_opts or {}),
+    )
+    if faults is not None:
+        for k in indices:
+            faults.tamper_engine(eng, k, attempt)
+    start = time.perf_counter()
+    eng.run(stop=stop, **(run_kwargs or {}))
+    wall = time.perf_counter() - start
+    per_row_wall = wall / len(indices)
+    records: List[ReplicaRecord] = []
+    for pos, k in enumerate(indices):
+        final = eng.row_population(pos)
+        converged: Optional[bool] = None
+        if stop is not None:
+            converged = eng.row_verdict(pos)
+            if converged is None:  # run never evaluated stop (e.g. silent)
+                converged = bool(stop(final))
+        seed_coords: Dict[str, Any] = {
+            "entropy": seed_seqs[pos].entropy,
+            "spawn_key": list(seed_seqs[pos].spawn_key),
+        }
+        if attempt > 0:
+            seed_coords["retry_of"] = [k]
+        records.append(
+            ReplicaRecord(
+                index=k,
+                rounds=float(eng.row_rounds(pos)),
+                interactions=int(eng.row_interactions_of(pos)),
+                wall=per_row_wall,
+                converged=converged,
+                engine=eng.name,
+                stats=eng.row_stats(pos).as_dict(),
+                seed=seed_coords,
+                extra={
+                    "support": final.support_size,
+                    "engine": eng.name,
+                    "ensemble_chunk": list(indices),
+                },
+                status="ok",
+                attempts=attempt + 1,
+            )
+        )
+    return records
+
+
+def _ensemble_chunk(payload) -> List[ReplicaRecord]:
+    """Worker: run one ensemble chunk (top-level for pickling)."""
+    (indices, seed_seqs, shared_seq, protocol, population, engine_opts,
+     run_kwargs, stop, faults, attempt) = payload
+    return run_ensemble_chunk(
+        indices, seed_seqs, shared_seq, protocol, population,
+        engine_opts=engine_opts, run_kwargs=run_kwargs, stop=stop,
+        faults=faults, attempt=attempt,
+    )
+
+
+def _prewarm_table(
+    protocol: Protocol,
+    population: Population,
+    engine: str,
+    engine_opts: Optional[Dict[str, Any]],
+) -> bool:
+    """Compile the transition table once in the parent before fan-out.
+
+    Spawned workers re-import everything, so without this every worker
+    pays the reachable-closure compile on its first replica (they race to
+    write the same disk cache entry).  Compiling here populates the
+    in-process memo (serial runs) and the on-disk cache (spawned workers
+    hit it immediately).  Returns ``True`` when a table was prewarmed —
+    the runner then relabels the workers' ``table_cache`` provenance as
+    ``"prewarmed"``.  No-op for engines that never compile, for runs that
+    pass an explicit table, and for closures that fail to compile (the
+    workers will surface the real error themselves).
+    """
+    opts = engine_opts or {}
+    if opts.get("table") is not None:
+        return False
+    compiled = opts.get("compiled")
+    if compiled is not None and compiled is not True:
+        return False  # disabled (False) or an explicit CompiledTable
+    if engine == "auto":
+        from ..simulate import default_engine_name
+
+        engine = default_engine_name(protocol, population)
+    if engine not in ("batch", "ensemble"):
+        return False
+    from .compiled import COMPILE_STATE_LIMIT, compile_table
+
+    try:
+        compile_table(
+            protocol,
+            population.counts.keys(),
+            limit=opts.get("compile_limit", COMPILE_STATE_LIMIT),
+            cache=opts.get("cache", "auto"),
+        )
+    except (RuntimeError, ValueError):
+        return False
+    return True
+
+
 def _task_replica(payload):
     """Worker: run one generic task replica (top-level for pickling)."""
     task, seed_seq = payload
     return task(seed_seq)
+
+
+def _task_chunk(payload):
+    """Worker: run one generic task over a chunk of seeds (for pickling)."""
+    task, seed_seqs = payload
+    return [task(seed_seq) for seed_seq in seed_seqs]
 
 
 # ---------------------------------------------------------------------------
@@ -696,6 +881,13 @@ def run_replicas(
     engine:
         Engine registry name (``auto``/``count``/``batch``/``matching``/
         ``array``), resolved per replica by :func:`repro.simulate.make_engine`.
+        ``"ensemble"`` switches the fan-out strategy: replicas are grouped
+        into fixed chunks of ``engine_opts["ensemble_chunk"]`` rows
+        (default :data:`DEFAULT_ENSEMBLE_CHUNK`) and each chunk is one
+        supervised task running a stacked
+        :class:`~repro.engine.ensemble.EnsembleEngine` — the supervisor's
+        ``timeout``/``max_retries`` then apply per *chunk*, and a failed
+        chunk records failure for every member replica.
     seed:
         Root seed; replica ``k`` gets the ``k``-th spawned child stream.
     processes:
@@ -769,16 +961,57 @@ def run_replicas(
     if plan is not None and processes <= 1:
         plan = plan.simulated()
 
+    # engine="ensemble" groups replicas into fixed chunks of stacked rows;
+    # ensemble_chunk is a runner option, not an engine constructor knob, so
+    # it is popped from the copy handed to workers (the manifest header
+    # keeps the original engine_opts and round-trips it through resume)
+    worker_opts = engine_opts
+    ensemble_chunk_size: Optional[int] = None
+    if engine == "ensemble":
+        worker_opts = dict(engine_opts or {})
+        raw = worker_opts.pop("ensemble_chunk", None)
+        ensemble_chunk_size = (
+            DEFAULT_ENSEMBLE_CHUNK if raw is None else int(raw)
+        )
+        if ensemble_chunk_size < 1:
+            raise ValueError("ensemble_chunk must be a positive integer")
+
     def payload_for(k: int, seed_seq, attempt: int):
         return (
-            k, seed_seq, protocol, population, engine, engine_opts,
+            k, seed_seq, protocol, population, engine, worker_opts,
             run_kwargs, stop, plan, attempt,
         )
 
     def retry_payload(key, base, attempt):
         return payload_for(key, _retry_seed(root, key, attempt), attempt)
 
-    tasks = [(k, payload_for(k, seeds[k], 0)) for k in run_indices]
+    if ensemble_chunk_size is None:
+        worker = _engine_replica
+        retry = retry_payload
+        tasks = [(k, payload_for(k, seeds[k], 0)) for k in run_indices]
+    else:
+        csize = ensemble_chunk_size
+
+        def chunk_payload(block: int, attempt: int):
+            members = ensemble_chunk_members(block, csize, replicas)
+            if attempt == 0:
+                row_seeds = [seeds[k] for k in members]
+            else:
+                # a retried chunk moves every row to a fresh seed child
+                row_seeds = [_retry_seed(root, k, attempt) for k in members]
+            shared = _ensemble_shared_seed(root, block * csize, attempt)
+            return (
+                members, row_seeds, shared, protocol, population,
+                worker_opts, run_kwargs, stop, plan, attempt,
+            )
+
+        def chunk_retry(key, base, attempt):
+            return chunk_payload(key, attempt)
+
+        worker = _ensemble_chunk
+        retry = chunk_retry
+        blocks = sorted({k // csize for k in run_indices})
+        tasks = [(b, chunk_payload(b, 0)) for b in blocks]
 
     writer = None
     if manifest is not None:
@@ -838,23 +1071,90 @@ def run_replicas(
             attempts=outcome.attempts,
         )
 
-    records_by_index: Dict[int, ReplicaRecord] = {}
+    def chunk_failure_records(outcome: TaskOutcome) -> List[ReplicaRecord]:
+        # a chunk that exhausted its retries takes every member replica
+        # down with it: one explicit failure record per row, pointing at
+        # the per-row seed coordinates of the last attempt made
+        members = ensemble_chunk_members(
+            outcome.key, ensemble_chunk_size, replicas
+        )
+        last_attempt = max(outcome.attempts - 1, 0)
+        records = []
+        for k in members:
+            if last_attempt > 0:
+                seed_seq = _retry_seed(root, k, last_attempt)
+                seed_coords = {
+                    "entropy": seed_seq.entropy,
+                    "spawn_key": list(seed_seq.spawn_key),
+                    "retry_of": [k],
+                }
+            else:
+                seed_seq = seeds[k]
+                seed_coords = {
+                    "entropy": seed_seq.entropy,
+                    "spawn_key": list(seed_seq.spawn_key),
+                }
+            records.append(
+                ReplicaRecord(
+                    index=k,
+                    rounds=float("nan"),
+                    interactions=0,
+                    wall=outcome.wall,
+                    converged=None,
+                    engine=engine,
+                    stats=None,
+                    seed=seed_coords,
+                    extra={"ensemble_chunk": members},
+                    status=outcome.status,
+                    error=outcome.error,
+                    attempts=outcome.attempts,
+                )
+            )
+        return records
 
-    def on_result(outcome: TaskOutcome) -> None:
-        record = outcome_record(outcome)
+    prewarmed = _prewarm_table(protocol, population, engine, worker_opts)
+    records_by_index: Dict[int, ReplicaRecord] = {}
+    requested = set(run_indices)
+
+    def accept(record: ReplicaRecord) -> None:
+        # a resumed ensemble sweep re-runs whole chunks: only the replicas
+        # actually requested may be recorded, or the re-run's duplicate ok
+        # records would shadow the originals under the manifest's
+        # latest-ok-wins dedup
+        if record.index not in requested:
+            return
+        if (
+            prewarmed
+            and record.status == "ok"
+            and record.stats is not None
+            and record.stats.get("table_cache") in ("hit", "memo")
+        ):
+            record.stats = dict(record.stats)
+            record.stats["table_cache"] = "prewarmed"
         records_by_index[record.index] = record
         if writer is not None:
             writer.append_record(record)
 
+    def on_result(outcome: TaskOutcome) -> None:
+        if ensemble_chunk_size is None:
+            accept(outcome_record(outcome))
+        elif outcome.status == "ok":
+            for record in outcome.value:
+                record.attempts = outcome.attempts
+                accept(record)
+        else:
+            for record in chunk_failure_records(outcome):
+                accept(record)
+
     try:
         supervise(
-            _engine_replica,
+            worker,
             tasks,
             processes=processes,
             timeout=timeout,
             max_retries=max_retries,
             backoff=backoff,
-            retry_payload=retry_payload,
+            retry_payload=retry,
             on_result=on_result,
         )
     finally:
@@ -873,6 +1173,7 @@ def map_replicas(
     timeout: Optional[float] = None,
     max_retries: int = 0,
     backoff: float = 0.1,
+    chunk: int = 1,
 ) -> List[Any]:
     """Fan a picklable ``task(seed_sequence)`` out over ``replicas`` seeds.
 
@@ -883,21 +1184,44 @@ def map_replicas(
     retries on fresh seed children), but unlike :func:`run_replicas` a
     replica that exhausts its retries **raises** — generic tasks have no
     record schema to absorb a failure into.
+
+    ``chunk`` groups that many consecutive seeds into one dispatched task
+    (the worker loops over them in-process), amortizing per-task pickling
+    and pipe traffic for sub-millisecond trials; seeds and result order
+    are unchanged.  Supervisor ``timeout``/retries then apply per chunk,
+    and a retried chunk moves *all* its seeds to fresh retry children.
     """
     if replicas < 1:
         raise ValueError(
             "replicas must be a positive integer, got {}".format(replicas)
         )
+    if chunk < 1:
+        raise ValueError("chunk must be a positive integer")
     root = np.random.SeedSequence(seed)
     seeds = list(root.spawn(replicas))
-    processes = _resolve_processes(processes, replicas)
-    tasks = [(k, (task, seeds[k])) for k in range(replicas)]
 
-    def retry_payload(key, base, attempt):
-        return (task, _retry_seed(root, key, attempt))
+    if chunk == 1:
+        worker = _task_replica
+        tasks = [(k, (task, seeds[k])) for k in range(replicas)]
 
+        def retry_payload(key, base, attempt):
+            return (task, _retry_seed(root, key, attempt))
+
+    else:
+        worker = _task_chunk
+        groups = [
+            list(range(lo, min(lo + chunk, replicas)))
+            for lo in range(0, replicas, chunk)
+        ]
+        by_start = {g[0]: g for g in groups}
+        tasks = [(g[0], (task, [seeds[k] for k in g])) for g in groups]
+
+        def retry_payload(key, base, attempt):
+            return (task, [_retry_seed(root, k, attempt) for k in by_start[key]])
+
+    processes = _resolve_processes(processes, len(tasks))
     outcomes = supervise(
-        _task_replica,
+        worker,
         tasks,
         processes=processes,
         timeout=timeout,
@@ -913,4 +1237,6 @@ def map_replicas(
                 len(bad), replicas, bad[0].key, bad[0].status, bad[0].error
             )
         )
-    return [o.value for o in outcomes]
+    if chunk == 1:
+        return [o.value for o in outcomes]
+    return [value for o in outcomes for value in o.value]

@@ -455,6 +455,59 @@ def _workload_from_header(
     return protocol, population, stop
 
 
+def _replay_ensemble_chunk(
+    manifest: Manifest,
+    record: ReplicaRecord,
+    protocol: Protocol,
+    population: Population,
+    stop: Optional[Callable[[Population], bool]],
+) -> ReplicaRecord:
+    """Re-run the ensemble chunk owning ``record`` and return its row.
+
+    An ensemble replica's sample path depends on the whole chunk (the
+    stacked batches draw from the chunk's *shared* generator), so the unit
+    of bit-identical replay is the chunk, not the row: rebuild the owning
+    chunk's member list, per-row seeds and shared seed exactly as
+    :func:`~repro.engine.replicas.run_replicas` derived them, re-run it,
+    and return the requested row's fresh record.
+    """
+    from .engine.replicas import (
+        DEFAULT_ENSEMBLE_CHUNK,
+        _ensemble_shared_seed,
+        _retry_seed,
+        ensemble_chunk_members,
+        run_ensemble_chunk,
+    )
+
+    opts = _replayable(manifest.header.get("engine_opts"))
+    raw = opts.pop("ensemble_chunk", None)
+    chunk = DEFAULT_ENSEMBLE_CHUNK if raw is None else int(raw)
+    root = np.random.SeedSequence(manifest.header.get("root_entropy"))
+    members = record.extra.get("ensemble_chunk") or ensemble_chunk_members(
+        record.index // chunk, chunk, manifest.replicas
+    )
+    members = [int(k) for k in members]
+    attempt = max(record.attempts - 1, 0)
+    if attempt == 0:
+        children = root.spawn(manifest.replicas)
+        row_seeds = [children[k] for k in members]
+    else:
+        row_seeds = [_retry_seed(root, k, attempt) for k in members]
+    shared = _ensemble_shared_seed(root, members[0], attempt)
+    fresh = run_ensemble_chunk(
+        members,
+        row_seeds,
+        shared,
+        protocol,
+        population,
+        engine_opts=opts,
+        run_kwargs=_replayable(manifest.header.get("run_kwargs")),
+        stop=stop,
+        attempt=attempt,
+    )
+    return fresh[members.index(record.index)]
+
+
 def replay_replica(
     manifest: Manifest,
     index: int,
@@ -475,7 +528,9 @@ def replay_replica(
     single-replica primitive the pool workers use, seeded with the exact
     recorded seed sequence, so ``rounds`` / ``interactions`` /
     ``converged`` come back bit-identical to the original record (wall
-    time excepted).
+    time excepted).  Manifests recorded with ``engine="ensemble"`` replay
+    the whole chunk the replica rode in (the stacked kernels share one
+    chunk-level generator) and return the requested row.
     """
     record = manifest.record(index)
     protocol, population, stop = _workload_from_header(
@@ -483,6 +538,8 @@ def replay_replica(
     )
     if check_fingerprint:
         verify_fingerprint(manifest, protocol, population)
+    if manifest.header.get("engine") == "ensemble":
+        return _replay_ensemble_chunk(manifest, record, protocol, population, stop)
     return run_single_replica(
         record.index,
         replica_seed(record),

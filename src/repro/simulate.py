@@ -22,6 +22,12 @@ Engine names
     :class:`~repro.engine.matching.MatchingEngine` — synchronous
     random-matching scheduler (a *different* scheduler: one step = one
     round = n/2 interactions); needs the packed space to fit int64.
+``ensemble``
+    :class:`~repro.engine.ensemble.EnsembleEngine` — R replica rows
+    advanced per batch in one stacked ``(R, q)`` kernel over a shared
+    compiled table; the replica runner's intra-worker strategy for
+    ``--engine ensemble`` sweeps.  Requires a compilable reachable
+    closure; never chosen by ``auto``.
 ``auto``
     Count-based jump engine when the configuration lives on a small
     occupied support (the regime of every protocol in this repo), the
@@ -41,6 +47,7 @@ from .core.protocol import Protocol
 from .engine.api import Engine
 from .engine.batch import ArrayEngine
 from .engine.dense import supports_dense
+from .engine.ensemble import EnsembleEngine
 from .engine.jump import BatchCountEngine
 from .engine.matching import MatchingEngine
 from .engine.sequential import CountEngine
@@ -51,10 +58,11 @@ ENGINES: Dict[str, Type[Engine]] = {
     "batch": BatchCountEngine,
     "array": ArrayEngine,
     "matching": MatchingEngine,
+    "ensemble": EnsembleEngine,
 }
 
 #: Valid values of the shared ``--engine`` flag.
-ENGINE_CHOICES = ("auto", "batch", "count", "array", "matching")
+ENGINE_CHOICES = ("auto", "batch", "count", "array", "matching", "ensemble")
 
 #: Occupied-support size up to which count-based engines are preferred.
 SUPPORT_LIMIT = 512

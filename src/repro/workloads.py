@@ -34,6 +34,36 @@ def unique_leader(population: Population) -> bool:
     return population.count(V("L")) == 1
 
 
+def _flag_mask(codes, schema, name: str):
+    import numpy as np
+
+    from .core.formula import coerce_formula
+
+    formula = coerce_formula(V(name))
+    return np.array(
+        [formula.evaluate(schema.unpack(int(c))) for c in codes], dtype=bool
+    )
+
+
+def _vectorize_all_infected(codes, schema):
+    """Ensemble fast path: no agent left without the bit, per row."""
+    healthy = ~_flag_mask(codes, schema, "I")
+    return lambda counts: counts[:, healthy].sum(axis=1) == 0
+
+
+def _vectorize_unique_leader(codes, schema):
+    """Ensemble fast path: exactly one leader left, per row."""
+    leaders = _flag_mask(codes, schema, "L")
+    return lambda counts: counts[:, leaders].sum(axis=1) == 1
+
+
+# vectorized counterparts used by repro.engine.ensemble.VectorizedStop;
+# attribute assignment keeps the predicates plain module-level functions
+# (hence picklable by reference into worker processes and manifests)
+all_infected.vectorize = _vectorize_all_infected
+unique_leader.vectorize = _vectorize_unique_leader
+
+
 def _build_epidemic(n: int = 300, infected: int = 1):
     schema = StateSchema()
     schema.flag("I")
