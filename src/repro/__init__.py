@@ -6,7 +6,7 @@ phase-clock hierarchy and its programming framework.
 
 Quick start::
 
-    from repro import StateSchema, Population, rule, single_thread, CountEngine
+    from repro import EngineConfig, Population, StateSchema, rule, simulate, single_thread
     from repro.core import V
 
     schema = StateSchema()
@@ -15,7 +15,16 @@ Quick start::
         rule(V("I"), ~V("I"), None, {"I": True}, name="infect"),
     ])
     pop = Population.from_groups(schema, [({"I": True}, 1), ({"I": False}, 999)])
-    CountEngine(epidemic, pop).run(stop=lambda p: p.all_satisfy(V("I")))
+    config = EngineConfig(engine="batch", backend="numpy")
+    simulate(epidemic, pop, config, stop=lambda p: p.all_satisfy(V("I")))
+
+Engine construction knobs travel in a typed :class:`EngineConfig`
+(engine name, array backend, batching knobs); the same config flows
+through :func:`make_engine`, :func:`run_replicas`, the run manifests and
+the CLI.  The public surface is the explicit ``__all__`` below; the old
+loose ``engine_opts`` kwargs and the ``ENGINES`` / ``ENGINE_CHOICES``
+module constants keep working for one release behind a
+``DeprecationWarning`` (use :func:`engine_names` / ``repro.simulate``).
 """
 
 from .core import (
@@ -34,11 +43,14 @@ from .core import (
     single_thread,
 )
 from .engine import (
+    ArrayBackend,
     ArrayEngine,
+    BackendUnavailableError,
     BatchCountEngine,
     CompiledTable,
     CountEngine,
     Engine,
+    EngineConfig,
     EngineStats,
     EnsembleEngine,
     HealthMonitor,
@@ -48,8 +60,12 @@ from .engine import (
     ReplicaSet,
     SimulationHealthError,
     Trace,
+    available_backends,
+    backend_names,
     compile_table,
+    get_backend,
     map_replicas,
+    register_backend,
     run_replicas,
     run_single_replica,
     supervise,
@@ -64,20 +80,49 @@ from .obs import (
     verify_fingerprint,
     write_manifest,
 )
-from .simulate import ENGINE_CHOICES, ENGINES, make_engine, simulate
+from .simulate import engine_names, make_engine, simulate
 from .workloads import Workload, build_workload
 
-__version__ = "1.1.0"
+__version__ = "1.2.0"
+
+#: Names kept importable for one release behind a DeprecationWarning.
+_DEPRECATED_ALIASES = {
+    "ENGINES": (
+        "repro.ENGINES is deprecated; use repro.engine_names() for the "
+        "registry names or repro.simulate.ENGINES for the class map"
+    ),
+    "ENGINE_CHOICES": (
+        "repro.ENGINE_CHOICES is deprecated; use repro.engine_names()"
+    ),
+}
+
+
+def __getattr__(name):
+    if name in _DEPRECATED_ALIASES:
+        import importlib
+        import warnings
+
+        warnings.warn(
+            _DEPRECATED_ALIASES[name], DeprecationWarning, stacklevel=2
+        )
+        # NB: attribute access via the package would find the simulate()
+        # *function* re-exported above, not the module
+        return getattr(importlib.import_module(__name__ + ".simulate"), name)
+    raise AttributeError(
+        "module {!r} has no attribute {!r}".format(__name__, name)
+    )
+
 
 __all__ = [
     "ANY",
+    "ArrayBackend",
     "ArrayEngine",
+    "BackendUnavailableError",
     "BatchCountEngine",
     "CompiledTable",
     "CountEngine",
-    "ENGINES",
-    "ENGINE_CHOICES",
     "Engine",
+    "EngineConfig",
     "EngineStats",
     "EnsembleEngine",
     "FaultPlan",
@@ -99,13 +144,18 @@ __all__ = [
     "Trace",
     "V",
     "Workload",
+    "available_backends",
+    "backend_names",
     "build_workload",
     "coin_rule",
     "compile_table",
     "compose",
+    "engine_names",
+    "get_backend",
     "load_manifest",
     "make_engine",
     "map_replicas",
+    "register_backend",
     "replay_replica",
     "resume_sweep",
     "rule",

@@ -14,9 +14,12 @@ Examples::
     python -m repro sweep --resume runs/epidemic.jsonl
     python -m repro replay runs/epidemic.jsonl --index 3
 
-Every subcommand accepts a shared ``--engine {auto,batch,count,array,
-matching}`` flag (see :mod:`repro.simulate` and docs/ENGINES.md); ``auto``
-picks the best engine for the workload.
+Every subcommand accepts the same engine flags: ``--engine`` (registry
+name, ``auto`` picks the best fit), ``--backend`` (array backend for the
+stacked kernels — numpy/cupy/jax, see docs/ENGINES.md), ``--ensemble-chunk``
+(rows per stacked chunk; implies ``--engine ensemble``), ``--no-guards``
+and ``--stats``.  Unknown engine or backend names are rejected with the
+list of registered ones.
 """
 
 from __future__ import annotations
@@ -31,11 +34,55 @@ def _rng(args) -> np.random.Generator:
     return np.random.default_rng(args.seed)
 
 
+def _backend_arg(name: str) -> str:
+    """argparse type= validator for ``--backend`` (dynamic registry)."""
+    from .engine.backend import backend_names
+
+    if name not in backend_names():
+        raise argparse.ArgumentTypeError(
+            "unknown backend {!r}; registered backends: {}".format(
+                name, ", ".join(backend_names())
+            )
+        )
+    return name
+
+
+def _config_from_args(args, auto: str = None):
+    """Build the :class:`~repro.EngineConfig` shared by every subcommand.
+
+    ``auto`` substitutes a command-specific default when ``--engine auto``
+    is in effect (e.g. the oscillator's measurements are defined on the
+    random-matching scheduler).
+    """
+    from .engine.config import EngineConfig
+
+    engine = args.engine
+    chunk = getattr(args, "ensemble_chunk", None)
+    if chunk is not None:
+        if engine == "auto":
+            engine = "ensemble"
+        elif engine != "ensemble":
+            print(
+                "error: --ensemble-chunk only applies to the ensemble "
+                "engine (got --engine {})".format(engine),
+                file=sys.stderr,
+            )
+            raise SystemExit(2)
+    if engine == "auto" and auto is not None:
+        engine = auto
+    # guards stay engine-default here; sweeps flip them on (cmd_sweep)
+    return EngineConfig(
+        engine=engine,
+        backend=getattr(args, "backend", None),
+        ensemble_chunk=chunk,
+    )
+
+
 def cmd_leader_election(args) -> int:
     from .protocols import run_leader_election
 
     ok, iterations, rounds = run_leader_election(
-        args.n, rng=_rng(args), engine=args.engine
+        args.n, rng=_rng(args), engine=_config_from_args(args)
     )
     print(
         "unique leader: {} ({} good iterations, ~{:.0f} parallel rounds)".format(
@@ -52,7 +99,7 @@ def cmd_majority(args) -> int:
     count_b = args.b if args.b is not None else args.n // 3
     runner = run_majority_exact if args.exact else run_majority
     out, iterations, rounds = runner(
-        args.n, count_a, count_b, rng=_rng(args), engine=args.engine
+        args.n, count_a, count_b, rng=_rng(args), engine=_config_from_args(args)
     )
     expected = count_a > count_b
     print(
@@ -68,7 +115,7 @@ def cmd_plurality(args) -> int:
 
     counts = [int(c) for c in args.counts.split(",")]
     winner, iterations, rounds = run_plurality(
-        counts, n=args.n, rng=_rng(args), engine=args.engine
+        counts, n=args.n, rng=_rng(args), engine=_config_from_args(args)
     )
     print(
         "plurality winner: {} of {} (expected {}; ~{:.0f} rounds)".format(
@@ -92,7 +139,7 @@ def cmd_predicate(args) -> int:
         predicate = majority_predicate()
     groups = [("A", args.count), (None, max(args.n - args.count, 0))]
     out, want, iterations, rounds = run_semilinear_exact(
-        predicate, groups, rng=_rng(args), engine=args.engine
+        predicate, groups, rng=_rng(args), engine=_config_from_args(args)
     )
     print(
         "{}: protocol says {}, truth {} (~{:.0f} rounds)".format(
@@ -131,11 +178,10 @@ def cmd_oscillator(args) -> int:
 
     # the oscillator's step/period measurements are defined on the
     # random-matching scheduler, so auto resolves to it here
-    engine = "matching" if args.engine == "auto" else args.engine
     simulate(
         protocol,
         population,
-        engine=engine,
+        engine=_config_from_args(args, auto="matching"),
         rng=_rng(args),
         rounds=args.steps,
         observer=trace,
@@ -167,7 +213,7 @@ def cmd_run_program(args) -> int:
         schema, args.n, {decl.name: decl.init for decl in program.variables}
     )
     interpreter = IdealInterpreter(
-        program, population, rng=_rng(args), engine=args.engine
+        program, population, rng=_rng(args), engine=_config_from_args(args)
     )
     interpreter.run(args.iterations)
     print("\nafter {} good iterations (~{:.0f} rounds):".format(
@@ -190,6 +236,7 @@ def cmd_sweep(args) -> int:
             processes=args.processes,
             timeout=args.timeout,
             max_retries=args.max_retries,
+            backend=args.backend,
         )
         name = "resume {}".format(args.resume)
         manifest_path = args.resume
@@ -204,30 +251,19 @@ def cmd_sweep(args) -> int:
         if args.n is not None:
             params["n"] = args.n
         workload = build_workload(args.workload, **params)
-        engine = args.engine
-        # sweeps run unattended, so the health guards default on;
-        # they add <5% on the batch engines (see docs/ROBUSTNESS.md)
-        engine_opts = {} if args.no_guards else {"guards": True}
-        if args.ensemble_chunk is not None:
-            if engine == "auto":
-                engine = "ensemble"
-            if engine != "ensemble":
-                print(
-                    "error: --ensemble-chunk only applies to the ensemble "
-                    "engine (got --engine {})".format(engine),
-                    file=sys.stderr,
-                )
-                return 2
-            engine_opts["ensemble_chunk"] = args.ensemble_chunk
+        config = _config_from_args(args)
+        if not args.no_guards:
+            # sweeps run unattended, so the health guards default on;
+            # they add <5% on the batch engines (see docs/ROBUSTNESS.md)
+            config = config.replace(guards=True)
         rs = run_replicas(
             workload.protocol,
             workload.population,
             replicas=args.replicas,
-            engine=engine,
             seed=args.seed if args.seed is not None else 0,
             processes=args.processes,
             stop=workload.stop,
-            engine_opts=engine_opts or None,
+            config=config,
             manifest=args.manifest,
             manifest_meta={"workload": workload.spec()},
             timeout=args.timeout,
@@ -253,7 +289,7 @@ def cmd_replay(args) -> int:
 
     manifest = load_manifest(args.manifest)
     original = manifest.record(args.index)
-    fresh = replay_replica(manifest, args.index)
+    fresh = replay_replica(manifest, args.index, backend=args.backend)
     match = (
         fresh.rounds == original.rounds
         and fresh.interactions == original.interactions
@@ -291,6 +327,28 @@ def build_parser() -> argparse.ArgumentParser:
         choices=ENGINE_CHOICES,
         default="auto",
         help="simulation engine (default: auto — pick the best fit)",
+    )
+    common.add_argument(
+        "--backend",
+        type=_backend_arg,
+        default=None,
+        metavar="NAME",
+        help="array backend for the stacked batch/ensemble kernels "
+        "(registered: numpy, cupy, jax; default: the REPRO_BACKEND env "
+        "var, else numpy)",
+    )
+    common.add_argument(
+        "--ensemble-chunk", type=int, default=None, metavar="R",
+        help="advance replicas in stacked chunks of R rows on the "
+        "ensemble engine (implies --engine ensemble; the engine's "
+        "default chunk is 16 when --engine ensemble is given without "
+        "this flag)",
+    )
+    common.add_argument(
+        "--no-guards", action="store_true",
+        help="disable the engine health guards (conservation, finiteness, "
+        "overflow headroom); sweeps enable them by default, the other "
+        "commands leave them off",
     )
     common.add_argument(
         "--stats",
@@ -379,18 +437,6 @@ def build_parser() -> argparse.ArgumentParser:
         "--max-retries", type=int, default=None,
         help="retries per failed/timed-out replica (default: 2, or the "
         "manifest's recorded setting when resuming)",
-    )
-    p.add_argument(
-        "--no-guards", action="store_true",
-        help="disable the engine health guards that sweeps enable by "
-        "default (conservation, finiteness, overflow headroom)",
-    )
-    p.add_argument(
-        "--ensemble-chunk", type=int, default=None, metavar="R",
-        help="advance replicas in stacked chunks of R rows on the "
-        "ensemble engine (implies --engine ensemble; the engine's "
-        "default chunk is 16 when --engine ensemble is given without "
-        "this flag)",
     )
     p.set_defaults(func=cmd_sweep, stats_handled=True)
 

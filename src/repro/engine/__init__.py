@@ -1,6 +1,14 @@
 """Exact and approximate simulation engines for population protocols."""
 
 from .api import Engine, EngineStats
+from .backend import (
+    ArrayBackend,
+    BackendUnavailableError,
+    available_backends,
+    backend_names,
+    get_backend,
+    register_backend,
+)
 from .batch import ArrayEngine, apply_pairs
 from .compiled import (
     CompiledTable,
@@ -9,6 +17,7 @@ from .compiled import (
     corrupt_cache_events,
     protocol_fingerprint,
 )
+from .config import EngineConfig
 from .ensemble import EnsembleEngine, VectorizedStop
 from .health import HealthMonitor, SimulationHealthError, resolve_guards
 from .jump import BatchCountEngine
@@ -33,12 +42,15 @@ from .sequential import CountEngine
 from .table import LazyTable, PairOutcomes, reachable_codes
 
 __all__ = [
+    "ArrayBackend",
     "ArrayEngine",
+    "BackendUnavailableError",
     "BatchCountEngine",
     "CompiledTable",
     "CountEngine",
     "DEFAULT_ENSEMBLE_CHUNK",
     "Engine",
+    "EngineConfig",
     "EngineStats",
     "EnsembleEngine",
     "HealthMonitor",
@@ -53,12 +65,16 @@ __all__ = [
     "Trace",
     "VectorizedStop",
     "apply_pairs",
+    "available_backends",
     "available_cpus",
+    "backend_names",
     "clear_memo",
     "compile_table",
     "corrupt_cache_events",
     "ensemble_chunk_members",
+    "get_backend",
     "map_replicas",
+    "register_backend",
     "protocol_fingerprint",
     "reachable_codes",
     "resolve_guards",

@@ -99,6 +99,7 @@ class EngineStats:
 
     __slots__ = (
         "engine",
+        "backend",
         "runs",
         "run_seconds",
         "interactions",
@@ -122,6 +123,7 @@ class EngineStats:
 
     _ORDER = (
         "engine",
+        "backend",
         "runs",
         "run_seconds",
         "interactions",
@@ -147,8 +149,9 @@ class EngineStats:
         self.engine = engine_name
         self.runs = 0
         self.run_seconds = 0.0
-        for name in self._ORDER[3:]:
-            setattr(self, name, None)
+        for name in self._ORDER:
+            if name not in ("engine", "runs", "run_seconds"):
+                setattr(self, name, None)
 
     # -- recording ---------------------------------------------------------
     def record_run(self, engine: "Engine", wall_seconds: float) -> None:
@@ -157,6 +160,9 @@ class EngineStats:
         self.run_seconds += wall_seconds
         self.interactions = int(engine.interactions)
         self.rounds = float(engine.rounds)
+        backend = getattr(engine, "backend", None)
+        if backend is not None:
+            self.backend = getattr(backend, "name", str(backend))
         for attr in ("events", "batches", "fallbacks", "kernel_seconds"):
             value = getattr(engine, attr, None)
             if value is not None:

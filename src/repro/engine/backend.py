@@ -1,0 +1,339 @@
+"""Array backends for the stacked batch kernels.
+
+The hot loops of :class:`~repro.engine.jump.BatchCountEngine` (compiled
+path) and :class:`~repro.engine.ensemble.EnsembleEngine` reduce to four
+array kernels per batch:
+
+``pair_weights``
+    the effective-weight tensor ``c_i (c_j - δ_ij) p_change(i, j)`` over
+    the active states — ``(a, a)`` for one configuration, ``(L, a, a)``
+    stacked over the live ensemble rows;
+``fired_counts``
+    the binomial draw of effective-event counts per batch (scalar or one
+    vectorized draw across rows);
+``split_cells``
+    the multinomial split of fired events over the weight cells — 1-D
+    pvals for one configuration, 2-D pvals (one ``Generator.multinomial``
+    call) across rows;
+``split_outcomes``
+    the grouped multinomial splitting each fired cell's events over its
+    outcome distribution (:func:`repro.engine.jump.split_outcomes_grouped`);
+
+plus the dense ``gather_p_change`` sub-matrix gather feeding
+``pair_weights``.  This module abstracts those kernels behind a small
+backend object so the same engine loops can run them on NumPy (the
+default — a zero-copy passthrough), CuPy or JAX.
+
+Kernel contract
+---------------
+Engines keep *host* (NumPy) arrays for all bookkeeping: counts, deltas,
+CSR outcome arrays.  A backend may move data device-side inside a kernel,
+but every kernel **returns host ndarrays** so the surrounding control flow
+(feasibility checks, scatters, guards) is backend-agnostic.  Random draws
+always consume the engine's ``numpy.random.Generator`` — this is what
+makes the NumPy backend bit-identical to the pre-backend engines and
+keeps replica streams reproducible regardless of backend; accelerator
+backends therefore speed up the dense weight algebra, not the sampling.
+
+Selection
+---------
+``get_backend(name)`` resolves in order: explicit argument >
+``REPRO_BACKEND`` environment variable > ``"numpy"``.  CuPy and JAX are
+*registered lazily*: their names always appear in :func:`backend_names`,
+but constructing them raises :class:`BackendUnavailableError` with an
+install hint when the library is missing (``available_backends`` filters
+to the ones that actually construct).
+"""
+
+from __future__ import annotations
+
+import os
+from typing import Callable, Dict, List, Optional, Union
+
+import numpy as np
+
+from .jump import split_outcomes_grouped
+
+#: Environment variable consulted by :func:`get_backend` when no explicit
+#: backend is requested (the CLI's ``--backend`` flag wins over it).
+BACKEND_ENV = "REPRO_BACKEND"
+
+#: Name resolved when neither an argument nor the environment chooses.
+DEFAULT_BACKEND = "numpy"
+
+
+class BackendUnavailableError(RuntimeError):
+    """Raised when a registered backend's library cannot be imported."""
+
+
+class ArrayBackend:
+    """Reference NumPy backend — and the base class for accelerators.
+
+    The NumPy implementations below *are* the kernel spec: a subclass may
+    compute on another device but must reproduce these semantics, and the
+    NumPy path must stay bit-identical to them (the engines' determinism
+    contract and the parity suite in ``tests/test_backends.py`` both rely
+    on the exact floating-point expressions used here).
+    """
+
+    name = "numpy"
+
+    # -- data movement -----------------------------------------------------
+    def asarray(self, array: np.ndarray):
+        """Device view of a host array (zero-copy on NumPy)."""
+        return np.asarray(array)
+
+    def to_numpy(self, array) -> np.ndarray:
+        """Host ndarray from a device array (zero-copy on NumPy)."""
+        return np.asarray(array)
+
+    # -- kernels -----------------------------------------------------------
+    def gather_p_change(self, matrix: np.ndarray, cols: np.ndarray):
+        """Dense ``(a, a)`` gather of the active sub-matrix of p_change."""
+        return matrix[np.ix_(cols, cols)]
+
+    def pair_weights(self, counts: np.ndarray, p_sub) -> np.ndarray:
+        """Effective-weight tensor ``c_i (c_j - δ_ij) p_change(i, j)``.
+
+        ``counts`` is ``(a,)`` for a single configuration (returns
+        ``(a, a)``) or ``(L, a)`` for stacked ensemble rows (returns
+        ``(L, a, a)``); ``p_sub`` is the gathered ``(a, a)`` sub-matrix
+        from :meth:`gather_p_change`.  Negative products (transient
+        inconsistencies) are clamped to zero.
+        """
+        if counts.ndim == 1:
+            w = counts[:, None] * counts[None, :]
+            diag = np.arange(len(counts))
+            w[diag, diag] = counts * (counts - 1.0)
+            w *= p_sub
+            np.maximum(w, 0.0, out=w)
+            return w
+        w = counts[:, :, None] * counts[:, None, :]
+        diag = np.arange(counts.shape[1])
+        w[:, diag, diag] = counts * (counts - 1.0)
+        w *= np.asarray(p_sub)[None, :, :]
+        np.maximum(w, 0.0, out=w)
+        return w
+
+    def fired_counts(self, rng: np.random.Generator, batch, p_change):
+        """``Binomial(batch, p_change)`` effective-event counts.
+
+        Scalar in / scalar out for the jump engine; arrays in / one
+        vectorized draw out for the ensemble rows.  Always drawn from the
+        host generator (see the kernel contract above).
+        """
+        return rng.binomial(batch, p_change)
+
+    def split_cells(
+        self, rng: np.random.Generator, fired, weights: np.ndarray
+    ) -> np.ndarray:
+        """Multinomial split of fired events over the weight cells.
+
+        2-D ``weights`` (one configuration): one draw with 1-D pvals.
+        3-D ``weights`` (stacked rows): one ``Generator.multinomial`` call
+        with 2-D pvals — row ``r`` of the result splits ``fired[r]``
+        events over ``weights[r]``'s flattened cells.
+        """
+        if weights.ndim == 2:
+            flat = weights.ravel()
+            return rng.multinomial(fired, flat / flat.sum())
+        flat = weights.reshape(len(weights), -1)
+        pv = flat / flat.sum(axis=1, keepdims=True)
+        return rng.multinomial(fired, pv)
+
+    def split_outcomes(
+        self,
+        rng: np.random.Generator,
+        delta: np.ndarray,
+        counts: np.ndarray,
+        start: np.ndarray,
+        width: np.ndarray,
+        out_p: np.ndarray,
+        out_a: np.ndarray,
+        out_b: np.ndarray,
+        rows: Optional[np.ndarray] = None,
+    ) -> None:
+        """Grouped outcome split scattering into ``delta`` in place."""
+        split_outcomes_grouped(
+            rng, delta, counts, start, width, out_p, out_a, out_b, rows=rows
+        )
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return "<{} backend {!r}>".format(type(self).__name__, self.name)
+
+
+class CupyBackend(ArrayBackend):
+    """CuPy backend: weight algebra on the GPU, sampling on the host.
+
+    The dense ``pair_weights`` tensor and the ``p_change`` gather run
+    device-side (the gathered sub-matrix source is cached on device per
+    compiled table); results come back as host arrays per the kernel
+    contract.  Binomial/multinomial draws stay on the host generator so
+    replica streams are backend-independent.
+    """
+
+    name = "cupy"
+
+    def __init__(self):
+        try:
+            import cupy  # noqa: F401
+        except Exception as exc:  # pragma: no cover - needs cupy installed
+            raise BackendUnavailableError(
+                "the 'cupy' backend needs CuPy (pip install cupy-cuda12x "
+                "for CUDA 12, or cupy for a source build): {}".format(exc)
+            ) from exc
+        self.cp = cupy  # pragma: no cover - below paths need cupy
+        self._device_matrices: Dict[int, object] = {}
+
+    # pragma: no cover start - exercised only with cupy installed
+    def asarray(self, array):  # pragma: no cover
+        return self.cp.asarray(array)
+
+    def to_numpy(self, array):  # pragma: no cover
+        if isinstance(array, self.cp.ndarray):
+            return self.cp.asnumpy(array)
+        return np.asarray(array)
+
+    def gather_p_change(self, matrix, cols):  # pragma: no cover
+        key = id(matrix)
+        dev = self._device_matrices.get(key)
+        if dev is None:
+            dev = self.cp.asarray(matrix)
+            self._device_matrices[key] = dev
+        dcols = self.cp.asarray(cols)
+        return dev[self.cp.ix_(dcols, dcols)]
+
+    def pair_weights(self, counts, p_sub):  # pragma: no cover
+        cp = self.cp
+        ca = cp.asarray(counts)
+        ps = p_sub if isinstance(p_sub, cp.ndarray) else cp.asarray(p_sub)
+        if ca.ndim == 1:
+            w = ca[:, None] * ca[None, :]
+            diag = cp.arange(len(ca))
+            w[diag, diag] = ca * (ca - 1.0)
+            w *= ps
+            cp.maximum(w, 0.0, out=w)
+            return cp.asnumpy(w)
+        w = ca[:, :, None] * ca[:, None, :]
+        diag = cp.arange(ca.shape[1])
+        w[:, diag, diag] = ca * (ca - 1.0)
+        w *= ps[None, :, :]
+        cp.maximum(w, 0.0, out=w)
+        return cp.asnumpy(w)
+
+
+class JaxBackend(ArrayBackend):
+    """JAX backend: jit-compiled weight algebra, sampling on the host.
+
+    Runs on whatever device JAX selected (CPU/GPU/TPU) with 64-bit floats
+    forced on (the engines' count matrices are float64 — silently running
+    them through 32-bit would change the weight arithmetic).
+    """
+
+    name = "jax"
+
+    def __init__(self):
+        try:
+            import jax
+            import jax.numpy as jnp
+        except Exception as exc:
+            raise BackendUnavailableError(
+                "the 'jax' backend needs JAX (pip install \"jax[cpu]\"): "
+                "{}".format(exc)
+            ) from exc
+        jax.config.update("jax_enable_x64", True)
+        self.jax = jax
+        self.jnp = jnp
+
+        def _weights_1d(ca, ps):  # pragma: no cover - needs jax installed
+            w = ca[:, None] * ca[None, :]
+            diag = jnp.arange(ca.shape[0])
+            w = w.at[diag, diag].set(ca * (ca - 1.0))
+            return jnp.maximum(w * ps, 0.0)
+
+        def _weights_2d(ca, ps):  # pragma: no cover - needs jax installed
+            w = ca[:, :, None] * ca[:, None, :]
+            diag = jnp.arange(ca.shape[1])
+            w = w.at[:, diag, diag].set(ca * (ca - 1.0))
+            return jnp.maximum(w * ps[None, :, :], 0.0)
+
+        self._weights_1d = jax.jit(_weights_1d)
+        self._weights_2d = jax.jit(_weights_2d)
+
+    def asarray(self, array):  # pragma: no cover - needs jax installed
+        return self.jnp.asarray(array)
+
+    def to_numpy(self, array):  # pragma: no cover - needs jax installed
+        return np.asarray(array)
+
+    def pair_weights(self, counts, p_sub):  # pragma: no cover
+        fn = self._weights_1d if counts.ndim == 1 else self._weights_2d
+        return np.asarray(fn(self.jnp.asarray(counts), self.jnp.asarray(p_sub)))
+
+
+# -- registry ---------------------------------------------------------------
+_FACTORIES: Dict[str, Callable[[], ArrayBackend]] = {}
+_INSTANCES: Dict[str, ArrayBackend] = {}
+
+
+def register_backend(name: str, factory: Callable[[], ArrayBackend]) -> None:
+    """Register (or replace) a backend factory under ``name``.
+
+    The factory is called lazily on first :func:`get_backend` resolution
+    and may raise :class:`BackendUnavailableError` when its library is
+    missing; the instance is cached afterwards.
+    """
+    if not name or not isinstance(name, str):
+        raise ValueError("backend name must be a non-empty string")
+    _FACTORIES[name] = factory
+    _INSTANCES.pop(name, None)
+
+
+def backend_names() -> tuple:
+    """All registered backend names (available or not), sorted."""
+    return tuple(sorted(_FACTORIES))
+
+
+def available_backends() -> List[str]:
+    """Registered backends whose library actually imports, sorted."""
+    out = []
+    for name in backend_names():
+        try:
+            get_backend(name)
+        except BackendUnavailableError:
+            continue
+        out.append(name)
+    return out
+
+
+def get_backend(
+    backend: Union[None, str, ArrayBackend] = None
+) -> ArrayBackend:
+    """Resolve a backend: explicit arg > ``REPRO_BACKEND`` env > numpy.
+
+    Accepts an :class:`ArrayBackend` instance (passed through), a
+    registered name, or ``None``.  Unknown names raise ``ValueError``
+    listing the registered ones; a known name whose library is missing
+    raises :class:`BackendUnavailableError` with an install hint.
+    """
+    if isinstance(backend, ArrayBackend):
+        return backend
+    name = backend or os.environ.get(BACKEND_ENV) or DEFAULT_BACKEND
+    try:
+        factory = _FACTORIES[name]
+    except KeyError:
+        raise ValueError(
+            "unknown array backend {!r}; registered backends: {}".format(
+                name, ", ".join(backend_names())
+            )
+        ) from None
+    instance = _INSTANCES.get(name)
+    if instance is None:
+        instance = factory()
+        _INSTANCES[name] = instance
+    return instance
+
+
+register_backend("numpy", ArrayBackend)
+register_backend("cupy", CupyBackend)
+register_backend("jax", JaxBackend)

@@ -1,0 +1,250 @@
+"""Typed engine-construction configuration.
+
+:class:`EngineConfig` replaces the loose ``engine_opts`` dicts that used
+to flow (untyped and unvalidated) through :func:`repro.make_engine`, the
+replica runner, the run manifests and every CLI subcommand.  One frozen,
+picklable object now carries the engine name, the array backend and the
+construction knobs end-to-end:
+
+- :meth:`engine_kwargs` projects the set fields onto a concrete engine
+  class, passing only the knobs that engine accepts (a non-default
+  ``backend`` on an engine without backend support raises instead of
+  being dropped silently);
+- :meth:`as_dict` / :meth:`from_dict` round-trip through JSON for the
+  manifest header, so :func:`repro.obs.replay_replica` and
+  :func:`repro.obs.resume_sweep` restore the exact backend + options;
+- :meth:`from_legacy` / :meth:`coerce` absorb the deprecated
+  ``engine_opts`` dicts (the public entry points emit a
+  ``DeprecationWarning`` for one release; internal callers coerce
+  silently).
+
+``None`` means "engine default" for every knob (``cache`` uses its real
+default ``"auto"`` since ``None`` there meaningfully disables the cache):
+only explicitly set fields are projected onto engines, serialized, or
+shown.  Unknown knobs (``table=``, ``rows=``, ...) live in ``extra`` and
+are passed through to the engine constructor unconditionally, so typos
+still fail loudly with a ``TypeError``.
+"""
+
+from __future__ import annotations
+
+import inspect
+import warnings
+from dataclasses import dataclass, field, fields, replace as _dc_replace
+from typing import Any, Dict, Mapping, Optional
+
+from .backend import ArrayBackend, get_backend
+
+_DEPRECATION_MSG = (
+    "loose engine_opts kwargs are deprecated; build a repro.EngineConfig "
+    "and pass it as config= (old kwargs keep working for one release)"
+)
+
+#: Construction knobs with a typed field (everything else goes to extra).
+_TYPED_OPTS = (
+    "backend",
+    "batch",
+    "accuracy",
+    "min_batch_events",
+    "compiled",
+    "compile_limit",
+    "cache",
+    "guards",
+)
+
+
+def warn_engine_opts(stacklevel: int = 3) -> None:
+    """Emit the one-release deprecation warning for legacy engine_opts."""
+    warnings.warn(_DEPRECATION_MSG, DeprecationWarning, stacklevel=stacklevel)
+
+
+@dataclass(frozen=True)
+class EngineConfig:
+    """Engine name + backend + construction knobs, as one typed value.
+
+    ``engine`` is a registry name (``"auto"`` resolves per workload, see
+    :func:`repro.simulate.resolve_engine`); ``backend`` is an array
+    backend *name* (kept as a string so configs pickle cleanly into
+    worker processes and serialize into manifests — resolve with
+    :meth:`resolved_backend`); ``ensemble_chunk`` is the replica
+    runner's rows-per-worker setting (a supervision knob, never passed
+    to engine constructors).
+    """
+
+    engine: str = "auto"
+    backend: Optional[str] = None
+    batch: Optional[int] = None
+    accuracy: Optional[float] = None
+    min_batch_events: Optional[float] = None
+    compiled: Optional[Any] = None
+    compile_limit: Optional[int] = None
+    cache: Any = "auto"
+    guards: Optional[Any] = None
+    ensemble_chunk: Optional[int] = None
+    extra: Mapping[str, Any] = field(default_factory=dict)
+
+    def __post_init__(self):
+        if isinstance(self.backend, ArrayBackend):
+            object.__setattr__(self, "backend", self.backend.name)
+
+    # -- functional update -------------------------------------------------
+    def replace(self, **changes: Any) -> "EngineConfig":
+        """A copy with the given fields replaced (configs are frozen)."""
+        return _dc_replace(self, **changes)
+
+    def _set_opts(self) -> Dict[str, Any]:
+        """The explicitly-set typed knobs (cache only when not 'auto')."""
+        out: Dict[str, Any] = {}
+        for name in _TYPED_OPTS:
+            value = getattr(self, name)
+            if name == "cache":
+                if not (isinstance(value, str) and value == "auto"):
+                    out[name] = value
+            elif value is not None:
+                out[name] = value
+        return out
+
+    # -- projection onto engines -------------------------------------------
+    def engine_kwargs(self, engine_cls: type) -> Dict[str, Any]:
+        """Constructor kwargs of this config for ``engine_cls``.
+
+        Only knobs the class accepts are emitted (a typed knob that does
+        not apply to the chosen engine is dropped — the config describes
+        intent, engines take what applies), except a **non-default**
+        ``backend``: asking cupy/jax of an engine without backend support
+        is an error, not a silent CPU fallback.  Naming the default
+        numpy backend explicitly is dropped like any other inapplicable
+        knob (backend-less engines *are* plain numpy), so a shared
+        ``--backend numpy`` flag works on every engine.  ``extra``
+        passes through unconditionally.
+        """
+        from .backend import DEFAULT_BACKEND
+
+        params = inspect.signature(engine_cls.__init__).parameters
+        var_kw = any(
+            p.kind is inspect.Parameter.VAR_KEYWORD for p in params.values()
+        )
+        out: Dict[str, Any] = {}
+        for name, value in self._set_opts().items():
+            if name in params or var_kw:
+                out[name] = value
+            elif name == "backend" and value != DEFAULT_BACKEND:
+                raise ValueError(
+                    "engine {!r} does not support array backends "
+                    "(backend={!r} requested); use the batch or ensemble "
+                    "engine".format(
+                        getattr(engine_cls, "name", engine_cls.__name__),
+                        value,
+                    )
+                )
+        out.update(self.extra)
+        return out
+
+    def resolved_backend(self) -> ArrayBackend:
+        """The :class:`~repro.engine.backend.ArrayBackend` this config names."""
+        return get_backend(self.backend)
+
+    # -- serialization ------------------------------------------------------
+    def as_dict(self) -> Dict[str, Any]:
+        """JSON-ready dict of the set fields (manifest header form)."""
+        out: Dict[str, Any] = {"engine": self.engine}
+        out.update(self._set_opts())
+        if self.ensemble_chunk is not None:
+            out["ensemble_chunk"] = self.ensemble_chunk
+        if self.extra:
+            out["extra"] = dict(self.extra)
+        return out
+
+    @classmethod
+    def from_dict(cls, data: Optional[Mapping[str, Any]]) -> "EngineConfig":
+        """Inverse of :meth:`as_dict`; unknown keys survive into ``extra``."""
+        payload = dict(data or {})
+        extra = dict(payload.pop("extra", None) or {})
+        known = {f.name for f in fields(cls)} - {"extra"}
+        kwargs = {k: payload.pop(k) for k in list(payload) if k in known}
+        extra.update(payload)
+        return cls(extra=extra, **kwargs)
+
+    def legacy_opts(self) -> Dict[str, Any]:
+        """The equivalent legacy ``engine_opts`` dict (manifest back-compat)."""
+        out = self._set_opts()
+        if self.ensemble_chunk is not None:
+            out["ensemble_chunk"] = self.ensemble_chunk
+        out.update(self.extra)
+        return out
+
+    # -- legacy absorption ---------------------------------------------------
+    @classmethod
+    def from_legacy(
+        cls,
+        engine: Optional[str] = "auto",
+        engine_opts: Optional[Mapping[str, Any]] = None,
+        base: Optional["EngineConfig"] = None,
+        warn: bool = False,
+        stacklevel: int = 3,
+    ) -> "EngineConfig":
+        """Build a config from an (engine name, engine_opts dict) pair.
+
+        Known opt names land in their typed fields, the rest in
+        ``extra``.  ``warn=True`` emits the deprecation warning iff the
+        opts dict is non-empty (passing a plain engine name stays
+        warning-free — names remain first-class).
+        """
+        opts = dict(engine_opts or {})
+        if warn and opts:
+            warn_engine_opts(stacklevel=stacklevel + 1)
+        cfg = base if base is not None else cls(engine=engine or "auto")
+        changes: Dict[str, Any] = {}
+        for key in list(opts):
+            if key in _TYPED_OPTS or key == "ensemble_chunk":
+                changes[key] = opts.pop(key)
+        if opts:
+            merged = dict(cfg.extra)
+            merged.update(opts)
+            changes["extra"] = merged
+        return cfg.replace(**changes) if changes else cfg
+
+    @classmethod
+    def coerce(
+        cls,
+        engine: Any = "auto",
+        config: Optional["EngineConfig"] = None,
+        engine_opts: Optional[Mapping[str, Any]] = None,
+        warn: bool = False,
+        stacklevel: int = 3,
+    ) -> "EngineConfig":
+        """Normalize the legacy (engine, config, engine_opts) triple.
+
+        Accepts an :class:`EngineConfig` in the ``engine`` slot (the
+        canonical modern call), a registry name string, or ``None``;
+        merges any legacy opts on top (warning per ``warn``).
+        """
+        if isinstance(engine, cls):
+            if config is not None:
+                raise ValueError(
+                    "pass either an EngineConfig or config=, not both"
+                )
+            base = engine
+        elif config is not None:
+            if not isinstance(config, cls):
+                raise TypeError(
+                    "config must be an EngineConfig, got {!r}".format(config)
+                )
+            base = config
+            if engine not in (None, "auto", base.engine):
+                if base.engine == "auto":
+                    base = base.replace(engine=engine)
+                else:
+                    raise ValueError(
+                        "conflicting engine={!r} vs config.engine={!r}".format(
+                            engine, base.engine
+                        )
+                    )
+        else:
+            base = cls(engine=engine or "auto")
+        if engine_opts:
+            base = cls.from_legacy(
+                base.engine, engine_opts, base=base, warn=warn,
+                stacklevel=stacklevel + 1,
+            )
+        return base

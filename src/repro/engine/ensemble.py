@@ -56,8 +56,9 @@ import numpy as np
 from ..core.population import Population
 from ..core.protocol import Protocol
 from .api import Engine, EngineStats, Observer, StopCondition, _StopRecorder, require_budget
+from .backend import ArrayBackend, get_backend
 from .compiled import COMPILE_STATE_LIMIT, CompiledTable, compile_table
-from .jump import MAX_BATCH, split_outcomes_grouped
+from .jump import MAX_BATCH
 from .sequential import CountEngine
 
 
@@ -68,8 +69,10 @@ class VectorizedStop:
     return ``check(counts)`` mapping an ``(L, q)`` count matrix to an
     ``(L,)`` boolean vector — one numpy call for the whole ensemble (the
     registered workload predicates in :mod:`repro.workloads` provide
-    this).  Otherwise each row is materialized as a throwaway
-    :class:`Population` and fed to the scalar predicate.
+    this).  Otherwise each row is materialized into a single reusable
+    scratch :class:`Population` and fed to the scalar predicate — the
+    per-row dispatch (python-int codes, scratch population) is hoisted
+    to construction, and rows already marked ``done`` are skipped.
     """
 
     def __init__(self, stop: StopCondition, table: CompiledTable, schema):
@@ -79,17 +82,26 @@ class VectorizedStop:
         self.calls = 0
         vec = getattr(stop, "vectorize", None)
         self._fast = vec(table.codes, schema) if callable(vec) else None
+        if self._fast is None:
+            self._py_codes = [int(c) for c in table.codes]
+            self._scratch = Population(schema)
 
-    def __call__(self, counts: np.ndarray) -> np.ndarray:
+    def __call__(
+        self, counts: np.ndarray, done: Optional[np.ndarray] = None
+    ) -> np.ndarray:
         self.calls += 1
         if self._fast is not None:
             return np.asarray(self._fast(counts), dtype=bool)
         out = np.zeros(len(counts), dtype=bool)
+        pop = self._scratch
+        codes = self._py_codes
         for r in range(len(counts)):
+            if done is not None and done[r]:
+                continue
             row = counts[r]
-            pop = Population(self.schema)
+            pop.counts.clear()
             for idx in np.nonzero(row)[0]:
-                pop.counts[int(self.codes[idx])] = int(row[idx])
+                pop.counts[codes[idx]] = int(row[idx])
             out[r] = bool(self.stop(pop))
         return out
 
@@ -115,6 +127,14 @@ class EnsembleEngine(Engine):
         Compiled-table options.  The ensemble *requires* a compiled table
         (the stacked kernels are defined over its flat arrays); a closure
         above ``compile_limit`` raises ``RuntimeError``.
+    backend:
+        Array backend running the stacked kernels — a registered name
+        (``"numpy"``/``"cupy"``/``"jax"``), an
+        :class:`~repro.engine.backend.ArrayBackend` instance, or ``None``
+        for the ``REPRO_BACKEND`` env / NumPy default.  The NumPy backend
+        is a zero-copy passthrough and bit-identical to the pre-backend
+        engine; accelerator backends change the device of the weight
+        algebra, never the random streams.
     """
 
     name = "ensemble"
@@ -135,6 +155,7 @@ class EnsembleEngine(Engine):
         compile_limit: int = COMPILE_STATE_LIMIT,
         cache: object = "auto",
         guards: object = None,
+        backend: Union[None, str, ArrayBackend] = None,
     ):
         if rows < 1:
             raise ValueError("rows must be a positive integer")
@@ -144,6 +165,8 @@ class EnsembleEngine(Engine):
             raise ValueError("accuracy must be in (0, 1]")
         self._init_common(protocol, population, rng, guards=guards)
         self._population = population
+        #: Array backend behind the stacked kernels (host RNG either way).
+        self.backend = get_backend(backend)
 
         if isinstance(compiled, CompiledTable):
             ct = compiled
@@ -254,6 +277,7 @@ class EnsembleEngine(Engine):
         iteration).
         """
         stats = EngineStats(self.name)
+        stats.backend = self.backend.name
         stats.runs = 1
         stats.run_seconds = float(self._row_wall[r])
         stats.interactions = int(self._row_interactions[r])
@@ -436,16 +460,13 @@ class EnsembleEngine(Engine):
                 continue
 
             kernel_start = time.perf_counter()
+            xp = self.backend
             L = len(idx)
             sub = self._C[idx]
             cols = np.nonzero((sub > 0.0).any(axis=0))[0]
             a = len(cols)
             ca = sub[:, cols]
-            W = ca[:, :, None] * ca[:, None, :]
-            diag = np.arange(a)
-            W[:, diag, diag] = ca * (ca - 1.0)
-            W *= ct.p_change_matrix[np.ix_(cols, cols)][None, :, :]
-            np.maximum(W, 0.0, out=W)
+            W = xp.pair_weights(ca, xp.gather_p_change(ct.p_change_matrix, cols))
             if self.guards is not None:
                 # NaN/Inf survive the max-reduction across rows, so the
                 # collapsed (a, a) matrix carries any row's poison
@@ -505,14 +526,13 @@ class EnsembleEngine(Engine):
                 self._active_pairs_max = max(self._active_pairs_max, cells)
                 self._active_states_last = a
 
-                fired = self.rng.binomial(B[lb], p_change[lb])
+                fired = xp.fired_counts(self.rng, B[lb], p_change[lb])
                 delta = np.zeros((len(lb), q), dtype=np.int64)
                 pos_f = fired > 0
                 if pos_f.any():
-                    Wl = W[lb][pos_f]
-                    flat = Wl.reshape(len(Wl), a * a)
-                    pv = flat / flat.sum(axis=1, keepdims=True)
-                    cell_counts = self.rng.multinomial(fired[pos_f], pv)
+                    cell_counts = xp.split_cells(
+                        self.rng, fired[pos_f], W[lb][pos_f]
+                    )
                     rnz, cnz = np.nonzero(cell_counts)
                     counts = cell_counts[rnz, cnz].astype(np.int64)
                     gi = cols[cnz // a]
@@ -523,7 +543,7 @@ class EnsembleEngine(Engine):
                     pair_flat = gi * q + gj
                     start = ct.off[pair_flat]
                     width = ct.off[pair_flat + 1] - start
-                    split_outcomes_grouped(
+                    xp.split_outcomes(
                         self.rng, delta, counts, start, width,
                         ct.out_p, ct.out_a, ct.out_b, rows=drow,
                     )

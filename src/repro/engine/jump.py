@@ -154,6 +154,13 @@ class BatchCountEngine(CountEngine):
         Compiled-table cache policy (see
         :func:`repro.engine.compiled.compile_table`): ``"auto"``, a
         directory path, or ``None`` to disable caching.
+    backend:
+        Array backend for the compiled batch kernels — a registered name
+        (``"numpy"``/``"cupy"``/``"jax"``), an
+        :class:`~repro.engine.backend.ArrayBackend` instance, or ``None``
+        for the ``REPRO_BACKEND`` env / NumPy default.  Random draws stay
+        on the host generator under every backend (the determinism
+        contract); the legacy dense-support path is NumPy-only.
     """
 
     name = "batch"
@@ -172,11 +179,16 @@ class BatchCountEngine(CountEngine):
         compile_limit: int = COMPILE_STATE_LIMIT,
         cache: object = "auto",
         guards: object = None,
+        backend: object = None,
     ):
+        from .backend import get_backend  # lazy: backend.py imports this module
+
         if batch is not None and batch < 1:
             raise ValueError("batch must be a positive integer or None")
         if not 0.0 < accuracy <= 1.0:
             raise ValueError("accuracy must be in (0, 1]")
+        #: Array backend behind the compiled batch kernels.
+        self.backend = get_backend(backend)
 
         ct: Optional[CompiledTable] = None
         if isinstance(compiled, CompiledTable):
@@ -335,11 +347,10 @@ class BatchCountEngine(CountEngine):
         """
         act = np.nonzero(self._full_c > 0.0)[0]
         ca = self._full_c[act]
-        w = ca[:, None] * ca[None, :]
-        diag = np.arange(len(act))
-        w[diag, diag] = ca * (ca - 1.0)
-        w *= self._ct.p_change_matrix[np.ix_(act, act)]
-        np.maximum(w, 0.0, out=w)
+        xp = self.backend
+        w = xp.pair_weights(
+            ca, xp.gather_p_change(self._ct.p_change_matrix, act)
+        )
         return act, w
 
     def _per_state_batch_cap(
@@ -377,14 +388,14 @@ class BatchCountEngine(CountEngine):
         event counts would drive some state's count negative.
         """
         ct = self._ct
+        xp = self.backend
         q = ct.num_states
         p_change = min(total_weight / pairs_total, 1.0)
-        fired = int(self.rng.binomial(batch, p_change))
+        fired = int(xp.fired_counts(self.rng, batch, p_change))
         if fired == 0:
             self._batch_events = 0
             return np.zeros(q, dtype=np.int64)
-        flat = w.ravel()
-        cell_counts = self.rng.multinomial(fired, flat / flat.sum())
+        cell_counts = xp.split_cells(self.rng, fired, w)
         nz = np.nonzero(cell_counts)[0]
         counts = cell_counts[nz].astype(np.int64)
         a = len(act)
@@ -400,7 +411,7 @@ class BatchCountEngine(CountEngine):
         pair_flat = gi * q + gj
         start = ct.off[pair_flat]
         width = ct.off[pair_flat + 1] - start
-        split_outcomes_grouped(
+        xp.split_outcomes(
             self.rng, delta, counts, start, width,
             ct.out_p, ct.out_a, ct.out_b,
         )

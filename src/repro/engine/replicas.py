@@ -61,6 +61,7 @@ import numpy as np
 
 from ..core.population import Population
 from ..core.protocol import Protocol
+from .config import EngineConfig, warn_engine_opts
 from .health import SimulationHealthError
 
 
@@ -253,30 +254,33 @@ def run_single_replica(
     seed_seq: np.random.SeedSequence,
     protocol: Protocol,
     population: Population,
-    engine: str = "auto",
+    engine: Any = "auto",
     engine_opts: Optional[Dict[str, Any]] = None,
     run_kwargs: Optional[Dict[str, Any]] = None,
     stop: Optional[Callable[[Population], bool]] = None,
     faults: Optional[Any] = None,
     attempt: int = 0,
+    config: Optional[EngineConfig] = None,
 ) -> ReplicaRecord:
     """Run one seeded replica and return its full record.
 
     The single-replica body of :func:`run_replicas` — also the replay
     primitive of :mod:`repro.obs`: the same ``(index, seed_seq, ...)``
-    inputs give a bit-identical record (minus wall time).  ``faults`` is
-    an optional :class:`repro.faults.FaultPlan` whose injectors fire
-    here, inside the worker; ``attempt`` is the supervisor's retry
-    counter (0 on the first attempt).
+    inputs give a bit-identical record (minus wall time).  Engine
+    construction travels as an :class:`~repro.engine.config.EngineConfig`
+    (``config=``, or directly in the ``engine`` slot); a registry name
+    plus legacy ``engine_opts`` still works.  ``faults`` is an optional
+    :class:`repro.faults.FaultPlan` whose injectors fire here, inside
+    the worker; ``attempt`` is the supervisor's retry counter (0 on the
+    first attempt).
     """
     from ..simulate import make_engine
 
+    cfg = EngineConfig.coerce(engine, config=config, engine_opts=engine_opts)
     if faults is not None:
         faults.before_run(index, attempt)
     rng = np.random.default_rng(seed_seq)
-    eng = make_engine(
-        protocol, population.copy(), engine=engine, rng=rng, **(engine_opts or {})
-    )
+    eng = make_engine(protocol, population.copy(), cfg, rng=rng)
     if faults is not None:
         faults.tamper_engine(eng, index, attempt)
     start = time.perf_counter()
@@ -330,11 +334,12 @@ def run_ensemble_chunk(
     shared_seq: np.random.SeedSequence,
     protocol: Protocol,
     population: Population,
-    engine_opts: Optional[Dict[str, Any]] = None,
+    engine_opts: Optional[Any] = None,
     run_kwargs: Optional[Dict[str, Any]] = None,
     stop: Optional[Callable[[Population], bool]] = None,
     faults: Optional[Any] = None,
     attempt: int = 0,
+    config: Optional[EngineConfig] = None,
 ) -> List[ReplicaRecord]:
     """Run one ensemble chunk: the replicas ``indices`` as stacked rows.
 
@@ -353,6 +358,11 @@ def run_ensemble_chunk(
     """
     from .ensemble import EnsembleEngine
 
+    if isinstance(engine_opts, EngineConfig):
+        config, engine_opts = engine_opts, None
+    cfg = EngineConfig.coerce(
+        "ensemble", config=config, engine_opts=engine_opts
+    )
     indices = [int(k) for k in indices]
     seed_seqs = list(seed_seqs)
     if len(seed_seqs) != len(indices):
@@ -367,7 +377,7 @@ def run_ensemble_chunk(
         rng=np.random.default_rng(shared_seq),
         rows=len(indices),
         row_rngs=row_rngs,
-        **(engine_opts or {}),
+        **cfg.engine_kwargs(EnsembleEngine),
     )
     if faults is not None:
         for k in indices:
@@ -426,8 +436,7 @@ def _ensemble_chunk(payload) -> List[ReplicaRecord]:
 def _prewarm_table(
     protocol: Protocol,
     population: Population,
-    engine: str,
-    engine_opts: Optional[Dict[str, Any]],
+    config: EngineConfig,
 ) -> bool:
     """Compile the transition table once in the parent before fan-out.
 
@@ -441,12 +450,12 @@ def _prewarm_table(
     pass an explicit table, and for closures that fail to compile (the
     workers will surface the real error themselves).
     """
-    opts = engine_opts or {}
-    if opts.get("table") is not None:
+    if config.extra.get("table") is not None:
         return False
-    compiled = opts.get("compiled")
+    compiled = config.compiled
     if compiled is not None and compiled is not True:
         return False  # disabled (False) or an explicit CompiledTable
+    engine = config.engine
     if engine == "auto":
         from ..simulate import default_engine_name
 
@@ -459,8 +468,12 @@ def _prewarm_table(
         compile_table(
             protocol,
             population.counts.keys(),
-            limit=opts.get("compile_limit", COMPILE_STATE_LIMIT),
-            cache=opts.get("cache", "auto"),
+            limit=(
+                COMPILE_STATE_LIMIT
+                if config.compile_limit is None
+                else config.compile_limit
+            ),
+            cache=config.cache,
         )
     except (RuntimeError, ValueError):
         return False
@@ -857,11 +870,12 @@ def run_replicas(
     population: Population,
     *,
     replicas: int,
-    engine: str = "auto",
+    engine: Any = "auto",
     seed: Optional[int] = 0,
     processes: Optional[int] = None,
     stop: Optional[Callable[[Population], bool]] = None,
     engine_opts: Optional[Dict[str, Any]] = None,
+    config: Optional[EngineConfig] = None,
     manifest: Optional[str] = None,
     manifest_meta: Optional[Dict[str, Any]] = None,
     manifest_append: bool = False,
@@ -878,11 +892,15 @@ def run_replicas(
     ----------
     replicas:
         Number of independent runs.
-    engine:
-        Engine registry name (``auto``/``count``/``batch``/``matching``/
-        ``array``), resolved per replica by :func:`repro.simulate.make_engine`.
-        ``"ensemble"`` switches the fan-out strategy: replicas are grouped
-        into fixed chunks of ``engine_opts["ensemble_chunk"]`` rows
+    engine / config:
+        Engine construction travels as an
+        :class:`~repro.engine.config.EngineConfig` — pass it as
+        ``config=`` or directly in the ``engine`` slot; a plain registry
+        name (``auto``/``count``/``batch``/``matching``/``array``) stays
+        first-class, and the legacy ``engine_opts`` dict keeps working
+        for one release with a ``DeprecationWarning``.
+        ``engine="ensemble"`` switches the fan-out strategy: replicas are
+        grouped into fixed chunks of ``config.ensemble_chunk`` rows
         (default :data:`DEFAULT_ENSEMBLE_CHUNK`) and each chunk is one
         supervised task running a stacked
         :class:`~repro.engine.ensemble.EnsembleEngine` — the supervisor's
@@ -941,6 +959,10 @@ def run_replicas(
         raise ValueError(
             "replicas must be a positive integer, got {}".format(replicas)
         )
+    if engine_opts:
+        warn_engine_opts(stacklevel=3)
+    cfg = EngineConfig.coerce(engine, config=config, engine_opts=engine_opts)
+    engine_name = cfg.engine
     root = np.random.SeedSequence(seed)
     seeds = list(root.spawn(replicas))
     if indices is None:
@@ -962,23 +984,22 @@ def run_replicas(
         plan = plan.simulated()
 
     # engine="ensemble" groups replicas into fixed chunks of stacked rows;
-    # ensemble_chunk is a runner option, not an engine constructor knob, so
-    # it is popped from the copy handed to workers (the manifest header
-    # keeps the original engine_opts and round-trips it through resume)
-    worker_opts = engine_opts
+    # ensemble_chunk is a runner option carried on the config (never
+    # projected onto engine constructors), so the same config rides the
+    # manifest header and round-trips through resume
     ensemble_chunk_size: Optional[int] = None
-    if engine == "ensemble":
-        worker_opts = dict(engine_opts or {})
-        raw = worker_opts.pop("ensemble_chunk", None)
+    if engine_name == "ensemble":
         ensemble_chunk_size = (
-            DEFAULT_ENSEMBLE_CHUNK if raw is None else int(raw)
+            DEFAULT_ENSEMBLE_CHUNK
+            if cfg.ensemble_chunk is None
+            else int(cfg.ensemble_chunk)
         )
         if ensemble_chunk_size < 1:
             raise ValueError("ensemble_chunk must be a positive integer")
 
     def payload_for(k: int, seed_seq, attempt: int):
         return (
-            k, seed_seq, protocol, population, engine, worker_opts,
+            k, seed_seq, protocol, population, cfg, None,
             run_kwargs, stop, plan, attempt,
         )
 
@@ -1002,7 +1023,7 @@ def run_replicas(
             shared = _ensemble_shared_seed(root, block * csize, attempt)
             return (
                 members, row_seeds, shared, protocol, population,
-                worker_opts, run_kwargs, stop, plan, attempt,
+                cfg, run_kwargs, stop, plan, attempt,
             )
 
         def chunk_retry(key, base, attempt):
@@ -1021,8 +1042,7 @@ def run_replicas(
             manifest,
             append=manifest_append,
             seed_entropy=root.entropy,
-            engine=engine,
-            engine_opts=engine_opts,
+            config=cfg,
             run_kwargs=run_kwargs,
             protocol=protocol,
             population=population,
@@ -1063,7 +1083,7 @@ def run_replicas(
             interactions=0,
             wall=outcome.wall,
             converged=None,
-            engine=engine,
+            engine=engine_name,
             stats=None,
             seed=seed_coords,
             status=outcome.status,
@@ -1101,7 +1121,7 @@ def run_replicas(
                     interactions=0,
                     wall=outcome.wall,
                     converged=None,
-                    engine=engine,
+                    engine=engine_name,
                     stats=None,
                     seed=seed_coords,
                     extra={"ensemble_chunk": members},
@@ -1112,7 +1132,7 @@ def run_replicas(
             )
         return records
 
-    prewarmed = _prewarm_table(protocol, population, engine, worker_opts)
+    prewarmed = _prewarm_table(protocol, population, cfg)
     records_by_index: Dict[int, ReplicaRecord] = {}
     requested = set(run_indices)
 

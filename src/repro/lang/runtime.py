@@ -31,7 +31,7 @@ from __future__ import annotations
 
 import math
 from dataclasses import dataclass
-from typing import Callable, Dict, List, Optional, Sequence
+from typing import Any, Callable, Dict, List, Optional, Sequence
 
 import numpy as np
 
@@ -72,11 +72,12 @@ class IdealInterpreter:
     rng:
         Source of randomness for the engine and randomized assignments.
     engine:
-        Engine registry name for the ``execute`` leaves (see
-        :mod:`repro.simulate`).  ``auto`` resolves to the exact sequential
-        count engine — the tier-T3 contract is that leaves run under the
-        exact scheduler; pass ``batch`` explicitly to trade a bounded
-        TV-distance error per leaf window for large-n speed.
+        Engine registry name or :class:`~repro.EngineConfig` for the
+        ``execute`` leaves (see :mod:`repro.simulate`).  ``auto``
+        resolves to the exact sequential count engine — the tier-T3
+        contract is that leaves run under the exact scheduler; pass
+        ``batch`` explicitly to trade a bounded TV-distance error per
+        leaf window for large-n speed.
     """
 
     def __init__(
@@ -85,12 +86,20 @@ class IdealInterpreter:
         population: Population,
         c: float = 2.0,
         rng: Optional[np.random.Generator] = None,
-        engine: str = "auto",
+        engine: Any = "auto",
     ):
+        from ..engine.config import EngineConfig
+
         self.program = program
         self.population = population
         self.c = float(c)
-        self.engine = "count" if engine == "auto" else engine
+        # the interpreter's 'auto' is the exact count engine (tier T3),
+        # not simulate()'s workload heuristic
+        config = EngineConfig.coerce(engine)
+        if config.engine == "auto":
+            config = config.replace(engine="count")
+        self.config = config
+        self.engine = config.engine
         self.rng = rng if rng is not None else np.random.default_rng()
         self.rounds = 0.0
         self.iterations = 0
@@ -134,12 +143,13 @@ class IdealInterpreter:
             if table is None:
                 table = LazyTable(protocol)
                 self._table_cache[key] = table
+            extra = dict(self.config.extra)
+            extra["table"] = table
             engine = make_engine(
                 protocol,
                 self.population,
-                engine=self.engine,
+                self.config.replace(extra=extra),
                 rng=self.rng,
-                table=table,
             )
             engine.run(rounds=duration)
             final = engine.population

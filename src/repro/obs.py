@@ -55,16 +55,21 @@ import numpy as np
 
 from .core.population import Population
 from .core.protocol import Protocol
+from .engine.config import EngineConfig
 from .engine.replicas import ReplicaRecord, ReplicaSet, run_single_replica
 
 #: Manifest format version; bump on incompatible schema changes.
 #: Version 2 added the supervision fields (``status``/``error``/
-#: ``attempts``, ``seed.retry_of``) and the ``supervisor`` header block —
-#: purely additive, so version-1 manifests still load.
-SCHEMA_VERSION = 2
+#: ``attempts``, ``seed.retry_of``) and the ``supervisor`` header block;
+#: version 3 added the serialized ``config``
+#: (:meth:`repro.EngineConfig.as_dict`) alongside the legacy
+#: ``engine``/``engine_opts`` projections — both purely additive, so
+#: version-1/2 manifests still load (replays rebuild their config from
+#: the legacy keys).
+SCHEMA_VERSION = 3
 
 #: Schema versions this reader understands.
-COMPATIBLE_VERSIONS = (1, 2)
+COMPATIBLE_VERSIONS = (1, 2, 3)
 
 
 def _jsonable(value: Any) -> Any:
@@ -88,6 +93,26 @@ def _replayable(mapping: Optional[Dict[str, Any]]) -> Dict[str, Any]:
             continue
         out[key] = value
     return out
+
+
+def _header_config(header: Dict[str, Any]) -> EngineConfig:
+    """Rebuild the sweep's :class:`~repro.EngineConfig` from a header.
+
+    Version-3 manifests record the config directly; older ones carry only
+    the legacy ``engine``/``engine_opts`` keys, which map onto the same
+    typed fields.  ``!repr`` placeholders (irreplayable values) are
+    dropped on the way, exactly like the legacy replay path did.
+    """
+    raw = header.get("config")
+    if raw:
+        data = _replayable(raw)
+        if isinstance(data.get("extra"), dict):
+            data["extra"] = _replayable(data["extra"])
+        return EngineConfig.from_dict(data)
+    return EngineConfig.from_legacy(
+        header.get("engine") or "auto",
+        _replayable(header.get("engine_opts")),
+    )
 
 
 def _protocol_summary(
@@ -155,6 +180,7 @@ class ManifestWriter:
         seed_entropy: Optional[int] = None,
         engine: str = "auto",
         engine_opts: Optional[Dict[str, Any]] = None,
+        config: Optional[EngineConfig] = None,
         run_kwargs: Optional[Dict[str, Any]] = None,
         protocol: Optional[Protocol] = None,
         population: Optional[Population] = None,
@@ -163,6 +189,11 @@ class ManifestWriter:
         supervisor: Optional[Dict[str, Any]] = None,
         meta: Optional[Dict[str, Any]] = None,
     ):
+        # the config is the canonical construction record; the legacy
+        # engine/engine_opts header keys are projections of it, kept so
+        # older readers keep working for the deprecation window
+        if config is None:
+            config = EngineConfig.from_legacy(engine, engine_opts)
         self.path = path
         self.records_written = 0
         directory = os.path.dirname(os.path.abspath(path))
@@ -176,8 +207,9 @@ class ManifestWriter:
                 "schema_version": SCHEMA_VERSION,
                 "root_entropy": _jsonable(seed_entropy),
                 "replicas": replicas,
-                "engine": engine,
-                "engine_opts": _jsonable(engine_opts or {}),
+                "engine": config.engine,
+                "engine_opts": _jsonable(config.legacy_opts()),
+                "config": _jsonable(config.as_dict()),
                 "run_kwargs": _jsonable(run_kwargs or {}),
                 "processes": processes,
                 "supervisor": _jsonable(supervisor or {}),
@@ -234,6 +266,7 @@ def write_manifest(
     seed_entropy: Optional[int] = None,
     engine: str = "auto",
     engine_opts: Optional[Dict[str, Any]] = None,
+    config: Optional[EngineConfig] = None,
     run_kwargs: Optional[Dict[str, Any]] = None,
     protocol: Optional[Protocol] = None,
     population: Optional[Population] = None,
@@ -251,6 +284,7 @@ def write_manifest(
         seed_entropy=seed_entropy,
         engine=engine,
         engine_opts=engine_opts,
+        config=config,
         run_kwargs=run_kwargs,
         protocol=protocol,
         population=population,
@@ -461,6 +495,7 @@ def _replay_ensemble_chunk(
     protocol: Protocol,
     population: Population,
     stop: Optional[Callable[[Population], bool]],
+    backend: Optional[str] = None,
 ) -> ReplicaRecord:
     """Re-run the ensemble chunk owning ``record`` and return its row.
 
@@ -479,9 +514,14 @@ def _replay_ensemble_chunk(
         run_ensemble_chunk,
     )
 
-    opts = _replayable(manifest.header.get("engine_opts"))
-    raw = opts.pop("ensemble_chunk", None)
-    chunk = DEFAULT_ENSEMBLE_CHUNK if raw is None else int(raw)
+    cfg = _header_config(manifest.header)
+    if backend is not None:
+        cfg = cfg.replace(backend=backend)
+    chunk = (
+        DEFAULT_ENSEMBLE_CHUNK
+        if cfg.ensemble_chunk is None
+        else int(cfg.ensemble_chunk)
+    )
     root = np.random.SeedSequence(manifest.header.get("root_entropy"))
     members = record.extra.get("ensemble_chunk") or ensemble_chunk_members(
         record.index // chunk, chunk, manifest.replicas
@@ -500,7 +540,7 @@ def _replay_ensemble_chunk(
         shared,
         protocol,
         population,
-        engine_opts=opts,
+        config=cfg,
         run_kwargs=_replayable(manifest.header.get("run_kwargs")),
         stop=stop,
         attempt=attempt,
@@ -516,8 +556,14 @@ def replay_replica(
     population: Optional[Population] = None,
     stop: Optional[Callable[[Population], bool]] = None,
     check_fingerprint: bool = True,
+    backend: Optional[str] = None,
 ) -> ReplicaRecord:
     """Re-run one replica of a manifest and return the fresh record.
+
+    ``backend`` swaps the array backend for the re-run (the manifest's
+    recorded :class:`~repro.EngineConfig` supplies it otherwise); replays
+    stay bit-identical either way because every random draw happens on
+    the host generator regardless of backend.
 
     The protocol/population/stop triple is taken from the arguments when
     given, else rebuilt from the header's ``workload`` spec (see
@@ -538,15 +584,19 @@ def replay_replica(
     )
     if check_fingerprint:
         verify_fingerprint(manifest, protocol, population)
-    if manifest.header.get("engine") == "ensemble":
-        return _replay_ensemble_chunk(manifest, record, protocol, population, stop)
+    cfg = _header_config(manifest.header)
+    if backend is not None:
+        cfg = cfg.replace(backend=backend)
+    if cfg.engine == "ensemble":
+        return _replay_ensemble_chunk(
+            manifest, record, protocol, population, stop, backend=backend
+        )
     return run_single_replica(
         record.index,
         replica_seed(record),
         protocol,
         population,
-        engine=manifest.header.get("engine", "auto"),
-        engine_opts=_replayable(manifest.header.get("engine_opts")),
+        config=cfg,
         run_kwargs=_replayable(manifest.header.get("run_kwargs")),
         stop=stop,
     )
@@ -564,6 +614,7 @@ def resume_sweep(
     population: Optional[Population] = None,
     stop: Optional[Callable[[Population], bool]] = None,
     check_fingerprint: bool = True,
+    backend: Optional[str] = None,
 ) -> ReplicaSet:
     """Finish an interrupted sweep from its manifest checkpoint.
 
@@ -578,7 +629,9 @@ def resume_sweep(
     ``timeout`` / ``max_retries`` / ``backoff`` default to the supervisor
     settings recorded in the header.  ``faults`` re-injects failures on
     the resumed replicas (chaos tests); leave ``None`` to actually finish
-    the sweep.
+    the sweep.  ``backend`` swaps the array backend for the resumed
+    replicas (results are bit-identical across backends — random draws
+    happen on the host generator).
     """
     from .engine.replicas import run_replicas
 
@@ -596,6 +649,9 @@ def resume_sweep(
     missing = manifest.missing_indices()
     if not missing:
         return manifest.replica_set()
+    cfg = _header_config(manifest.header)
+    if backend is not None:
+        cfg = cfg.replace(backend=backend)
     supervisor = manifest.header.get("supervisor") or {}
     if timeout is None:
         timeout = supervisor.get("timeout")
@@ -607,11 +663,10 @@ def resume_sweep(
         protocol,
         population,
         replicas=replicas,
-        engine=manifest.header.get("engine", "auto"),
         seed=manifest.header.get("root_entropy"),
         processes=processes,
         stop=stop,
-        engine_opts=_replayable(manifest.header.get("engine_opts")),
+        config=cfg,
         manifest=path,
         manifest_append=True,
         timeout=timeout,

@@ -38,7 +38,7 @@ Engine names
 
 from __future__ import annotations
 
-from typing import Any, Dict, Optional, Type
+from typing import Any, Dict, Optional, Type, Union
 
 import numpy as np
 
@@ -46,6 +46,7 @@ from .core.population import Population
 from .core.protocol import Protocol
 from .engine.api import Engine
 from .engine.batch import ArrayEngine
+from .engine.config import EngineConfig, warn_engine_opts
 from .engine.dense import supports_dense
 from .engine.ensemble import EnsembleEngine
 from .engine.jump import BatchCountEngine
@@ -63,6 +64,11 @@ ENGINES: Dict[str, Type[Engine]] = {
 
 #: Valid values of the shared ``--engine`` flag.
 ENGINE_CHOICES = ("auto", "batch", "count", "array", "matching", "ensemble")
+
+
+def engine_names() -> tuple:
+    """Valid engine names for the registry/CLI (including ``auto``)."""
+    return ENGINE_CHOICES
 
 #: Occupied-support size up to which count-based engines are preferred.
 SUPPORT_LIMIT = 512
@@ -112,17 +118,35 @@ def resolve_engine(
 def make_engine(
     protocol: Protocol,
     population: Population,
-    engine: str = "auto",
+    engine: Union[str, EngineConfig] = "auto",
     rng: Optional[np.random.Generator] = None,
     seed: Optional[int] = None,
+    config: Optional[EngineConfig] = None,
+    backend: Optional[object] = None,
     **engine_opts: Any,
 ) -> Engine:
-    """Construct (but do not run) an engine by registry name."""
+    """Construct (but do not run) an engine from an :class:`EngineConfig`.
+
+    The canonical call passes a config — either as ``config=`` or
+    directly in the ``engine`` slot::
+
+        make_engine(protocol, pop, EngineConfig(engine="batch", backend="numpy"))
+
+    A plain registry name in ``engine`` stays first-class (no warning).
+    ``backend=`` overrides the config's backend.  Loose construction
+    kwargs (``**engine_opts``) still work for one release but emit a
+    ``DeprecationWarning`` — fold them into the config instead.
+    """
     global LAST_ENGINE
-    cls = resolve_engine(engine, protocol, population)
+    cfg = EngineConfig.coerce(
+        engine, config=config, engine_opts=engine_opts, warn=True,
+    )
+    if backend is not None:
+        cfg = cfg.replace(backend=backend)
+    cls = resolve_engine(cfg.engine, protocol, population)
     if rng is None and seed is not None:
         rng = np.random.default_rng(seed)
-    eng = cls(protocol, population, rng=rng, **engine_opts)
+    eng = cls(protocol, population, rng=rng, **cfg.engine_kwargs(cls))
     LAST_ENGINE = eng
     return eng
 
@@ -130,24 +154,31 @@ def make_engine(
 def simulate(
     protocol: Protocol,
     population: Population,
-    engine: str = "auto",
+    engine: Union[str, EngineConfig] = "auto",
     rng: Optional[np.random.Generator] = None,
     seed: Optional[int] = None,
     engine_opts: Optional[Dict[str, Any]] = None,
+    config: Optional[EngineConfig] = None,
+    backend: Optional[object] = None,
     **run_kwargs: Any,
 ) -> Engine:
     """Simulate ``protocol`` on ``population`` and return the engine.
 
     ``run_kwargs`` are passed to :meth:`Engine.run` (``rounds=...``,
-    ``stop=...``, ``observer=...``); engine construction knobs
-    (``batch=...``, ``batch_pairs=...``, ``table=...``) go in
-    ``engine_opts``.  The returned engine exposes the final configuration
-    (``.population``), elapsed parallel time (``.rounds``) and raw
-    ``.interactions``.
+    ``stop=...``, ``observer=...``); engine construction knobs travel in
+    an :class:`EngineConfig` (``config=``, or an ``EngineConfig`` in the
+    ``engine`` slot).  The legacy ``engine_opts`` dict keeps working for
+    one release but emits a ``DeprecationWarning``.  The returned engine
+    exposes the final configuration (``.population``), elapsed parallel
+    time (``.rounds``) and raw ``.interactions``.
     """
+    if engine_opts:
+        warn_engine_opts(stacklevel=3)
+    cfg = EngineConfig.coerce(
+        engine, config=config, engine_opts=engine_opts, warn=False,
+    )
     eng = make_engine(
-        protocol, population, engine=engine, rng=rng, seed=seed,
-        **(engine_opts or {}),
+        protocol, population, cfg, rng=rng, seed=seed, backend=backend,
     )
     eng.run(**run_kwargs)
     return eng

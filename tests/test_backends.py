@@ -1,0 +1,260 @@
+"""Array-backend registry + kernel parity tests.
+
+The backend contract (see docs/ENGINES.md) is that every random draw
+happens on the *host* numpy generator regardless of backend, so the
+NumPy backend must be bit-identical to the pre-refactor engines and any
+registered backend must reproduce the same sample paths.  The golden
+numbers below were captured from the engines *before* the backend
+abstraction was introduced (oscillator E3 workload, fixed seeds).
+"""
+
+import numpy as np
+import pytest
+
+from repro.core import Population
+from repro.engine import BatchCountEngine, EnsembleEngine
+from repro.engine.backend import (
+    ArrayBackend,
+    BackendUnavailableError,
+    available_backends,
+    backend_names,
+    get_backend,
+    register_backend,
+)
+from repro.engine import backend as backend_mod
+from repro.oscillator import make_oscillator_protocol, species, weak_value
+
+
+def _oscillator_population(schema, n, n_x=3):
+    third = (n - n_x) // 3
+    return Population.from_groups(
+        schema,
+        [
+            ({"osc": weak_value(0)}, third + (n - n_x) - 3 * third),
+            ({"osc": weak_value(1)}, third),
+            ({"osc": weak_value(2)}, third),
+            ({"osc": weak_value(0), "X": True}, n_x),
+        ],
+    )
+
+
+# -- registry resolution -----------------------------------------------------
+
+
+def test_default_backend_is_numpy():
+    xp = get_backend()
+    assert isinstance(xp, ArrayBackend)
+    assert xp.name == "numpy"
+    # instances are cached per name
+    assert get_backend("numpy") is xp
+
+
+def test_backend_instance_passes_through():
+    xp = ArrayBackend()
+    assert get_backend(xp) is xp
+
+
+def test_env_var_selects_backend(monkeypatch):
+    monkeypatch.setenv(backend_mod.BACKEND_ENV, "numpy")
+    assert get_backend().name == "numpy"
+    monkeypatch.setenv(backend_mod.BACKEND_ENV, "definitely-not-registered")
+    with pytest.raises(ValueError):
+        get_backend()
+
+
+def test_explicit_arg_beats_env(monkeypatch):
+    monkeypatch.setenv(backend_mod.BACKEND_ENV, "definitely-not-registered")
+    assert get_backend("numpy").name == "numpy"
+
+
+def test_unknown_backend_lists_registered_names():
+    with pytest.raises(ValueError) as excinfo:
+        get_backend("nope")
+    message = str(excinfo.value)
+    for name in backend_names():
+        assert name in message
+
+
+def test_register_backend(monkeypatch):
+    class Mirror(ArrayBackend):
+        name = "mirror"
+
+    monkeypatch.setitem(backend_mod._FACTORIES, "mirror", Mirror)
+    monkeypatch.delitem(backend_mod._INSTANCES, "mirror", raising=False)
+    assert "mirror" in backend_names()
+    assert get_backend("mirror").name == "mirror"
+    assert "mirror" in available_backends()
+
+
+def test_register_backend_public_api():
+    class Transient(ArrayBackend):
+        name = "transient"
+
+    register_backend("transient", Transient)
+    try:
+        assert get_backend("transient").name == "transient"
+    finally:
+        del backend_mod._FACTORIES["transient"]
+        backend_mod._INSTANCES.pop("transient", None)
+
+
+def test_available_backends_subset_and_numpy_present():
+    avail = available_backends()
+    assert set(avail) <= set(backend_names())
+    assert "numpy" in avail
+
+
+def test_unavailable_backend_raises_with_hint():
+    for name in ("cupy", "jax"):
+        if name in available_backends():
+            continue  # actually installed on this machine: nothing to check
+        with pytest.raises(BackendUnavailableError) as excinfo:
+            get_backend(name)
+        assert name in str(excinfo.value)
+
+
+# -- NumPy backend bit-identity against pre-refactor goldens -----------------
+
+#: EnsembleEngine(oscillator, n=1200, rows=8, seed 12345, cache=None),
+#: run(rounds=12.0) — captured before the backend abstraction existed.
+GOLDEN_ENSEMBLE = {
+    "events": 5453,
+    "batches": 192,
+    "row_interactions": 14400,
+    "species": [
+        [416, 387, 394],
+        [413, 379, 405],
+        [397, 386, 414],
+        [413, 412, 372],
+        [381, 415, 401],
+        [408, 415, 374],
+        [403, 404, 390],
+        [390, 396, 411],
+    ],
+}
+
+#: BatchCountEngine(oscillator, n=5000, seed 777, cache=None),
+#: run(rounds=15.0) — same provenance.
+GOLDEN_BATCH = {
+    "interactions": 75000,
+    "events": 3514,
+    "batches": 30,
+    "species": [1676, 1651, 1670],
+}
+
+
+def test_ensemble_numpy_backend_bit_identical_to_prerefactor():
+    protocol = make_oscillator_protocol()
+    eng = EnsembleEngine(
+        protocol,
+        _oscillator_population(protocol.schema, 1200),
+        rng=np.random.default_rng(12345),
+        rows=8,
+        cache=None,
+        backend="numpy",
+    )
+    eng.run(rounds=12.0)
+    assert eng.events == GOLDEN_ENSEMBLE["events"]
+    assert eng.batches == GOLDEN_ENSEMBLE["batches"]
+    for r in range(8):
+        assert eng.row_interactions_of(r) == GOLDEN_ENSEMBLE["row_interactions"]
+        pop = eng.row_population(r)
+        got = [pop.count(species(i)) for i in range(3)]
+        assert got == GOLDEN_ENSEMBLE["species"][r]
+    assert eng.row_stats(0).backend == "numpy"
+
+
+def test_batch_numpy_backend_bit_identical_to_prerefactor():
+    protocol = make_oscillator_protocol()
+    eng = BatchCountEngine(
+        protocol,
+        _oscillator_population(protocol.schema, 5000),
+        rng=np.random.default_rng(777),
+        cache=None,
+        backend="numpy",
+    )
+    eng.run(rounds=15.0)
+    assert eng.interactions == GOLDEN_BATCH["interactions"]
+    assert eng.events == GOLDEN_BATCH["events"]
+    assert eng.batches == GOLDEN_BATCH["batches"]
+    got = [eng.population.count(species(i)) for i in range(3)]
+    assert got == GOLDEN_BATCH["species"]
+
+
+def test_rows1_batch1_matches_solo_count_engine():
+    """A one-row batch=1 ensemble is bit-identical to a solo CountEngine."""
+    from repro.engine import CountEngine
+
+    protocol = make_oscillator_protocol()
+    seed = np.random.SeedSequence(42, spawn_key=(0,))
+    ens = EnsembleEngine(
+        protocol,
+        _oscillator_population(protocol.schema, 900),
+        rng=np.random.default_rng(42),
+        rows=1,
+        row_rngs=[np.random.default_rng(seed)],
+        cache=None,
+        batch=1,
+        backend="numpy",
+    )
+    ens.run(rounds=10.0)
+    solo = CountEngine(
+        protocol,
+        _oscillator_population(protocol.schema, 900),
+        rng=np.random.default_rng(seed),
+    )
+    solo.run(rounds=10.0)
+    row = ens.row_population(0)
+    assert row.counts == solo.population.counts
+    assert ens.row_interactions_of(0) == solo.interactions
+
+
+# -- statistical parity of every registered backend --------------------------
+
+
+@pytest.mark.parametrize("backend", available_backends())
+def test_backend_statistical_parity_on_oscillator(backend):
+    """Pooled KS of final species counts: backend vs the numpy reference.
+
+    Draws happen host-side, so same-seed runs are bit-identical across
+    backends today; the KS bar (not equality) is the contract a device
+    backend with slightly different float weight arithmetic must meet.
+    """
+    from scipy.stats import ks_2samp
+
+    protocol = make_oscillator_protocol()
+
+    def final_counts(name):
+        eng = EnsembleEngine(
+            protocol,
+            _oscillator_population(protocol.schema, 600),
+            rng=np.random.default_rng(2024),
+            rows=16,
+            cache=None,
+            backend=name,
+        )
+        eng.run(rounds=8.0)
+        return [
+            eng.row_population(r).count(species(i))
+            for r in range(16)
+            for i in range(3)
+        ]
+
+    reference = final_counts("numpy")
+    candidate = final_counts(backend)
+    ks = ks_2samp(reference, candidate)
+    assert ks.pvalue > 0.001
+    if backend == "numpy":
+        assert candidate == reference  # host draws: bit-identical
+
+
+def test_engine_records_backend_in_stats():
+    protocol = make_oscillator_protocol()
+    eng = BatchCountEngine(
+        protocol,
+        _oscillator_population(protocol.schema, 600),
+        rng=np.random.default_rng(5),
+        cache=None,
+    )
+    eng.run(rounds=2.0)
+    assert eng.stats.backend == "numpy"

@@ -153,12 +153,19 @@ class TestCommittedBaselines:
         kernels = run_all.load_baseline(
             os.path.join(root, "BENCH_kernels.json")
         )
+        backends = run_all.load_baseline(
+            os.path.join(root, "BENCH_backends.json")
+        )
         assert engines and "engines" in engines
         assert kernels and "paths" in kernels
+        assert backends and "backends" in backends
+        assert "numpy" in backends["backends"]
+        assert backends["bit_identical_across_backends"] is True
         # self-comparison is a clean pass by construction
         for fresh, key, cfg in (
             (engines, "engines", ("n", "seed")),
             (kernels, "paths", ("n", "seed", "rounds")),
+            (backends, "backends", ("n", "seed", "rounds", "rows")),
         ):
             regressions, skipped = run_all.check_regressions(
                 fresh, fresh, group_key=key, config_keys=cfg

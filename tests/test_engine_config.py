@@ -1,0 +1,371 @@
+"""EngineConfig: the typed engine-construction path.
+
+One frozen config carries engine name + backend + construction knobs
+through ``make_engine`` / ``simulate`` / ``run_replicas``, into manifest
+headers, and back out through ``replay_replica`` / ``resume_sweep``.
+The legacy loose ``engine_opts`` kwargs keep working for one release but
+emit a ``DeprecationWarning``.
+"""
+
+import pickle
+import warnings
+
+import numpy as np
+import pytest
+
+from repro import (
+    EngineConfig,
+    build_workload,
+    load_manifest,
+    make_engine,
+    replay_replica,
+    resume_sweep,
+    run_replicas,
+    simulate,
+)
+from repro.engine import BatchCountEngine, CountEngine, EnsembleEngine
+from repro.engine.config import warn_engine_opts
+from repro.obs import _header_config
+
+
+def epidemic(n=120):
+    workload = build_workload("epidemic", n=n)
+    return workload
+
+
+# -- construction + projection ----------------------------------------------
+
+
+class TestEngineConfig:
+    def test_defaults_project_nothing(self):
+        cfg = EngineConfig()
+        assert cfg.engine == "auto"
+        assert cfg.engine_kwargs(BatchCountEngine) == {}
+
+    def test_typed_knobs_reach_supporting_engines(self):
+        cfg = EngineConfig(engine="batch", backend="numpy", batch=8, guards=True)
+        kwargs = cfg.engine_kwargs(BatchCountEngine)
+        assert kwargs == {"backend": "numpy", "batch": 8, "guards": True}
+
+    def test_inapplicable_knob_is_dropped_silently(self):
+        # CountEngine has no batching; the config describes intent
+        cfg = EngineConfig(engine="count", batch=8)
+        assert "batch" not in cfg.engine_kwargs(CountEngine)
+
+    def test_nondefault_backend_on_unsupporting_engine_raises(self):
+        cfg = EngineConfig(engine="count", backend="cupy")
+        with pytest.raises(ValueError, match="does not support array backends"):
+            cfg.engine_kwargs(CountEngine)
+
+    def test_default_backend_on_unsupporting_engine_is_dropped(self):
+        # backend-less engines ARE plain numpy: a shared --backend numpy
+        # flag must work on every engine, including T3's count engine
+        cfg = EngineConfig(engine="count", backend="numpy")
+        assert cfg.engine_kwargs(CountEngine) == {}
+
+    def test_extra_passes_through_and_typos_fail_loudly(self):
+        workload = epidemic()
+        cfg = EngineConfig(engine="batch", extra={"definitely_not_a_knob": 1})
+        with pytest.raises(TypeError):
+            make_engine(workload.protocol, workload.population, cfg)
+
+    def test_backend_instance_normalizes_to_name(self):
+        from repro.engine.backend import get_backend
+
+        cfg = EngineConfig(backend=get_backend("numpy"))
+        assert cfg.backend == "numpy"
+
+    def test_round_trip_as_dict_from_dict(self):
+        cfg = EngineConfig(
+            engine="ensemble",
+            backend="numpy",
+            batch=4,
+            guards=True,
+            ensemble_chunk=8,
+            extra={"rows": 3},
+        )
+        assert EngineConfig.from_dict(cfg.as_dict()) == cfg
+
+    def test_from_dict_unknown_keys_survive_into_extra(self):
+        cfg = EngineConfig.from_dict({"engine": "batch", "rows": 7})
+        assert cfg.engine == "batch"
+        assert cfg.extra == {"rows": 7}
+
+    def test_picklable(self):
+        cfg = EngineConfig(engine="batch", backend="numpy", guards=True)
+        assert pickle.loads(pickle.dumps(cfg)) == cfg
+
+    def test_legacy_opts_projection(self):
+        cfg = EngineConfig(
+            engine="ensemble", backend="numpy", ensemble_chunk=4,
+            extra={"rows": 2},
+        )
+        assert cfg.legacy_opts() == {
+            "backend": "numpy", "ensemble_chunk": 4, "rows": 2,
+        }
+
+
+class TestCoerce:
+    def test_config_in_engine_slot_is_canonical(self):
+        cfg = EngineConfig(engine="batch")
+        assert EngineConfig.coerce(cfg) is cfg
+
+    def test_config_plus_config_kwarg_conflicts(self):
+        cfg = EngineConfig(engine="batch")
+        with pytest.raises(ValueError, match="not both"):
+            EngineConfig.coerce(cfg, config=cfg)
+
+    def test_engine_name_adopted_when_config_is_auto(self):
+        cfg = EngineConfig()
+        assert EngineConfig.coerce("batch", config=cfg).engine == "batch"
+
+    def test_conflicting_engine_names_raise(self):
+        cfg = EngineConfig(engine="count")
+        with pytest.raises(ValueError, match="conflicting engine"):
+            EngineConfig.coerce("batch", config=cfg)
+
+    def test_legacy_opts_merge_into_typed_fields(self):
+        cfg = EngineConfig.coerce(
+            "batch", engine_opts={"guards": True, "rows": 2}
+        )
+        assert cfg.guards is True
+        assert cfg.extra == {"rows": 2}
+
+
+# -- deprecation window ------------------------------------------------------
+
+
+class TestDeprecation:
+    def test_make_engine_loose_kwargs_warn(self):
+        workload = epidemic()
+        with pytest.warns(DeprecationWarning, match="engine_opts"):
+            make_engine(
+                workload.protocol, workload.population.copy(),
+                engine="batch", seed=0, batch=2,
+            )
+
+    def test_config_path_is_warning_free(self):
+        workload = epidemic()
+        with warnings.catch_warnings():
+            warnings.simplefilter("error", DeprecationWarning)
+            make_engine(
+                workload.protocol, workload.population.copy(),
+                EngineConfig(engine="batch", batch=2), seed=0,
+            )
+
+    def test_simulate_engine_opts_dict_warns(self):
+        workload = epidemic()
+        with pytest.warns(DeprecationWarning, match="engine_opts"):
+            simulate(
+                workload.protocol, workload.population.copy(),
+                engine="batch", seed=0, engine_opts={"batch": 2}, rounds=1.0,
+            )
+
+    def test_warn_engine_opts_is_a_deprecation_warning(self):
+        with pytest.warns(DeprecationWarning):
+            warn_engine_opts(stacklevel=1)
+
+    def test_top_level_engines_alias_warns(self):
+        import repro
+
+        with pytest.warns(DeprecationWarning, match="deprecated"):
+            choices = repro.ENGINE_CHOICES
+        assert "batch" in choices
+
+
+# -- make_engine / simulate integration --------------------------------------
+
+
+class TestMakeEngine:
+    def test_config_selects_engine_and_backend(self):
+        workload = epidemic()
+        eng = make_engine(
+            workload.protocol, workload.population.copy(),
+            EngineConfig(engine="batch", backend="numpy"), seed=0,
+        )
+        assert isinstance(eng, BatchCountEngine)
+        assert eng.backend.name == "numpy"
+
+    def test_backend_kwarg_overrides_config(self):
+        workload = epidemic()
+        eng = make_engine(
+            workload.protocol, workload.population.copy(),
+            EngineConfig(engine="ensemble"), seed=0, backend="numpy",
+        )
+        assert isinstance(eng, EnsembleEngine)
+        assert eng.backend.name == "numpy"
+
+    def test_plain_engine_name_stays_first_class(self):
+        workload = epidemic()
+        with warnings.catch_warnings():
+            warnings.simplefilter("error", DeprecationWarning)
+            eng = make_engine(
+                workload.protocol, workload.population.copy(),
+                engine="count", seed=0,
+            )
+        assert isinstance(eng, CountEngine)
+
+
+# -- manifest round-trip ------------------------------------------------------
+
+
+def sweep(tmp_path, config, replicas=3, seed=9, **kwargs):
+    workload = epidemic()
+    path = str(tmp_path / "run.jsonl")
+    rs = run_replicas(
+        workload.protocol,
+        workload.population,
+        replicas=replicas,
+        seed=seed,
+        processes=1,
+        stop=workload.stop,
+        config=config,
+        manifest=path,
+        manifest_meta={"workload": workload.spec()},
+        **kwargs,
+    )
+    return workload, path, rs
+
+
+class TestManifestConfig:
+    def test_header_records_config_and_legacy_projection(self, tmp_path):
+        cfg = EngineConfig(engine="batch", backend="numpy", guards=True)
+        _, path, _ = sweep(tmp_path, cfg)
+        header = load_manifest(path).header
+        assert header["config"] == {
+            "engine": "batch", "backend": "numpy", "guards": True,
+        }
+        # legacy keys stay as projections for old readers
+        assert header["engine"] == "batch"
+        assert header["engine_opts"] == {"backend": "numpy", "guards": True}
+        assert _header_config(header) == cfg
+
+    def test_replay_restores_exact_config(self, tmp_path):
+        cfg = EngineConfig(engine="batch", backend="numpy", guards=True)
+        _, path, rs = sweep(tmp_path, cfg)
+        manifest = load_manifest(path)
+        for record in rs.records:
+            fresh = replay_replica(manifest, record.index)
+            assert fresh.rounds == record.rounds
+            assert fresh.interactions == record.interactions
+            assert fresh.converged == record.converged
+
+    def test_replay_backend_override_is_bit_identical(self, tmp_path):
+        cfg = EngineConfig(engine="batch", guards=True)
+        _, path, rs = sweep(tmp_path, cfg)
+        fresh = replay_replica(load_manifest(path), 0, backend="numpy")
+        assert fresh.interactions == rs.records[0].interactions
+
+    def test_ensemble_config_round_trip(self, tmp_path):
+        cfg = EngineConfig(engine="ensemble", backend="numpy", ensemble_chunk=2)
+        _, path, rs = sweep(tmp_path, cfg, replicas=4)
+        manifest = load_manifest(path)
+        assert _header_config(manifest.header) == cfg
+        fresh = replay_replica(manifest, 1)
+        assert fresh.interactions == rs.records[1].interactions
+        assert fresh.rounds == rs.records[1].rounds
+
+    def test_resume_restores_config(self, tmp_path):
+        cfg = EngineConfig(engine="batch", backend="numpy", guards=True)
+        workload, full_path, full = sweep(tmp_path, cfg, replicas=4, seed=11)
+        partial_path = str(tmp_path / "partial.jsonl")
+        run_replicas(
+            workload.protocol,
+            workload.population,
+            replicas=4,
+            seed=11,
+            processes=1,
+            stop=workload.stop,
+            config=cfg,
+            manifest=partial_path,
+            manifest_meta={"workload": workload.spec()},
+            indices=[0, 2],
+        )
+        resumed = resume_sweep(partial_path, processes=1)
+        by_index = {r.index: r for r in resumed.records}
+        for record in full.records:
+            assert by_index[record.index].interactions == record.interactions
+            assert by_index[record.index].rounds == record.rounds
+        header = load_manifest(partial_path).header
+        assert _header_config(header) == cfg
+
+
+# -- CLI surface ---------------------------------------------------------------
+
+
+class TestCLI:
+    def test_unknown_backend_rejected_with_names(self, capsys):
+        from repro.__main__ import main
+
+        with pytest.raises(SystemExit) as excinfo:
+            main(["majority", "--n", "200", "--backend", "nope"])
+        assert excinfo.value.code == 2
+        err = capsys.readouterr().err
+        assert "unknown backend" in err
+        assert "numpy" in err
+
+    def test_unknown_engine_rejected(self):
+        from repro.__main__ import main
+
+        with pytest.raises(SystemExit) as excinfo:
+            main(["majority", "--n", "200", "--engine", "nope"])
+        assert excinfo.value.code == 2
+
+    def test_ensemble_chunk_conflicts_with_other_engine(self, capsys):
+        from repro.__main__ import main
+
+        with pytest.raises(SystemExit) as excinfo:
+            main([
+                "sweep", "epidemic", "--n", "100", "--replicas", "2",
+                "--engine", "batch", "--ensemble-chunk", "2",
+            ])
+        assert excinfo.value.code == 2
+        assert "--ensemble-chunk" in capsys.readouterr().err
+
+    def test_config_from_args_backend_and_chunk(self):
+        from repro.__main__ import _config_from_args, build_parser
+
+        args = build_parser().parse_args([
+            "sweep", "epidemic", "--backend", "numpy", "--ensemble-chunk", "4",
+        ])
+        cfg = _config_from_args(args)
+        assert cfg == EngineConfig(
+            engine="ensemble", backend="numpy", ensemble_chunk=4,
+        )
+
+    def test_backend_flag_runs_end_to_end(self, capsys):
+        from repro.__main__ import main
+
+        code = main([
+            "majority", "--n", "300", "--seed", "1",
+            "--engine", "batch", "--backend", "numpy",
+        ])
+        assert code == 0
+        assert "majority says" in capsys.readouterr().out
+
+
+class TestInterpreterConfig:
+    def test_interpreter_accepts_config(self):
+        from repro.core import Population, V
+        from repro.lang import IdealInterpreter, parse_program, program_schema
+
+        program = parse_program(
+            "def protocol Tiny\n"
+            "var X <- off:\n"
+            "thread Main uses X:\n"
+            "  repeat:\n"
+            "    X := on\n"
+        )
+        schema = program_schema(program)
+        population = Population.uniform(
+            schema, 60, {decl.name: decl.init for decl in program.variables}
+        )
+        interp = IdealInterpreter(
+            program,
+            population,
+            rng=np.random.default_rng(0),
+            engine=EngineConfig(engine="count"),
+        )
+        interp.run(1)
+        assert interp.engine == "count"
+        assert interp.iterations == 1
