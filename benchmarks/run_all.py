@@ -28,6 +28,14 @@ E3 oscillator sweep (``BENCH_ensemble.json``); the acceptance bar is
 >= 5x wall clock with a passing pooled KS test (p > 0.001) over the
 final species counts — faster only counts at equal statistical accuracy.
 
+The *bghkpu* run races the collision-aware alias-table batch engine
+(BGHKPU, arXiv:2005.03584) against the multinomial jump engine on the
+leader fight at the paper's n = 10^8 scale and writes
+``BENCH_bghkpu.json``; the acceptance bar is >= 5x wall clock with
+pooled KS equivalence (p > 0.001) on both the E1-style convergence-time
+distribution and the E3 oscillator observer grid.  Under ``--quick``
+the race downscales to n = 10^6 (bar >= 2x) so quick runs stay seconds.
+
 The *backends* run advances the same 1024-row stacked ensemble once per
 available array backend (numpy always; cupy/jax when installed — see
 ``repro.engine.backend``) from the same seed stream and records per-
@@ -382,6 +390,183 @@ def ensemble_sweep(
             handle.write("\n")
     print("  wrote BENCH_ensemble.json")
     return payload
+
+
+BGHKPU_N = 10 ** 8
+BGHKPU_QUICK_N = 10 ** 6
+BGHKPU_REPS = 3
+BGHKPU_KS_N = 20000
+BGHKPU_KS_REPLICAS = 80
+BGHKPU_KS_ALPHA = 0.001
+
+
+def _time_bghkpu_contender(engine_name, n, seed):
+    """Best-of-``BGHKPU_REPS`` leader-fight race leg for one engine.
+
+    The stop predicate asks for a unique leader; at n >= 10^8 both
+    contenders instead halt at the engines' shared silence floor
+    (p_change <= 1e-15, i.e. 3 leaders at n = 10^8) — identical
+    semantics on both sides, so the race stays like-for-like and the
+    final leader count is recorded as ``leaders_final``.
+    """
+    from repro.core import Population, V
+    from repro.simulate import make_engine
+
+    protocol, schema = _leader_fight()
+    wall = None
+    for rep in range(BGHKPU_REPS):
+        # every rep replays the SAME seed: the wall is best-of-reps
+        # against scheduler noise while the counters stay deterministic,
+        # so the regression gate compares like-for-like interaction counts
+        population = Population.uniform(schema, n, {"L": True})
+        eng = make_engine(
+            protocol, population,
+            engine=engine_name, rng=np.random.default_rng(seed),
+        )
+        start = time.perf_counter()
+        eng.run(stop=lambda p: p.count(V("L")) == 1)
+        elapsed = time.perf_counter() - start
+        wall = elapsed if wall is None else min(wall, elapsed)
+    record = {
+        "wall_seconds": round(wall, 4),
+        "rounds": round(float(eng.rounds), 2),
+        "interactions": int(eng.interactions),
+        "events": int(getattr(eng, "events", 0)),
+        "leaders_final": int(population.count(V("L"))),
+    }
+    for attr in (
+        "batches", "fallbacks", "collision_events", "alias_rebuilds",
+    ):
+        if hasattr(eng, attr):
+            record[attr] = int(getattr(eng, attr))
+    return record
+
+
+def _bghkpu_ks_leader(replicas, seed):
+    """Pooled leader-fight convergence times, batch vs bghkpu (E1-style)."""
+    from repro.core import Population, V
+    from repro.simulate import make_engine
+
+    protocol, schema = _leader_fight()
+    pooled = {}
+    for engine in ("batch", "bghkpu"):
+        rounds = np.empty(replicas)
+        for r in range(replicas):
+            population = Population.uniform(schema, BGHKPU_KS_N, {"L": True})
+            eng = make_engine(
+                protocol, population,
+                engine=engine, rng=np.random.default_rng(seed + 7000 + r),
+            )
+            eng.run(stop=lambda p: p.count(V("L")) == 1)
+            rounds[r] = float(eng.rounds)
+        pooled[engine] = rounds
+    return pooled["batch"], pooled["bghkpu"]
+
+
+def _bghkpu_ks_oscillator(seeds, seed):
+    """Pooled E3 observer-grid species series, batch vs bghkpu."""
+    from repro.engine import Trace
+    from repro.oscillator import make_oscillator_protocol, species
+    from repro.simulate import make_engine
+
+    protocol = make_oscillator_protocol()
+    formulas = {"A1": species(0), "A2": species(1), "A3": species(2)}
+    pooled = {"batch": [], "bghkpu": []}
+    for engine in pooled:
+        for k in range(seeds):
+            population = _oscillator_population(protocol.schema, 600)
+            trace = Trace(formulas)
+            eng = make_engine(
+                protocol, population,
+                engine=engine, rng=np.random.default_rng(seed + 300 + k),
+            )
+            eng.run(rounds=30.0, observer=trace)
+            for name in formulas:
+                pooled[engine].append(trace.series(name))
+    return (
+        np.concatenate(pooled["batch"]), np.concatenate(pooled["bghkpu"])
+    )
+
+
+def bghkpu_scale(n=BGHKPU_N, seed=0, quick=False):
+    """Alias-table batch engine vs the jump engine at the paper's scale.
+
+    Races ``bghkpu`` (collision-aware alias batches, BGHKPU) against
+    ``batch`` on the leader fight at n = 10^8 (best of {reps} walls each)
+    and gates distributional equivalence twice: pooled KS over E1-style
+    leader-fight convergence times at n = {ksn}, and pooled KS over the
+    E3 oscillator observer grid.  The acceptance bar is >= 5x wall clock
+    with both KS tests passing at alpha = {alpha} (>= 2x in ``--quick``
+    mode, which downscales the race to n = 10^6 so quick runs stay
+    seconds, never minutes).  Results go to ``BENCH_bghkpu.json``.
+    """
+    from scipy.stats import ks_2samp
+
+    target = 2.0 if quick else 5.0
+    ks_replicas = BGHKPU_KS_REPLICAS // 2 if quick else BGHKPU_KS_REPLICAS
+    osc_seeds = 6 if quick else 10
+    print("bghkpu: leader fight to convergence/silence, n={:.0e}".format(n))
+    results = {}
+    for name in ("batch", "bghkpu"):
+        print("  {} engine ...".format(name), end=" ", flush=True)
+        results[name] = _time_bghkpu_contender(name, n, seed)
+        print("{:.4f}s ({} batches, {} leaders left)".format(
+            results[name]["wall_seconds"],
+            results[name].get("batches", 0),
+            results[name]["leaders_final"],
+        ))
+    speedup = results["batch"]["wall_seconds"] / max(
+        results["bghkpu"]["wall_seconds"], 1e-9
+    )
+    print("  KS equivalence ...", end=" ", flush=True)
+    e1_batch, e1_bghkpu = _bghkpu_ks_leader(ks_replicas, seed)
+    e1_p = float(ks_2samp(e1_batch, e1_bghkpu).pvalue)
+    e3_batch, e3_bghkpu = _bghkpu_ks_oscillator(osc_seeds, seed)
+    e3_p = float(ks_2samp(e3_batch, e3_bghkpu).pvalue)
+    distribution_ok = bool(
+        e1_p > BGHKPU_KS_ALPHA and e3_p > BGHKPU_KS_ALPHA
+    )
+    print("E1 p={:.3g}, E3 p={:.3g} ({})".format(
+        e1_p, e3_p, "ok" if distribution_ok else "FAIL"
+    ))
+    payload = {
+        "experiment": "bghkpu_alias_batches",
+        "description": (
+            "leader fight at the paper's n = 10^8 scale: collision-aware "
+            "alias-table batches (BGHKPU, arXiv:2005.03584) vs the "
+            "multinomial jump engine, best of {} walls each; pooled KS "
+            "over E1 convergence times and the E3 observer grid gates "
+            "statistical equivalence".format(BGHKPU_REPS)
+        ),
+        "n": n,
+        "seed": seed,
+        "ks_replicas": ks_replicas,
+        "ks_n": BGHKPU_KS_N,
+        "engines": results,
+        "ks_pvalue_e1_convergence": round(e1_p, 6),
+        "ks_pvalue_e3_observer": round(e3_p, 6),
+        "ks_alpha": BGHKPU_KS_ALPHA,
+        "distribution_ok": distribution_ok,
+        "speedup_batch_over_bghkpu": round(speedup, 2),
+        "target_speedup": target,
+        "meets_target": bool(speedup >= target and distribution_ok),
+    }
+    print("  speedup: {:.1f}x (target >= {:.0f}x)".format(speedup, target))
+    os.makedirs(RESULTS_DIR, exist_ok=True)
+    for path in (
+        os.path.join(REPO_ROOT, "BENCH_bghkpu.json"),
+        os.path.join(RESULTS_DIR, "BENCH_bghkpu.json"),
+    ):
+        with open(path, "w") as handle:
+            json.dump(payload, handle, indent=2)
+            handle.write("\n")
+    print("  wrote BENCH_bghkpu.json")
+    return payload
+
+
+bghkpu_scale.__doc__ = bghkpu_scale.__doc__.format(
+    reps=BGHKPU_REPS, ksn=BGHKPU_KS_N, alpha=BGHKPU_KS_ALPHA
+)
 
 
 BACKENDS_N = 4000
@@ -769,6 +954,11 @@ def main(argv=None) -> int:
         "--kernels-rounds", type=float, default=KERNELS_ROUNDS,
         help="kernel-race parallel rounds (default {})".format(KERNELS_ROUNDS),
     )
+    ap.add_argument(
+        "--bghkpu-n", type=int, default=None,
+        help="population size for the bghkpu scale race (default 10^8, "
+        "or 10^6 under --quick)",
+    )
     ap.add_argument("--seed", type=int, default=0)
     ap.add_argument("--engine", choices=ENGINE_CHOICES, default="auto",
                     help="engine for the E1/E2 sweeps")
@@ -811,6 +1001,9 @@ def main(argv=None) -> int:
     baseline_backends = load_baseline(
         os.path.join(args.baseline_dir, "BENCH_backends.json")
     )
+    baseline_bghkpu = load_baseline(
+        os.path.join(args.baseline_dir, "BENCH_bghkpu.json")
+    )
 
     payload = headline(n=args.n, seed=args.seed)
     kernel_payload = kernels(
@@ -818,6 +1011,10 @@ def main(argv=None) -> int:
     )
     ensemble_payload = ensemble_sweep(seed=args.seed)
     backends_payload = backend_sweep(seed=args.seed)
+    # --quick downscales the n=10^8 race to a 10^6 smoke so quick runs
+    # stay seconds; the gate skips the mismatched-config comparison.
+    bghkpu_n = args.bghkpu_n or (BGHKPU_QUICK_N if args.quick else BGHKPU_N)
+    bghkpu_payload = bghkpu_scale(n=bghkpu_n, seed=args.seed, quick=args.quick)
     if not args.quick:
         full_sweeps(engine=args.engine, processes=args.processes)
     ok = (
@@ -825,6 +1022,7 @@ def main(argv=None) -> int:
         and kernel_payload["meets_target"]
         and ensemble_payload["meets_target"]
         and backends_payload["meets_target"]
+        and bghkpu_payload["meets_target"]
     )
     if not args.no_gate:
         gate_ok = run_gate(
@@ -836,6 +1034,8 @@ def main(argv=None) -> int:
                  ("n", "seed", "rounds", "replicas")),
                 (backends_payload, baseline_backends, "backends",
                  ("n", "seed", "rounds", "rows")),
+                (bghkpu_payload, baseline_bghkpu, "engines",
+                 ("n", "seed", "ks_replicas")),
             ],
             args.gate_wall_threshold,
             args.gate_interactions_tol,

@@ -45,6 +45,7 @@ from .core import (
 from .engine import (
     ArrayBackend,
     ArrayEngine,
+    BGHKPUEngine,
     BackendUnavailableError,
     BatchCountEngine,
     CompiledTable,
@@ -117,6 +118,7 @@ __all__ = [
     "ANY",
     "ArrayBackend",
     "ArrayEngine",
+    "BGHKPUEngine",
     "BackendUnavailableError",
     "BatchCountEngine",
     "CompiledTable",

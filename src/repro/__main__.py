@@ -68,6 +68,22 @@ def _config_from_args(args, auto: str = None):
                 file=sys.stderr,
             )
             raise SystemExit(2)
+    collision_frac = getattr(args, "collision_frac", None)
+    alias_rebuild_tol = getattr(args, "alias_rebuild_tol", None)
+    for flag, value in (
+        ("--collision-frac", collision_frac),
+        ("--alias-rebuild-tol", alias_rebuild_tol),
+    ):
+        if value is not None:
+            if engine == "auto":
+                engine = "bghkpu"
+            elif engine != "bghkpu":
+                print(
+                    "error: {} only applies to the bghkpu engine "
+                    "(got --engine {})".format(flag, engine),
+                    file=sys.stderr,
+                )
+                raise SystemExit(2)
     if engine == "auto" and auto is not None:
         engine = auto
     # guards stay engine-default here; sweeps flip them on (cmd_sweep)
@@ -75,6 +91,8 @@ def _config_from_args(args, auto: str = None):
         engine=engine,
         backend=getattr(args, "backend", None),
         ensemble_chunk=chunk,
+        collision_frac=collision_frac,
+        alias_rebuild_tol=alias_rebuild_tol,
     )
 
 
@@ -343,6 +361,18 @@ def build_parser() -> argparse.ArgumentParser:
         "ensemble engine (implies --engine ensemble; the engine's "
         "default chunk is 16 when --engine ensemble is given without "
         "this flag)",
+    )
+    common.add_argument(
+        "--collision-frac", type=float, default=None, metavar="F",
+        help="colliding-pick budget per batch on the bghkpu engine "
+        "(implies --engine bghkpu; engine default 0.2 — smaller is more "
+        "faithful and slower)",
+    )
+    common.add_argument(
+        "--alias-rebuild-tol", type=float, default=None, metavar="TOL",
+        help="relative count drift above which the bghkpu engine "
+        "re-freezes its alias epoch (implies --engine bghkpu; engine "
+        "default 0.05)",
     )
     common.add_argument(
         "--no-guards", action="store_true",

@@ -135,6 +135,12 @@ class ConvergenceStats:
     interactions: Optional[Summary]
     wall: Optional[Summary]
     wall_total: float
+    #: Exact total interactions across the ok records, as a Python int:
+    #: at n ≥ 10⁸ a single converged run clocks ~10¹⁵ interactions, so a
+    #: float sum across replicas loses integer precision past 2⁵³ (the
+    #: :class:`Summary` above is still float — fine for quantiles, not
+    #: for the ledger).  ``None`` when some record lacks the field.
+    interactions_total: Optional[int] = None
     #: Per-engine :class:`EngineTally` of the workers' ``EngineStats``
     #: (empty when the records carry no stats payloads).
     engines: Dict[str, EngineTally] = field(default_factory=dict)
@@ -234,6 +240,9 @@ def aggregate_convergence(records: Iterable[Any]) -> ConvergenceStats:
         else None,
         wall=summarize([float(w) for w in walls]) if have_wall else None,
         wall_total=float(sum(float(w) for w in walls)) if have_wall else 0.0,
+        interactions_total=sum(int(i) for i in interactions)
+        if have_interactions
+        else None,
         engines=aggregate_engine_stats(ok_records),
         failures=failures,
         retries=retries,

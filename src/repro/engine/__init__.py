@@ -1,5 +1,6 @@
 """Exact and approximate simulation engines for population protocols."""
 
+from .alias import ActivePairSampler, AliasTable, alias_pick
 from .api import Engine, EngineStats
 from .backend import (
     ArrayBackend,
@@ -10,6 +11,7 @@ from .backend import (
     register_backend,
 )
 from .batch import ArrayEngine, apply_pairs
+from .bghkpu import BGHKPUEngine
 from .compiled import (
     CompiledTable,
     clear_memo,
@@ -42,8 +44,11 @@ from .sequential import CountEngine
 from .table import LazyTable, PairOutcomes, reachable_codes
 
 __all__ = [
+    "ActivePairSampler",
+    "AliasTable",
     "ArrayBackend",
     "ArrayEngine",
+    "BGHKPUEngine",
     "BackendUnavailableError",
     "BatchCountEngine",
     "CompiledTable",
@@ -64,6 +69,7 @@ __all__ = [
     "TaskOutcome",
     "Trace",
     "VectorizedStop",
+    "alias_pick",
     "apply_pairs",
     "available_backends",
     "available_cpus",

@@ -1,0 +1,324 @@
+"""Vose alias tables over the active ordered-pair weights (BGHKPU).
+
+The batched simulation of Berenbrink, Hammer, Kaaser, Meyer, Penschuck &
+Tran ("Simulating Population Protocols in Sub-Constant Time per
+Interaction", PAPERS.md) samples the state pair of each effective
+interaction from a *frozen* distribution over the active ordered-pair
+cells, so that drawing an event costs O(1) instead of O(active²).  This
+module provides the two pieces the :class:`~repro.engine.bghkpu.BGHKPUEngine`
+needs for that:
+
+:class:`AliasTable`
+    A Walker/Vose alias table built *vectorized* over a weight vector:
+    O(k) construction in a handful of numpy rounds, O(1) per sample, one
+    host uniform per draw (the deterministic-draw-count contract that
+    keeps replica seed streams engine-independent of batch geometry).
+
+:class:`ActivePairSampler`
+    The epoch manager: it freezes the active ordered-pair weight matrix
+    ``c_i (c_j - δ_ij) p_change(i, j)`` (built from the
+    :class:`~repro.engine.compiled.CompiledTable` CSR arrays through the
+    engine's :class:`~repro.engine.backend.ArrayBackend` kernels) at the
+    top of an epoch and serves cell draws from it — via O(1) alias
+    lookups when a batch holds fewer events than cells, via one
+    multinomial over the identical cached cell distribution otherwise
+    (the two are distributionally interchangeable: a multinomial is the
+    histogram of i.i.d. categorical draws).  Epoch invalidation is
+    drift-based: the table is rebuilt only when some active state's count
+    has drifted past ``tol`` relative to its frozen value (or the active
+    *set* changed), and a drift within the same active set triggers a
+    cheaper *partial refresh* that recomputes only the touched rows and
+    columns of the weight matrix, reusing the gathered ``p_change``
+    sub-matrix.
+
+The sampler also precomputes the two collision-control quantities of the
+BGHKPU batch sizing (see :mod:`repro.engine.bghkpu`): the per-event
+consumption probabilities ``μ_s`` of each active state and the birthday
+coefficient ``γ = Σ_s μ_s² / (2 c_s)``, so the engine's collision-aware
+batch cap is O(1) per batch.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Optional, Tuple
+
+import numpy as np
+
+
+def alias_pick(
+    rng: np.random.Generator,
+    prob: np.ndarray,
+    alias: np.ndarray,
+    size: int,
+) -> np.ndarray:
+    """``size`` O(1) alias-method draws from ``(prob, alias)``.
+
+    The reference (host/NumPy) alias lookup kernel: one uniform per draw
+    decides both the column ``i = ⌊u·k⌋`` and — via its fractional part —
+    whether to keep ``i`` or take ``alias[i]``.  Backends route this
+    through :meth:`repro.engine.backend.ArrayBackend.alias_pick`; the
+    uniforms always come from the host generator.
+    """
+    k = len(prob)
+    u = rng.random(size) * k
+    idx = u.astype(np.int64)
+    np.minimum(idx, k - 1, out=idx)
+    frac = u - idx
+    return np.where(frac < prob[idx], idx, alias[idx])
+
+
+class AliasTable:
+    """Walker/Vose alias table for O(1) sampling from fixed weights.
+
+    Construction is vectorized: instead of the classic two-stack scalar
+    loop, each round pairs every currently-small column with a distinct
+    large column at once (``prob``/``alias`` assignment and the residual
+    subtraction are single array operations), then re-classifies the
+    larges.  Every round retires all current small columns, so the number
+    of rounds is bounded by the longest donation chain — O(log k) for
+    typical weight vectors, O(k) array rounds in the degenerate
+    strictly-decreasing chain (still fine: tables are rebuilt per epoch,
+    not per draw).
+
+    Raises ``ValueError`` on empty, non-1-D, negative, non-finite or
+    all-zero weights — a zero total weight means "no active pair", which
+    callers must treat as a silent configuration, never as a sampler.
+    """
+
+    __slots__ = ("k", "prob", "alias", "total")
+
+    def __init__(self, weights) -> None:
+        w = np.asarray(weights, dtype=np.float64)
+        if w.ndim != 1 or w.size == 0:
+            raise ValueError(
+                "alias table needs a non-empty 1-D weight vector, got "
+                "shape {}".format(w.shape)
+            )
+        if not np.isfinite(w).all():
+            raise ValueError("alias table weights contain NaN/Inf entries")
+        if (w < 0.0).any():
+            raise ValueError("alias table weights must be non-negative")
+        total = float(w.sum())
+        if total <= 0.0:
+            raise ValueError(
+                "alias table weights sum to zero — no pair can be sampled "
+                "(a silent configuration must be handled by the caller)"
+            )
+        k = int(w.size)
+        self.k = k
+        self.total = total
+        # scaled probabilities: mean 1.0 across columns
+        p = w * (k / total)
+        prob = np.ones(k, dtype=np.float64)
+        alias = np.arange(k, dtype=np.int64)
+        small = np.nonzero(p < 1.0)[0]
+        large = np.nonzero(p >= 1.0)[0]
+        while small.size and large.size:
+            m = min(small.size, large.size)
+            s, donors = small[:m], large[:m]
+            prob[s] = p[s]
+            alias[s] = donors
+            p[donors] -= 1.0 - p[s]
+            still_large = p[donors] >= 1.0
+            small = np.concatenate((small[m:], donors[~still_large]))
+            large = np.concatenate((large[m:], donors[still_large]))
+        # leftovers are numerically-one columns: keep prob=1, alias=self
+        self.prob = prob
+        self.alias = alias
+
+    def sample(self, rng: np.random.Generator, size: int) -> np.ndarray:
+        """``size`` column indices drawn i.i.d. from the weight vector."""
+        return alias_pick(rng, self.prob, self.alias, size)
+
+    def pvals(self) -> np.ndarray:
+        """The sampling distribution the table encodes (Vose invariant).
+
+        Reconstructed from ``prob``/``alias``: column ``i`` is drawn with
+        probability ``(prob_i + Σ_{j: alias_j = i} (1 - prob_j)) / k``.
+        Matches the normalized input weights up to float rounding — the
+        goodness-of-fit suite uses this as a deterministic build check.
+        """
+        out = self.prob.copy()
+        np.add.at(out, self.alias, 1.0 - self.prob)
+        return out / self.k
+
+
+class ActivePairSampler:
+    """Epoch-frozen sampler over the active ordered-pair cells.
+
+    One instance lives for the whole engine run; :meth:`rebuild` starts a
+    new epoch from the current full count vector, :meth:`refresh`
+    re-freezes a drifted epoch in place (same active set, touched
+    rows/columns recomputed), and :meth:`sample_cells` serves one batch's
+    cell draws.  All randomness flows through the engine's host
+    generator; the backend only runs the gather/weight kernels.
+    """
+
+    __slots__ = (
+        "backend",
+        "matrix",
+        "tol",
+        "act",
+        "ca",
+        "psub",
+        "w",
+        "pvals",
+        "total",
+        "mu",
+        "gamma",
+        "cap_events",
+        "active_cells",
+        "cells_nz",
+        "rebuilds",
+        "refreshes",
+        "build_seconds",
+        "_alias",
+    )
+
+    def __init__(self, backend, p_change_matrix: np.ndarray, tol: float):
+        if not 0.0 <= tol <= 1.0:
+            raise ValueError("alias_rebuild_tol must be in [0, 1]")
+        self.backend = backend
+        self.matrix = p_change_matrix
+        self.tol = float(tol)
+        self.act: Optional[np.ndarray] = None
+        self.ca: Optional[np.ndarray] = None
+        self.psub: Optional[np.ndarray] = None
+        self.w: Optional[np.ndarray] = None
+        self.pvals: Optional[np.ndarray] = None
+        self.total = 0.0
+        self.mu: Optional[np.ndarray] = None
+        self.gamma = 0.0
+        self.cap_events = 0.0
+        self.active_cells = 0
+        self.cells_nz: Optional[np.ndarray] = None
+        self.rebuilds = 0  # full epoch rebuilds (active set changed)
+        self.refreshes = 0  # partial refreshes (drift within the set)
+        self.build_seconds = 0.0
+        self._alias: Optional[AliasTable] = None
+
+    # -- epoch construction -------------------------------------------------
+    def rebuild(self, full_c: np.ndarray) -> None:
+        """Start a new epoch from the current counts (full O(q) scan)."""
+        start = time.perf_counter()
+        xp = self.backend
+        act = np.nonzero(full_c > 0.0)[0]
+        self.act = act
+        self.ca = full_c[act].copy()
+        self.psub = xp.to_numpy(xp.gather_p_change(self.matrix, act))
+        self.w = xp.pair_weights(self.ca, self.psub)
+        self._finalize()
+        self.rebuilds += 1
+        self.build_seconds += time.perf_counter() - start
+
+    def refresh(self, full_c: np.ndarray) -> None:
+        """Re-freeze a drifted epoch: same active set, touched rows/cols.
+
+        Only the rows and columns of states whose count moved since the
+        epoch froze are recomputed (against the cached ``p_change``
+        sub-matrix — no gather, no active-set scan); cells between two
+        unmoved states keep their frozen weight bit-identically.
+        """
+        start = time.perf_counter()
+        ca_new = full_c[self.act]
+        touched = np.nonzero(ca_new != self.ca)[0]
+        if touched.size:
+            ca, w, psub = self.ca, self.w, self.psub
+            ca[touched] = ca_new[touched]
+            w[touched, :] = ca[touched, None] * ca[None, :] * psub[touched, :]
+            w[:, touched] = ca[:, None] * ca[touched][None, :] * psub[:, touched]
+            w[touched, touched] = (
+                ca[touched] * (ca[touched] - 1.0) * psub[touched, touched]
+            )
+            np.maximum(w, 0.0, out=w)
+        self._finalize()
+        self.refreshes += 1
+        self.build_seconds += time.perf_counter() - start
+
+    def _finalize(self) -> None:
+        """Derive the cached per-epoch quantities from the weight matrix."""
+        w = self.w
+        flat = w.ravel()
+        total = float(flat.sum())
+        self.total = total
+        self._alias = None  # lazily rebuilt on the next alias-path draw
+        if total <= 0.0:
+            self.pvals = None
+            self.mu = None
+            self.gamma = 0.0
+            self.cap_events = 0.0
+            self.active_cells = 0
+            self.cells_nz = None
+            return
+        self.pvals = flat / total
+        nz = np.nonzero(flat)[0]
+        self.active_cells = int(nz.size)
+        # degenerate epochs (a lone active cell) sample without any RNG
+        self.cells_nz = nz if nz.size == 1 else None
+        # per-event consumption probability of each active state (the
+        # diagonal cell consumes two agents of the same state, and it is
+        # counted once in each axis sum, matching that multiplicity)
+        consume = w.sum(axis=1) + w.sum(axis=0)
+        mu = consume / total
+        self.mu = mu
+        live = consume > 0.0
+        ca_live = self.ca[live]
+        safe = ca_live > 0.0
+        if safe.any():
+            # birthday coefficient: E[colliding picks in F events] = F² γ
+            self.gamma = float(
+                np.sum(mu[live][safe] ** 2 / (2.0 * ca_live[safe]))
+            )
+            # feasibility cap: events until some state's expected
+            # consumption reaches its full frozen count
+            self.cap_events = float(np.min(ca_live[safe] / mu[live][safe]))
+        else:
+            self.gamma = 0.0
+            self.cap_events = 0.0
+
+    # -- epoch invalidation -------------------------------------------------
+    def stale(self, full_c: np.ndarray) -> bool:
+        """Has some active state drifted past ``tol`` since the epoch froze?
+
+        A state that drained to zero is always stale (its frozen cells
+        would keep sampling it); the active-*set* check (new states
+        produced outside the epoch) is the engine's job — it sees the
+        applied deltas and calls :meth:`rebuild` directly.
+        """
+        if self.act is None:
+            return True
+        cur = full_c[self.act]
+        if ((cur <= 0.0) & (self.ca > 0.0)).any():
+            return True
+        drift = np.abs(cur - self.ca) / np.maximum(self.ca, 1.0)
+        return bool(drift.max(initial=0.0) > self.tol)
+
+    # -- sampling -----------------------------------------------------------
+    def sample_cells(
+        self, rng: np.random.Generator, fired: int
+    ) -> Tuple[np.ndarray, np.ndarray]:
+        """Cell draws for one batch of ``fired`` effective events.
+
+        Returns ``(cells, counts)``: the flattened ``a·a`` cell indices
+        that fired and how many events each got.  Batches with fewer
+        events than cells go through O(1)-per-event alias lookups (built
+        lazily once per epoch); denser batches use one multinomial over
+        the identical cached cell distribution — same law, and the
+        per-batch cost is ``O(min(fired, cells))`` either way.
+        """
+        if self.cells_nz is not None:
+            # lone active cell: every event lands there, no draw needed
+            return self.cells_nz, np.array([fired], dtype=np.int64)
+        ncells = self.pvals.shape[0]
+        if fired * 4 < ncells:
+            table = self._alias
+            if table is None:
+                table = self._alias = AliasTable(self.pvals)
+            draws = self.backend.alias_pick(
+                rng, table.prob, table.alias, fired
+            )
+            return np.unique(draws, return_counts=True)
+        cell_counts = rng.multinomial(fired, self.pvals)
+        cells = np.nonzero(cell_counts)[0]
+        return cells, cell_counts[cells]

@@ -109,6 +109,9 @@ class EngineStats:
         "batches",
         "fallbacks",
         "kernel_seconds",
+        "alias_rebuilds",
+        "alias_build_seconds",
+        "collision_events",
         "active_states",
         "active_pairs_max",
         "active_pairs_mean",
@@ -133,6 +136,9 @@ class EngineStats:
         "batches",
         "fallbacks",
         "kernel_seconds",
+        "alias_rebuilds",
+        "alias_build_seconds",
+        "collision_events",
         "active_states",
         "active_pairs_max",
         "active_pairs_mean",
@@ -163,7 +169,15 @@ class EngineStats:
         backend = getattr(engine, "backend", None)
         if backend is not None:
             self.backend = getattr(backend, "name", str(backend))
-        for attr in ("events", "batches", "fallbacks", "kernel_seconds"):
+        for attr in (
+            "events",
+            "batches",
+            "fallbacks",
+            "kernel_seconds",
+            "alias_rebuilds",
+            "alias_build_seconds",
+            "collision_events",
+        ):
             value = getattr(engine, attr, None)
             if value is not None:
                 setattr(self, attr, value)

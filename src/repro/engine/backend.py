@@ -52,6 +52,7 @@ from typing import Callable, Dict, List, Optional, Union
 
 import numpy as np
 
+from .alias import alias_pick as _alias_pick_host
 from .jump import split_outcomes_grouped
 
 #: Environment variable consulted by :func:`get_backend` when no explicit
@@ -157,6 +158,22 @@ class ArrayBackend:
         split_outcomes_grouped(
             rng, delta, counts, start, width, out_p, out_a, out_b, rows=rows
         )
+
+    def alias_pick(
+        self,
+        rng: np.random.Generator,
+        prob: np.ndarray,
+        alias: np.ndarray,
+        size: int,
+    ) -> np.ndarray:
+        """``size`` O(1) alias-method draws from a Vose ``(prob, alias)`` pair.
+
+        Uniforms come from the host generator (one per draw — the
+        deterministic-draw-count contract); an accelerator backend may
+        run the gather/compare on device but must return host int64
+        indices distributed per :func:`repro.engine.alias.alias_pick`.
+        """
+        return _alias_pick_host(rng, prob, alias, size)
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return "<{} backend {!r}>".format(type(self).__name__, self.name)

@@ -50,6 +50,8 @@ _TYPED_OPTS = (
     "compile_limit",
     "cache",
     "guards",
+    "collision_frac",
+    "alias_rebuild_tol",
 )
 
 
@@ -80,6 +82,8 @@ class EngineConfig:
     compile_limit: Optional[int] = None
     cache: Any = "auto"
     guards: Optional[Any] = None
+    collision_frac: Optional[float] = None
+    alias_rebuild_tol: Optional[float] = None
     ensemble_chunk: Optional[int] = None
     extra: Mapping[str, Any] = field(default_factory=dict)
 

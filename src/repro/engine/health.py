@@ -189,6 +189,21 @@ class HealthMonitor:
                     "sum of counts is {} but the population started with {} "
                     "agents".format(total, self._expected_n),
                 )
+        if self.headroom:
+            # cumulative totals, not just per-draw batch sizes: at
+            # n ≥ 10⁸ the interaction counter grows ~n² per converged run
+            # and would wrap any int64 cast downstream (manifests, stats)
+            # long before a single batch ever tripped check_batch
+            total_interactions = int(getattr(engine, "interactions", 0))
+            if total_interactions > INT64_HEADROOM:
+                self._raise(
+                    "int64-headroom",
+                    [],
+                    "cumulative interaction count {} exceeds the int64-safe "
+                    "ceiling 2^62 (downstream casts would wrap)".format(
+                        total_interactions
+                    ),
+                )
         if self.stall_rounds is not None:
             snapshot = counts.tobytes()
             if snapshot != self._last_counts:

@@ -460,7 +460,7 @@ def _prewarm_table(
         from ..simulate import default_engine_name
 
         engine = default_engine_name(protocol, population)
-    if engine not in ("batch", "ensemble"):
+    if engine not in ("batch", "bghkpu", "ensemble"):
         return False
     from .compiled import COMPILE_STATE_LIMIT, compile_table
 

@@ -28,6 +28,12 @@ Engine names
     compiled table; the replica runner's intra-worker strategy for
     ``--engine ensemble`` sweeps.  Requires a compilable reachable
     closure; never chosen by ``auto``.
+``bghkpu``
+    :class:`~repro.engine.bghkpu.BGHKPUEngine` — alias-table batches
+    with collision-aware sizing (Berenbrink et al., arXiv:2005.03584)
+    over the compiled count representation; the n ≥ 10⁸ scale engine.
+    Falls back to ``batch`` for tiny active sets or uncompilable
+    closures; never chosen by ``auto`` (opt in per run).
 ``auto``
     Count-based jump engine when the configuration lives on a small
     occupied support (the regime of every protocol in this repo), the
@@ -46,6 +52,7 @@ from .core.population import Population
 from .core.protocol import Protocol
 from .engine.api import Engine
 from .engine.batch import ArrayEngine
+from .engine.bghkpu import BGHKPUEngine
 from .engine.config import EngineConfig, warn_engine_opts
 from .engine.dense import supports_dense
 from .engine.ensemble import EnsembleEngine
@@ -57,13 +64,16 @@ from .engine.sequential import CountEngine
 ENGINES: Dict[str, Type[Engine]] = {
     "count": CountEngine,
     "batch": BatchCountEngine,
+    "bghkpu": BGHKPUEngine,
     "array": ArrayEngine,
     "matching": MatchingEngine,
     "ensemble": EnsembleEngine,
 }
 
 #: Valid values of the shared ``--engine`` flag.
-ENGINE_CHOICES = ("auto", "batch", "count", "array", "matching", "ensemble")
+ENGINE_CHOICES = (
+    "auto", "batch", "bghkpu", "count", "array", "matching", "ensemble",
+)
 
 
 def engine_names() -> tuple:

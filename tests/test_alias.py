@@ -1,0 +1,198 @@
+"""Alias-table sampler correctness: Vose invariant, GOF, degenerate input.
+
+The BGHKPU engine's pair sampling rides entirely on :class:`AliasTable`
+(O(1) draws from frozen weights) and :class:`ActivePairSampler` (the
+epoch manager over the active ordered-pair cells).  These tests pin the
+build invariant, the sampling distribution (chi-square goodness of fit
+against the exact cell probabilities, and against direct multinomial
+draws over the same weights), and the degenerate inputs that must fail
+loudly instead of sampling garbage.
+"""
+
+import numpy as np
+import pytest
+from scipy.stats import chisquare
+
+from repro.engine import ActivePairSampler, AliasTable, alias_pick
+from repro.engine.backend import get_backend
+
+SKEWED = np.array([5.0, 1.0, 0.1, 10.0, 3.0, 0.5, 2.0, 8.0])
+GOF_ALPHA = 0.001
+
+
+class TestAliasTableBuild:
+    def test_vose_invariant_matches_weights(self):
+        table = AliasTable(SKEWED)
+        expected = SKEWED / SKEWED.sum()
+        np.testing.assert_allclose(table.pvals(), expected, atol=1e-12)
+
+    def test_vose_invariant_on_extreme_skew(self):
+        w = np.array([1e-9, 1.0, 1e9, 1e-3, 42.0])
+        table = AliasTable(w)
+        np.testing.assert_allclose(table.pvals(), w / w.sum(), rtol=1e-9)
+
+    def test_total_and_k_recorded(self):
+        table = AliasTable(SKEWED)
+        assert table.k == len(SKEWED)
+        assert table.total == pytest.approx(float(SKEWED.sum()))
+
+    def test_single_column(self):
+        table = AliasTable([3.5])
+        rng = np.random.default_rng(0)
+        assert (table.sample(rng, 100) == 0).all()
+
+    def test_zero_weight_never_sampled(self):
+        w = np.array([1.0, 0.0, 2.0, 0.0, 4.0])
+        table = AliasTable(w)
+        draws = table.sample(np.random.default_rng(7), 20_000)
+        assert not np.isin(draws, [1, 3]).any()
+
+
+class TestAliasTableGOF:
+    def test_chisquare_vs_exact_distribution(self):
+        table = AliasTable(SKEWED)
+        rng = np.random.default_rng(42)
+        draws = table.sample(rng, 40_000)
+        observed = np.bincount(draws, minlength=len(SKEWED))
+        expected = 40_000 * SKEWED / SKEWED.sum()
+        assert chisquare(observed, expected).pvalue > GOF_ALPHA
+
+    def test_chisquare_vs_direct_multinomial(self):
+        """Alias draws and one multinomial over the same weights agree.
+
+        The sampler switches between the two representations per batch
+        (alias path for sparse batches, multinomial for dense ones), so
+        their histograms must be draws from the same law.
+        """
+        pvals = SKEWED / SKEWED.sum()
+        table = AliasTable(SKEWED)
+        m = 40_000
+        alias_hist = np.bincount(
+            table.sample(np.random.default_rng(1), m), minlength=len(SKEWED)
+        )
+        multi_hist = np.random.default_rng(2).multinomial(m, pvals)
+        # two-sample chi-square on the pooled expectation
+        pooled = (alias_hist + multi_hist) / 2.0
+        stat_a = chisquare(alias_hist, pooled).pvalue
+        stat_m = chisquare(multi_hist, pooled).pvalue
+        assert stat_a > GOF_ALPHA and stat_m > GOF_ALPHA
+
+    def test_alias_pick_function_matches_table(self):
+        table = AliasTable(SKEWED)
+        rng_a = np.random.default_rng(9)
+        rng_b = np.random.default_rng(9)
+        direct = alias_pick(rng_a, table.prob, table.alias, 500)
+        via_table = table.sample(rng_b, 500)
+        np.testing.assert_array_equal(direct, via_table)
+
+
+class TestAliasTableDegenerate:
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError, match="non-empty 1-D"):
+            AliasTable([])
+
+    def test_two_dimensional_rejected(self):
+        with pytest.raises(ValueError, match="non-empty 1-D"):
+            AliasTable(np.ones((2, 2)))
+
+    def test_negative_rejected(self):
+        with pytest.raises(ValueError, match="non-negative"):
+            AliasTable([1.0, -0.5])
+
+    def test_nan_rejected(self):
+        with pytest.raises(ValueError, match="NaN/Inf"):
+            AliasTable([1.0, np.nan])
+
+    def test_inf_rejected(self):
+        with pytest.raises(ValueError, match="NaN/Inf"):
+            AliasTable([np.inf, 1.0])
+
+    def test_zero_sum_rejected_with_clear_message(self):
+        with pytest.raises(ValueError, match="sum to zero"):
+            AliasTable([0.0, 0.0, 0.0])
+
+
+class TestActivePairSampler:
+    """Epoch manager over a hand-built 3-state p_change matrix."""
+
+    #: ordered-pair effectiveness: only (0,0), (0,1) and (2,2) can fire
+    MATRIX = np.array(
+        [
+            [0.5, 1.0, 0.0],
+            [0.0, 0.0, 0.0],
+            [0.0, 0.0, 0.25],
+        ]
+    )
+
+    def make(self, tol=0.05):
+        return ActivePairSampler(get_backend("numpy"), self.MATRIX, tol)
+
+    def test_tol_validated(self):
+        with pytest.raises(ValueError, match="alias_rebuild_tol"):
+            self.make(tol=-0.1)
+        with pytest.raises(ValueError, match="alias_rebuild_tol"):
+            self.make(tol=1.5)
+
+    def test_rebuild_weights(self):
+        s = self.make()
+        full_c = np.array([10.0, 5.0, 0.0])
+        s.rebuild(full_c)
+        # active set omits the empty state; w = c_i (c_j - δ) p(i, j)
+        np.testing.assert_array_equal(s.act, [0, 1])
+        assert s.total == pytest.approx(10 * 9 * 0.5 + 10 * 5 * 1.0)
+        assert s.active_cells == 2
+        assert s.rebuilds == 1
+
+    def test_sample_cells_distribution(self):
+        s = self.make()
+        s.rebuild(np.array([10.0, 5.0, 0.0]))
+        rng = np.random.default_rng(3)
+        totals = np.zeros(4)
+        for _ in range(200):
+            cells, counts = s.sample_cells(rng, 50)
+            totals[cells] += counts
+        expected = 200 * 50 * s.pvals
+        assert chisquare(totals[expected > 0], expected[expected > 0]).pvalue > GOF_ALPHA
+
+    def test_lone_cell_needs_no_rng(self):
+        s = self.make()
+        s.rebuild(np.array([0.0, 0.0, 7.0]))  # only (2,2) is live
+        assert s.cells_nz is not None
+        cells, counts = s.sample_cells(None, 13)  # rng unused on this path
+        assert cells.tolist() == [0] and counts.tolist() == [13]
+
+    def test_stale_tracks_drift_and_drain(self):
+        s = self.make(tol=0.2)
+        full_c = np.array([10.0, 5.0, 0.0])
+        s.rebuild(full_c)
+        assert not s.stale(full_c)
+        assert not s.stale(np.array([9.0, 5.0, 0.0]))  # 10% < tol
+        assert s.stale(np.array([7.0, 5.0, 0.0]))  # 30% > tol
+        assert s.stale(np.array([0.0, 5.0, 0.0]))  # drained state
+        s.refresh(np.array([7.0, 5.0, 0.0]))
+        assert not s.stale(np.array([7.0, 5.0, 0.0]))
+        assert s.refreshes == 1
+
+    def test_refresh_matches_full_rebuild(self):
+        s = self.make()
+        s.rebuild(np.array([10.0, 5.0, 0.0]))
+        drifted = np.array([6.0, 9.0, 0.0])
+        s.refresh(drifted)
+        fresh = self.make()
+        fresh.rebuild(drifted)
+        np.testing.assert_allclose(s.w, fresh.w)
+        assert s.total == pytest.approx(fresh.total)
+        assert s.gamma == pytest.approx(fresh.gamma)
+
+    def test_zero_sum_weights_go_silent_not_crash(self):
+        s = self.make()
+        s.rebuild(np.array([0.0, 8.0, 0.0]))  # state 1 alone fires nothing
+        assert s.total == 0.0
+        assert s.pvals is None and s.active_cells == 0
+
+    def test_collision_quantities(self):
+        s = self.make()
+        s.rebuild(np.array([0.0, 0.0, 8.0]))  # lone diagonal cell, μ = 2
+        assert s.mu[0] == pytest.approx(2.0)
+        assert s.gamma == pytest.approx(4.0 / (2.0 * 8.0))
+        assert s.cap_events == pytest.approx(8.0 / 2.0)

@@ -50,6 +50,19 @@ class TestCheckRegressions:
         assert regressions == []
         assert "n=" in skipped
 
+    def test_bghkpu_quick_downscale_skips_full_baseline(self, run_all):
+        """A --quick run at n=10^6 never trips the committed n=10^8 gate."""
+        quick = payload(wall=0.5, n=run_all.BGHKPU_QUICK_N)
+        quick["ks_replicas"] = run_all.BGHKPU_KS_REPLICAS // 2
+        full = payload(wall=0.001, n=run_all.BGHKPU_N)
+        full["ks_replicas"] = run_all.BGHKPU_KS_REPLICAS
+        regressions, skipped = run_all.check_regressions(
+            quick, full,
+            group_key="engines", config_keys=("n", "seed", "ks_replicas"),
+        )
+        assert regressions == []
+        assert "n=" in skipped
+
     def test_clean_run_passes(self, run_all):
         regressions, skipped = run_all.check_regressions(
             payload(wall=1.1), payload(wall=1.0),
@@ -156,16 +169,23 @@ class TestCommittedBaselines:
         backends = run_all.load_baseline(
             os.path.join(root, "BENCH_backends.json")
         )
+        bghkpu = run_all.load_baseline(
+            os.path.join(root, "BENCH_bghkpu.json")
+        )
         assert engines and "engines" in engines
         assert kernels and "paths" in kernels
         assert backends and "backends" in backends
         assert "numpy" in backends["backends"]
         assert backends["bit_identical_across_backends"] is True
+        assert bghkpu and "engines" in bghkpu
+        assert bghkpu["distribution_ok"] is True
+        assert bghkpu["speedup_batch_over_bghkpu"] >= bghkpu["target_speedup"]
         # self-comparison is a clean pass by construction
         for fresh, key, cfg in (
             (engines, "engines", ("n", "seed")),
             (kernels, "paths", ("n", "seed", "rounds")),
             (backends, "backends", ("n", "seed", "rounds", "rows")),
+            (bghkpu, "engines", ("n", "seed", "ks_replicas")),
         ):
             regressions, skipped = run_all.check_regressions(
                 fresh, fresh, group_key=key, config_keys=cfg

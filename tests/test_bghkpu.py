@@ -1,0 +1,251 @@
+"""BGHKPU engine: registry wiring, exactness, fidelity, stats, fallbacks.
+
+The alias-table batch engine must be a drop-in member of the engine
+registry (config round-trip, CLI name, replica runner), agree with the
+``batch`` engine distributionally (pooled KS on the leader-fight
+convergence times and on the oscillator observer grid, the repo's
+standard equivalence gates), step the endgame exactly (events = n − 1
+on the leader fight), and surface its collision/epoch counters as
+first-class :class:`EngineStats` fields that the replica tally
+aggregates.
+"""
+
+import numpy as np
+import pytest
+from scipy.stats import ks_2samp
+
+from repro.analysis import aggregate_convergence
+from repro.core import Population, Rule, StateSchema, V, single_thread
+from repro.engine import BGHKPUEngine, BatchCountEngine, Trace
+from repro.engine.config import EngineConfig
+from repro.engine.health import HealthMonitor, SimulationHealthError
+from repro.simulate import engine_names, make_engine, resolve_engine
+
+KS_ALPHA = 0.001
+
+
+def leader_fight():
+    schema = StateSchema()
+    schema.flag("L")
+    protocol = single_thread(
+        "leader-fight", schema, [Rule(V("L"), V("L"), None, {"L": False})]
+    )
+    return protocol, schema
+
+
+def leader_population(schema, n):
+    return Population.uniform(schema, n, {"L": True})
+
+
+def run_leader(engine, n, seed, **opts):
+    protocol, schema = leader_fight()
+    pop = leader_population(schema, n)
+    cfg = EngineConfig(engine=engine, **opts)
+    eng = make_engine(protocol, pop, engine=cfg, rng=np.random.default_rng(seed))
+    eng.run(stop=lambda p: p.count(V("L")) == 1)
+    return eng, pop
+
+
+class TestRegistry:
+    def test_name_registered(self):
+        assert "bghkpu" in engine_names()
+        assert resolve_engine("bghkpu") is BGHKPUEngine
+
+    def test_config_round_trip(self):
+        cfg = EngineConfig(
+            engine="bghkpu", collision_frac=0.15, alias_rebuild_tol=0.02
+        )
+        assert EngineConfig.from_dict(cfg.as_dict()) == cfg
+
+    def test_kwargs_projection(self):
+        cfg = EngineConfig(
+            engine="bghkpu", collision_frac=0.15, alias_rebuild_tol=0.02
+        )
+        assert cfg.engine_kwargs(BGHKPUEngine) == {
+            "collision_frac": 0.15, "alias_rebuild_tol": 0.02,
+        }
+        # foreign engines never see the bghkpu-only knobs
+        assert cfg.engine_kwargs(BatchCountEngine) == {}
+
+    def test_knob_validation(self):
+        protocol, schema = leader_fight()
+        pop = leader_population(schema, 100)
+        with pytest.raises(ValueError, match="collision_frac"):
+            BGHKPUEngine(protocol, pop, collision_frac=0.0)
+        with pytest.raises(ValueError, match="collision_frac"):
+            BGHKPUEngine(protocol, pop, collision_frac=1.5)
+        with pytest.raises(ValueError, match="alias_rebuild_tol"):
+            BGHKPUEngine(protocol, pop, alias_rebuild_tol=-0.1)
+        with pytest.raises(ValueError, match="alias_rebuild_tol"):
+            BGHKPUEngine(protocol, pop, alias_rebuild_tol=1.01)
+
+
+class TestExactness:
+    @pytest.mark.parametrize("n", [100, 5_000, 200_000])
+    def test_leader_fight_event_count_exact(self, n):
+        """Every effective event kills exactly one leader: events = n − 1."""
+        eng, pop = run_leader("bghkpu", n, seed=11)
+        assert pop.count(V("L")) == 1
+        assert eng.events == n - 1
+        assert eng.fallbacks == 0
+
+    def test_conservation_under_guards(self):
+        eng, pop = run_leader("bghkpu", 20_000, seed=5, guards=True)
+        assert pop.n == 20_000
+        assert pop.count(V("L")) == 1
+
+    def test_deterministic_in_seed(self):
+        a, _ = run_leader("bghkpu", 30_000, seed=123)
+        b, _ = run_leader("bghkpu", 30_000, seed=123)
+        assert a.interactions == b.interactions
+        assert a.events == b.events
+        assert a.batches == b.batches
+        assert a.collision_events == b.collision_events
+
+    def test_batch_one_delegates_to_exact_path(self):
+        a, _ = run_leader("bghkpu", 500, seed=7, batch=1)
+        b, _ = run_leader("batch", 500, seed=7, batch=1)
+        assert a.interactions == b.interactions
+        assert a.events == b.events == 499
+
+    def test_compile_limit_fallback(self):
+        """An uncompilable closure falls back to the parent wholesale."""
+        eng, pop = run_leader("bghkpu", 2_000, seed=3, compile_limit=1)
+        assert pop.count(V("L")) == 1
+        assert eng.events == 1_999
+
+    def test_silent_configuration_fast_forwards(self):
+        protocol, schema = leader_fight()
+        pop = leader_population(schema, 1_000)
+        eng = make_engine(
+            protocol, pop, engine="bghkpu", rng=np.random.default_rng(0)
+        )
+        eng.run(stop=lambda p: p.count(V("L")) == 1)
+        assert pop.count(V("L")) == 1
+        before = eng.interactions
+        eng.run(interactions=10**9)  # nothing left to fire
+        assert eng.interactions == before + 10**9
+        assert eng.events == 999
+
+
+class TestObserverGrid:
+    def test_grid_matches_batch_engine(self):
+        protocol, schema = leader_fight()
+
+        def trace_of(engine):
+            pop = leader_population(schema, 4_000)
+            trace = Trace({"L": V("L")})
+            eng = make_engine(
+                protocol, pop, engine=engine, rng=np.random.default_rng(2)
+            )
+            eng.run(rounds=10.0, observer=trace, observe_every=0.5)
+            return trace
+
+        batch, bghkpu = trace_of("batch"), trace_of("bghkpu")
+        np.testing.assert_array_equal(batch.times, bghkpu.times)
+
+
+class TestStats:
+    def test_counters_surface(self):
+        eng, _ = run_leader("bghkpu", 50_000, seed=9)
+        assert eng.collision_events > 0
+        assert eng.alias_rebuilds >= 1
+        assert eng.alias_build_seconds >= 0.0
+        stats = eng.stats.as_dict()
+        assert stats["engine"] == "bghkpu"
+        assert stats["collision_events"] == eng.collision_events
+        assert stats["alias_rebuilds"] == eng.alias_rebuilds
+        assert stats["alias_build_seconds"] == pytest.approx(
+            eng.alias_build_seconds
+        )
+
+    def test_tally_aggregates_new_counters(self):
+        records = []
+        for seed in (1, 2):
+            eng, _ = run_leader("bghkpu", 20_000, seed=seed)
+            records.append(
+                {
+                    "rounds": eng.rounds,
+                    "interactions": eng.interactions,
+                    "wall": 0.1,
+                    "converged": True,
+                    "stats": eng.stats.as_dict(),
+                }
+            )
+        agg = aggregate_convergence(records)
+        tally = agg.engines["bghkpu"]
+        assert tally.replicas == 2
+        assert tally.counters["collision_events"] == sum(
+            r["stats"]["collision_events"] for r in records
+        )
+        assert tally.counters["alias_rebuilds"] == sum(
+            r["stats"]["alias_rebuilds"] for r in records
+        )
+        assert agg.interactions_total == sum(
+            r["interactions"] for r in records
+        )
+        assert isinstance(agg.interactions_total, int)
+
+    def test_interactions_headroom_guard(self):
+        protocol, schema = leader_fight()
+        pop = leader_population(schema, 100)
+        eng = make_engine(
+            protocol, pop, engine="bghkpu", rng=np.random.default_rng(0)
+        )
+        eng.run(interactions=50)
+        monitor = HealthMonitor()
+        monitor.attach(eng)
+        monitor.after_batch(eng)  # sane counter passes
+        eng.interactions = 2**62 + 1
+        with pytest.raises(SimulationHealthError, match="int64-headroom"):
+            monitor.after_batch(eng)
+
+
+class TestKSEquivalence:
+    """The repo's standard cross-engine distributional gates."""
+
+    def test_leader_fight_convergence_times(self):
+        n, reps = 2_000, 60
+        pooled = {}
+        for engine in ("batch", "bghkpu"):
+            rounds = np.empty(reps)
+            for r in range(reps):
+                eng, _ = run_leader(engine, n, seed=1000 + r)
+                rounds[r] = eng.rounds
+            pooled[engine] = rounds
+        assert ks_2samp(pooled["batch"], pooled["bghkpu"]).pvalue > KS_ALPHA
+
+    def test_oscillator_observer_series(self):
+        from repro.oscillator import make_oscillator_protocol, species, weak_value
+
+        protocol = make_oscillator_protocol()
+        n, third = 600, (600 - 3) // 3
+
+        def trace_of(engine, seed):
+            pop = Population.from_groups(
+                protocol.schema,
+                [
+                    ({"osc": weak_value(0)}, third + (n - 3) - 3 * third),
+                    ({"osc": weak_value(1)}, third),
+                    ({"osc": weak_value(2)}, third),
+                    ({"osc": weak_value(0), "X": True}, 3),
+                ],
+            )
+            trace = Trace(
+                {"A1": species(0), "A2": species(1), "A3": species(2)}
+            )
+            eng = make_engine(
+                protocol, pop, engine=engine, rng=np.random.default_rng(seed)
+            )
+            eng.run(rounds=30.0, observer=trace)
+            return trace
+
+        pooled = {"batch": [], "bghkpu": []}
+        for engine in pooled:
+            for seed in range(10):
+                trace = trace_of(engine, 300 + seed)
+                for name in ("A1", "A2", "A3"):
+                    pooled[engine].append(trace.series(name))
+        batch = np.concatenate(pooled["batch"])
+        bghkpu = np.concatenate(pooled["bghkpu"])
+        assert ks_2samp(batch, bghkpu).pvalue > KS_ALPHA

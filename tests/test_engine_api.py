@@ -1,6 +1,6 @@
 """Engine protocol conformance: every engine honours the unified API.
 
-All four engines must accept the uniform keyword-only constructor
+All engines must accept the uniform keyword-only constructor
 ``Engine(protocol, population, *, rng=None, table=None)``, expose the
 shared ``n`` / ``rounds`` / ``interactions`` / ``population`` surface, run
 under every budget style (``rounds=``, ``interactions=``, ``stop=``), feed
@@ -14,6 +14,7 @@ from repro.core import Population, Rule, StateSchema, V, single_thread
 from repro.engine import (
     ArrayEngine,
     BatchCountEngine,
+    BGHKPUEngine,
     CountEngine,
     Engine,
     MatchingEngine,
@@ -22,7 +23,9 @@ from repro.engine import (
 from repro.engine.api import require_budget
 from repro.engine.table import LazyTable
 
-ALL_ENGINES = [CountEngine, BatchCountEngine, ArrayEngine, MatchingEngine]
+ALL_ENGINES = [
+    CountEngine, BatchCountEngine, BGHKPUEngine, ArrayEngine, MatchingEngine,
+]
 
 
 @pytest.fixture
