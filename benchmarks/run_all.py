@@ -403,11 +403,16 @@ BGHKPU_KS_ALPHA = 0.001
 def _time_bghkpu_contender(engine_name, n, seed):
     """Best-of-``BGHKPU_REPS`` leader-fight race leg for one engine.
 
-    The stop predicate asks for a unique leader; at n >= 10^8 both
-    contenders instead halt at the engines' shared silence floor
-    (p_change <= 1e-15, i.e. 3 leaders at n = 10^8) — identical
-    semantics on both sides, so the race stays like-for-like and the
-    final leader count is recorded as ``leaders_final``.
+    The stop predicate asks for a unique leader, and both contenders now
+    actually get there: the engines decide silence on the exact change
+    weight (weight == 0, see ``repro.engine.silence``) instead of the
+    old absolute ``p_change <= 1e-15`` floor, which at n = 10^8 used to
+    halt both sides with 3 leaders still standing.  The sparse endgame
+    costs only O(1) extra *events* — geometric gap sampling jumps the
+    ~n^2 interaction gaps between the last few L+L meetings — so the
+    walls stay comparable while ``leaders_final`` is 1 and the
+    interaction counts include the (deterministic-per-seed) endgame
+    tail.
     """
     from repro.core import Population, V
     from repro.simulate import make_engine

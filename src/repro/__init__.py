@@ -84,7 +84,7 @@ from .obs import (
 from .simulate import engine_names, make_engine, simulate
 from .workloads import Workload, build_workload
 
-__version__ = "1.2.0"
+__version__ = "1.3.0"
 
 #: Names kept importable for one release behind a DeprecationWarning.
 _DEPRECATED_ALIASES = {

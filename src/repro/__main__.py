@@ -331,6 +331,20 @@ def cmd_replay(args) -> int:
     return 0 if match else 1
 
 
+def cmd_serve(args) -> int:
+    from .service import serve
+
+    serve(
+        args.store,
+        host=args.host,
+        port=args.port,
+        workers=args.workers,
+        capacity=args.queue_size,
+        retry_after=args.retry_after,
+    )
+    return 0
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro",
@@ -477,6 +491,34 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("manifest", help="path to a JSONL run manifest")
     p.add_argument("--index", type=int, default=0, help="replica index")
     p.set_defaults(func=cmd_replay, stats_handled=True)
+
+    # serve takes no engine flags: submissions carry their own EngineConfig
+    p = sub.add_parser(
+        "serve",
+        help="serve sweeps over HTTP — submit, stream, replay by run id "
+        "(see docs/SERVICE.md)",
+    )
+    p.add_argument("--host", type=str, default="127.0.0.1")
+    p.add_argument("--port", type=int, default=8765)
+    p.add_argument(
+        "--store", type=str, default="service-runs",
+        help="run store directory: request/status/manifest/event files "
+        "per run id (default: ./service-runs)",
+    )
+    p.add_argument(
+        "--workers", type=int, default=2,
+        help="sweeps executed concurrently (default: 2)",
+    )
+    p.add_argument(
+        "--queue-size", type=int, default=8,
+        help="queued submissions beyond the running ones before the "
+        "service answers 429 + Retry-After (default: 8)",
+    )
+    p.add_argument(
+        "--retry-after", type=float, default=1.0,
+        help="Retry-After seconds advertised under backpressure",
+    )
+    p.set_defaults(func=cmd_serve, stats_handled=True, stats=False)
 
     return parser
 

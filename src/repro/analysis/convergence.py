@@ -22,6 +22,7 @@ import numpy as np
 from ..core.formula import Formula
 from ..core.population import Population
 from ..engine.sequential import CountEngine
+from ..engine.silence import CRUMB_GUARD, silent_weight
 
 
 @dataclass
@@ -69,9 +70,14 @@ def is_silent(engine: CountEngine) -> bool:
     """Whether no interaction can change the configuration any more.
 
     This is the paper's *silence*: checked exactly from the engine's
-    change-probability bookkeeping.
+    change-probability bookkeeping.  The incremental weight only screens;
+    the verdict comes from the cancellation-free exact recompute, which is
+    ``0.0`` iff silent at any population size (no absolute floor that a
+    large-n change probability could underflow).
     """
-    return engine._total_change_weight() <= 1e-15  # noqa: SLF001 - deliberate
+    if engine._total_change_weight() > CRUMB_GUARD:  # noqa: SLF001 - deliberate
+        return False
+    return bool(silent_weight(engine._exact_change_weight()))  # noqa: SLF001
 
 
 def silence_time(

@@ -58,6 +58,7 @@ from .alias import ActivePairSampler
 from .api import Observer, StopCondition, require_budget
 from .compiled import COMPILE_STATE_LIMIT, CompiledTable
 from .jump import MAX_BATCH, BatchCountEngine
+from .silence import silent_weight
 from .table import LazyTable
 
 
@@ -427,15 +428,14 @@ class BGHKPUEngine(BatchCountEngine):
                         ci = float(full_c[gi])
                         cj = float(full_c[gj])
                         wgt = ci * ((cj - 1.0) if same else cj) * pc
-                        if wgt <= 0.0:
+                        if silent_weight(wgt):
                             self._need_rebuild = True  # cell drained
                             break
+                        # wgt > 0 means the pair is live no matter how small
+                        # p gets (6e-16 at 3 leaders, n = 1e8); the geometric
+                        # gap below steps such endgames exactly in O(1), so
+                        # no absolute floor on p is needed or wanted.
                         p = wgt / pairs_total
-                        if p <= 1e-15:
-                            if target is not None:
-                                self.interactions = target
-                            stop_now = True
-                            break
                         if target is not None and self.interactions >= target:
                             break
                         if max_events is not None and events_done >= max_events:
@@ -520,8 +520,11 @@ class BGHKPUEngine(BatchCountEngine):
                     continue
 
             p_change = sampler.total / pairs_total
-            if p_change <= 1e-15:
-                # silent configuration: fast-forward to the budget
+            if silent_weight(sampler.total):
+                # The sampler total is summed fresh from the counts, so
+                # exact zero <=> silence at any scale; a tiny positive
+                # p_change is handled by the geometric endgame instead.
+                # Silent configuration: fast-forward to the budget
                 self.kernel_seconds += time.perf_counter() - kernel_start
                 if target is not None:
                     self.interactions = target

@@ -40,6 +40,7 @@ from __future__ import annotations
 import hashlib
 import os
 import tempfile
+import threading
 import time
 from typing import Dict, Iterable, List, Optional, Tuple
 
@@ -66,6 +67,21 @@ _MEMO: Dict[str, "CompiledTable"] = {}
 #: Process-wide count of corrupt on-disk cache entries discarded by
 #: :meth:`CompiledTable.load` (mutable cell so the classmethod can bump it).
 _CORRUPT_EVENTS = [0]
+
+#: Per-fingerprint compile locks: concurrent service requests for the
+#: same protocol serialize on their fingerprint and compile once (the
+#: first thread populates the memo/disk entry, the rest hit it), while
+#: different protocols compile in parallel.
+_LOCKS: Dict[str, threading.Lock] = {}
+_LOCKS_GUARD = threading.Lock()
+
+
+def _fingerprint_lock(fingerprint: str) -> threading.Lock:
+    with _LOCKS_GUARD:
+        lock = _LOCKS.get(fingerprint)
+        if lock is None:
+            lock = _LOCKS[fingerprint] = threading.Lock()
+        return lock
 
 
 def clear_memo() -> None:
@@ -376,6 +392,11 @@ class CompiledTable:
                     out_b=self.out_b,
                     out_p=self.out_p,
                 )
+                handle.flush()
+                # land the bytes before the rename publishes the entry, so
+                # a crash can only ever leave a whole old/new file behind —
+                # never a visible half-written one
+                os.fsync(handle.fileno())
             os.replace(tmp, path)  # atomic: concurrent replica workers race safely
         finally:
             if os.path.exists(tmp):
@@ -392,7 +413,7 @@ class CompiledTable:
             return None
         try:
             with np.load(path) as data:
-                return cls(
+                table = cls(
                     protocol,
                     data["codes"],
                     data["p_change"],
@@ -403,6 +424,8 @@ class CompiledTable:
                     fingerprint=fingerprint,
                     cache_status="hit",
                 )
+            table._validate_arrays()
+            return table
         except Exception:
             # corrupt / truncated cache entry: recompile rather than crash
             _CORRUPT_EVENTS[0] += 1
@@ -411,6 +434,33 @@ class CompiledTable:
             except OSError:
                 pass
             return None
+
+    def _validate_arrays(self) -> None:
+        """Structural sanity of the flat arrays; raises when they lie.
+
+        A torn cache write can survive ``np.load`` — the zip container
+        stays readable while an inner array was truncated or zeroed — so
+        the loader re-checks the CSR invariants before any engine
+        consumes the offsets.
+        """
+        q = len(self.codes)
+        off = self.off
+        if self.p_change_matrix.shape != (q, q):
+            raise ValueError("p_change matrix shape mismatch")
+        if off.shape != (q * q + 1,) or int(off[0]) != 0:
+            raise ValueError("offset array shape mismatch")
+        if (np.diff(off) < 0).any():
+            raise ValueError("offsets not monotone")
+        nnz = int(off[-1])
+        if not (len(self.out_a) == len(self.out_b) == len(self.out_p) == nnz):
+            raise ValueError("outcome arrays inconsistent with offsets")
+        if nnz and (
+            int(self.out_a.min()) < 0
+            or int(self.out_b.min()) < 0
+            or int(self.out_a.max()) >= q
+            or int(self.out_b.max()) >= q
+        ):
+            raise ValueError("outcome indices out of range")
 
 
 def compile_table(
@@ -432,7 +482,14 @@ def compile_table(
         raise ValueError("cannot compile a table for an empty support")
     use_cache = cache is not None and cache is not False
     fingerprint = protocol_fingerprint(protocol, initial)
-    if use_cache:
+    if not use_cache:
+        return CompiledTable.from_protocol(
+            protocol, initial, limit=limit, fingerprint=fingerprint
+        )
+    # serialize per fingerprint: concurrent requests for the same protocol
+    # compile exactly once (whoever wins populates the memo + disk entry,
+    # the rest fall through to it); unrelated protocols stay concurrent
+    with _fingerprint_lock(fingerprint):
         memo = _MEMO.get(fingerprint)
         if memo is not None:
             if memo.num_states > limit:
@@ -442,8 +499,8 @@ def compile_table(
             memo.cache_status = "memo"
             return memo
         cache_dir = default_cache_dir() if cache == "auto" else str(cache)
+        corrupt_before = _CORRUPT_EVENTS[0]
         if cache_dir is not None:
-            corrupt_before = _CORRUPT_EVENTS[0]
             loaded = CompiledTable.load(protocol, fingerprint, cache_dir)
             if loaded is not None:
                 if loaded.num_states > limit:
@@ -454,12 +511,10 @@ def compile_table(
                     )
                 _MEMO[fingerprint] = loaded
                 return loaded
-    table = CompiledTable.from_protocol(
-        protocol, initial, limit=limit, fingerprint=fingerprint
-    )
-    if use_cache:
+        table = CompiledTable.from_protocol(
+            protocol, initial, limit=limit, fingerprint=fingerprint
+        )
         table.cache_status = "miss"
-        cache_dir = default_cache_dir() if cache == "auto" else str(cache)
         if cache_dir is not None:
             corrupted = _CORRUPT_EVENTS[0] - corrupt_before
             if corrupted:
@@ -467,4 +522,4 @@ def compile_table(
                 table.cache_corrupt = corrupted
             table.save(cache_dir)
         _MEMO[fingerprint] = table
-    return table
+        return table

@@ -60,6 +60,7 @@ from .backend import ArrayBackend, get_backend
 from .compiled import COMPILE_STATE_LIMIT, CompiledTable, compile_table
 from .jump import MAX_BATCH
 from .sequential import CountEngine
+from .silence import silent_weight
 
 
 class VectorizedStop:
@@ -476,7 +477,10 @@ class EnsembleEngine(Engine):
             tot = W.sum(axis=(1, 2))
             p_change = np.minimum(tot / pairs_total, 1.0)
 
-            silent = tot / pairs_total <= 1e-15
+            # Per-row totals are summed fresh from the counts: exactly 0.0
+            # iff that row is silent, at any population size (an absolute
+            # p_change floor here falsely retired n >= 1e8 endgame rows).
+            silent = silent_weight(tot)
             if silent.any():
                 for r in idx[silent]:
                     if targets is not None:

@@ -70,6 +70,7 @@ from ..core.protocol import Protocol
 from .api import Observer, StopCondition, require_budget
 from .compiled import COMPILE_STATE_LIMIT, CompiledTable, compile_table
 from .sequential import CountEngine
+from .silence import silent_weight
 from .table import LazyTable
 
 #: Largest batch ever attempted (keeps binomial/multinomial draws in int64).
@@ -513,8 +514,12 @@ class BatchCountEngine(CountEngine):
                     self.guards.check_weights(self, weights, codes=self._codes)
             total_weight = float(weights.sum())
             p_change = total_weight / pairs_total
-            if p_change <= 1e-15:
-                # silent configuration: fast-forward to the budget
+            if silent_weight(total_weight):
+                # Weights are summed fresh from the counts, so an exact
+                # zero means true silence; any positive total — however
+                # small relative to pairs_total — keeps stepping (the old
+                # absolute p_change floor falsely halted n >= 1e8 endgames
+                # here): fast-forward to the budget.
                 self.kernel_seconds += time.perf_counter() - kernel_start
                 if target is not None:
                     self.interactions = target

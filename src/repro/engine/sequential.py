@@ -34,6 +34,7 @@ import numpy as np
 from ..core.population import Population
 from ..core.protocol import Protocol
 from .api import Engine, Observer, StopCondition, require_budget
+from .silence import CRUMB_GUARD, exact_change_weight, silent_weight
 from .table import LazyTable, PairOutcomes
 
 
@@ -110,6 +111,16 @@ class CountEngine(Engine):
         diag = np.einsum("i,ii->", self._c, self._q)
         return float(self._c @ self._v - diag)
 
+    def _exact_change_weight(self) -> float:
+        """Cancellation-free total change weight, rebuilt from raw counts.
+
+        Exactly ``0.0`` iff the configuration is silent — use this (not
+        :meth:`_total_change_weight`, whose incremental ``v = Q @ c``
+        bookkeeping can carry floating-point crumbs) whenever the answer
+        decides silence.
+        """
+        return exact_change_weight(self._c, self._q)
+
     # -- sampling -------------------------------------------------------------
     def _sample_event_pair(self) -> Tuple[int, int]:
         """Sample the ordered state pair of the next effective interaction."""
@@ -154,9 +165,17 @@ class CountEngine(Engine):
         total_agents = float(self._c.sum())
         pairs_total = total_agents * (total_agents - 1.0)
         weight = self._total_change_weight()
+        if weight <= CRUMB_GUARD:
+            # Near-zero incremental weight: either true silence or fp
+            # crumbs from the v += qδ updates.  Decide on the exact
+            # cancellation-free sum — scale-free, so a genuinely tiny
+            # change probability (3 leaders at n = 1e8 is ~6e-16) is
+            # stepped through, not misreported as silence.
+            weight = self._exact_change_weight()
+            if silent_weight(weight):
+                return None
+            self._v = self._q @ self._c  # shed the crumbs while we're here
         p_change = weight / pairs_total
-        if p_change <= 1e-15:
-            return None
         if p_change >= 1.0:
             return 0
         u = self.rng.random()

@@ -1,0 +1,75 @@
+"""Scale-aware silence detection shared by every engine.
+
+The paper's *silence* is an exact property — no ordered pair of agents
+can change the configuration any more — but the engines used to detect
+it with an absolute floor on the per-interaction change probability
+(``p_change <= 1e-15``).  That floor is not scale-aware: on the leader
+fight at n = 10^8 the true change probability with 3 leaders left is
+``3·2 / (n·(n-1)) ≈ 6e-16``, *below* the floor, so every engine falsely
+declared the run silent and stop predicates that need literal
+convergence (one leader) never fired (the bug ROADMAP flagged after
+PR 7's n = 10^8 benchmarks).
+
+The fix: silence is decided on the **total change weight** — the sum
+over ordered agent pairs of their change probability — not on its ratio
+to ``n·(n-1)``.  Two regimes:
+
+* Weights summed freshly from the current counts (the batch, bghkpu and
+  ensemble kernels, and this module's :func:`exact_change_weight`) are
+  sums of products of non-negative terms, so they are **exactly zero**
+  iff the configuration is silent — no floor is needed at all, and
+  :func:`silent_weight` is a plain ``<= 0.0`` test that is correct at
+  any population size.
+* The sequential engine's incrementally maintained ``v = Q @ c``
+  bookkeeping can carry floating-point crumbs (each ``v += q·δ`` update
+  rounds).  When the incremental weight drops below
+  :data:`CRUMB_GUARD`, callers re-verify against
+  :func:`exact_change_weight`, which rebuilds the weight from the raw
+  counts without cancellation — a tiny positive crumb is never mistaken
+  for activity, and a tiny *true* weight (the n ≥ 10^8 endgame) is never
+  mistaken for silence.
+
+A genuinely-tiny true weight just means the next effective event is far
+away; the engines' geometric null skipping handles that in O(1) draws,
+so there is no performance reason to round it to "silent".
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+#: Incremental change-weight magnitudes at or below this are re-verified
+#: with :func:`exact_change_weight` before a silence verdict.  Any real
+#: (non-crumb) total weight this small implies either a sub-1e-6 rule
+#: probability on the last live pair or a truly silent configuration;
+#: re-deriving the weight exactly from the counts disambiguates the two.
+CRUMB_GUARD = 1e-6
+
+
+def silent_weight(total_weight) -> "np.ndarray | bool":
+    """Whether a freshly summed total change weight means silence.
+
+    ``total_weight`` must be computed directly from the current counts
+    (sums of products of non-negative count/probability terms) — such a
+    sum is exactly ``0.0`` iff no ordered pair can change the
+    configuration, so the test is scale-free: it cannot misfire at
+    n ≥ 10^8 the way the old absolute ``p_change <= 1e-15`` floor did.
+    Accepts scalars or arrays (the ensemble engine's per-row totals).
+    """
+    return total_weight <= 0.0
+
+
+def exact_change_weight(counts: np.ndarray, q: np.ndarray) -> float:
+    """Cancellation-free total change weight from raw counts.
+
+    ``sum_{i != j} c_i c_j q_ij  +  sum_i c_i (c_i - 1) q_ii`` computed
+    term-by-term so every contribution is non-negative: the result is
+    exactly ``0.0`` iff the configuration is silent, unlike the
+    incremental ``c @ v - diag`` form whose subtraction can leave
+    floating-point crumbs after many updates.
+    """
+    c = np.asarray(counts, dtype=np.float64)
+    pair_counts = np.outer(c, c)
+    # ordered pairs of *distinct* agents within one state: c_i (c_i - 1)
+    np.fill_diagonal(pair_counts, c * np.maximum(c - 1.0, 0.0))
+    return float((pair_counts * q).sum())

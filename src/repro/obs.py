@@ -448,19 +448,33 @@ def verify_fingerprint(
     silently simulate a *different* experiment under the recorded seeds.
     Manifests without a recorded fingerprint pass (nothing to check).
     """
-    recorded = (manifest.header.get("protocol") or {}).get("fingerprint")
+    summary = manifest.header.get("protocol") or {}
+    recorded = summary.get("fingerprint")
     if recorded is None:
         return
     from .engine.compiled import protocol_fingerprint
 
     current = protocol_fingerprint(protocol, population.counts.keys())
     if current != recorded:
+        recorded_desc = "{!r} (n={})".format(
+            summary.get("name"), summary.get("n")
+        )
+        workload = manifest.header.get("workload")
+        if workload:
+            recorded_desc += ", workload {!r} {}".format(
+                workload.get("name"), workload.get("params")
+            )
         raise ValueError(
-            "manifest {} was recorded for protocol fingerprint {} but the "
-            "freshly built protocol fingerprints to {}; the protocol code "
-            "or workload parameters changed since the run was recorded "
-            "(pass check_fingerprint=False to replay anyway)".format(
-                manifest.path, recorded, current
+            "manifest {path} was recorded for protocol {rec_desc} with "
+            "fingerprint {rec} but the freshly built protocol {cur_desc} "
+            "fingerprints to {cur}; the protocol code or workload "
+            "parameters changed since the run was recorded (pass "
+            "check_fingerprint=False to replay anyway)".format(
+                path=manifest.path,
+                rec_desc=recorded_desc,
+                rec=recorded,
+                cur_desc="{!r} (n={})".format(protocol.name, population.n),
+                cur=current,
             )
         )
 
@@ -557,6 +571,7 @@ def replay_replica(
     stop: Optional[Callable[[Population], bool]] = None,
     check_fingerprint: bool = True,
     backend: Optional[str] = None,
+    observer: Optional[Callable[[float, Population], None]] = None,
 ) -> ReplicaRecord:
     """Re-run one replica of a manifest and return the fresh record.
 
@@ -564,6 +579,15 @@ def replay_replica(
     recorded :class:`~repro.EngineConfig` supplies it otherwise); replays
     stay bit-identical either way because every random draw happens on
     the host generator regardless of backend.
+
+    ``observer`` re-attaches an observation callback for the re-run.
+    Observer callables cannot be serialized, so a manifest records them
+    as ``!repr`` placeholders and a bare replay runs without one — but
+    observer presence arms the engines' observation grid and therefore
+    shapes batch boundaries, so a run recorded *with* an observer only
+    replays bit-identically when one is supplied again (the service's
+    grid streaming relies on this).  Rejected for ensemble manifests,
+    whose engine does not support observers.
 
     The protocol/population/stop triple is taken from the arguments when
     given, else rebuilt from the header's ``workload`` spec (see
@@ -588,16 +612,25 @@ def replay_replica(
     if backend is not None:
         cfg = cfg.replace(backend=backend)
     if cfg.engine == "ensemble":
+        if observer is not None:
+            raise ValueError(
+                "manifest {} was recorded with the ensemble engine, which "
+                "does not support observers; replay without observer="
+                .format(manifest.path)
+            )
         return _replay_ensemble_chunk(
             manifest, record, protocol, population, stop, backend=backend
         )
+    run_kwargs = _replayable(manifest.header.get("run_kwargs"))
+    if observer is not None:
+        run_kwargs["observer"] = observer
     return run_single_replica(
         record.index,
         replica_seed(record),
         protocol,
         population,
         config=cfg,
-        run_kwargs=_replayable(manifest.header.get("run_kwargs")),
+        run_kwargs=run_kwargs,
         stop=stop,
     )
 

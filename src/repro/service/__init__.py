@@ -1,0 +1,37 @@
+"""Simulation-as-a-service: an async HTTP front for the replica pool.
+
+The library runs sweeps in-process; this package runs them *for remote
+callers*: submit a workload spec + engine config over HTTP, the request
+is validated (:mod:`repro.service.schema`), queued onto a bounded worker
+pool with backpressure (:mod:`repro.service.jobs`), executed through the
+same :func:`repro.engine.replicas.run_replicas` path the CLI uses —
+checkpointing a run manifest per job into a run-id-addressed store
+(:mod:`repro.service.store`) — and observed live over chunked-JSONL
+progress/grid streams (:mod:`repro.service.http` /
+:mod:`repro.service.app`).  Any replica of any stored run replays
+bit-identically by run id, exactly like :func:`repro.obs.replay_replica`
+does locally.
+
+Start a server with ``python -m repro serve`` (see ``docs/SERVICE.md``)
+or embed one::
+
+    from repro.service import ServiceApp
+    app = ServiceApp(store_root="runs/")
+    app.serve(host="127.0.0.1", port=8765)
+"""
+
+from .app import ServiceApp, serve
+from .jobs import Job, JobQueue, QueueFull
+from .schema import ServiceError, SubmitRequest
+from .store import RunStore
+
+__all__ = [
+    "Job",
+    "JobQueue",
+    "QueueFull",
+    "RunStore",
+    "ServiceApp",
+    "ServiceError",
+    "SubmitRequest",
+    "serve",
+]

@@ -1,0 +1,299 @@
+"""The simulation service application: endpoints over store + queue.
+
+Endpoints (all JSON; streams are chunked JSONL):
+
+====== =============================== =========================================
+POST   ``/runs``                        submit a sweep → 202 + run id, or 429
+                                        (+ ``Retry-After``) under backpressure
+GET    ``/runs``                        statuses of every stored run
+GET    ``/runs/{id}``                   one run's status + its stored request
+GET    ``/runs/{id}/events``            live progress/replica/grid event stream
+                                        (``?from=N`` resumes mid-stream; for
+                                        finished runs replays the event log)
+GET    ``/runs/{id}/manifest``          the raw run manifest (JSONL)
+GET    ``/runs/{id}/replay/{k}``        re-run replica ``k`` from its recorded
+                                        seed and report bit-identity
+POST   ``/runs/{id}/cancel``            stop after the current index group,
+                                        leaving a resumable manifest
+GET    ``/healthz``                     liveness + queue depth + workloads
+====== =============================== =========================================
+
+The replay endpoint is the service's correctness anchor: it drives the
+very same :func:`repro.obs.replay_replica` path the library exposes, so
+a ``"match": true`` over HTTP carries exactly the bit-identity guarantee
+of the local API.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import threading
+from typing import Any, AsyncIterator, Dict, Optional
+
+from ..workloads import WORKLOADS
+from .http import JsonResponse, Request, Router, StreamResponse, handle_connection
+from .jobs import TERMINAL, JobQueue
+from .schema import ServiceError, SubmitRequest
+from .store import RunStore
+
+#: Chunked event streams block at most this long per read before
+#: re-checking job state (keeps slow streams responsive to cancellation).
+STREAM_WAIT = 5.0
+
+
+class ServiceApp:
+    """Store + job queue + router, ready to serve."""
+
+    def __init__(
+        self,
+        store_root: str,
+        workers: int = 2,
+        capacity: int = 8,
+        retry_after: float = 1.0,
+    ):
+        self.store = RunStore(store_root)
+        self.jobs = JobQueue(
+            self.store, workers=workers, capacity=capacity,
+            retry_after=retry_after,
+        )
+        self.router = Router()
+        self.router.add("GET", "/healthz", self._healthz)
+        self.router.add("POST", "/runs", self._submit)
+        self.router.add("GET", "/runs", self._list_runs)
+        self.router.add("GET", "/runs/{run_id}", self._run_status)
+        self.router.add("GET", "/runs/{run_id}/events", self._events)
+        self.router.add("GET", "/runs/{run_id}/manifest", self._manifest)
+        self.router.add("GET", "/runs/{run_id}/replay/{index}", self._replay)
+        self.router.add("POST", "/runs/{run_id}/cancel", self._cancel)
+
+    # -- handlers --------------------------------------------------------
+    async def _healthz(self, request: Request) -> JsonResponse:
+        return JsonResponse({
+            "status": "ok",
+            "queue_depth": self.jobs.depth(),
+            "workers": self.jobs.workers,
+            "capacity": self.jobs.capacity,
+            "workloads": sorted(WORKLOADS),
+        })
+
+    async def _submit(self, request: Request) -> JsonResponse:
+        submission = SubmitRequest.from_payload(request.json())
+        job = self.jobs.submit(submission)  # QueueFull -> 429 upstream
+        return JsonResponse(
+            {
+                "run_id": job.run_id,
+                "state": job.state,
+                "replicas": submission.replicas,
+            },
+            status=202,
+        )
+
+    async def _list_runs(self, request: Request) -> JsonResponse:
+        loop = asyncio.get_running_loop()
+        runs = await loop.run_in_executor(None, self.store.list_runs)
+        return JsonResponse({"runs": runs})
+
+    async def _run_status(self, request: Request) -> JsonResponse:
+        run_id = request.params["run_id"]
+        status = self.store.status(run_id)
+        payload = dict(status)
+        payload["request"] = self.store.request(run_id).as_dict()
+        payload["manifest"] = self.store.manifest_exists(run_id)
+        return JsonResponse(payload)
+
+    async def _events(self, request: Request) -> StreamResponse:
+        run_id = request.params["run_id"]
+        self.store.status(run_id)  # 404 before committing to a stream
+        try:
+            start = int(request.query.get("from", "0"))
+        except ValueError:
+            raise ServiceError(400, "from must be an integer")
+        return StreamResponse(self._event_lines(run_id, start))
+
+    async def _event_lines(self, run_id: str, start: int) -> AsyncIterator[str]:
+        import json
+
+        loop = asyncio.get_running_loop()
+        job = self.jobs.get(run_id)
+        cursor = start
+        if job is None:
+            # not live in this process: replay the persisted event log
+            events = await loop.run_in_executor(
+                None, self.store.read_events, run_id, cursor
+            )
+            for event in events:
+                yield json.dumps(event, sort_keys=True)
+            return
+        while True:
+            events = await loop.run_in_executor(
+                None, job.wait_events, cursor, STREAM_WAIT
+            )
+            for event in events:
+                yield json.dumps(event, sort_keys=True)
+            cursor += len(events)
+            if job.terminal and not job.events_since(cursor):
+                return
+
+    async def _manifest(self, request: Request) -> JsonResponse:
+        run_id = request.params["run_id"]
+        self.store.status(run_id)
+        loop = asyncio.get_running_loop()
+        text = await loop.run_in_executor(
+            None, self.store.read_manifest_text, run_id
+        )
+        if text is None:
+            raise ServiceError(
+                409, "run {} has no manifest yet".format(run_id)
+            )
+        return JsonResponse(text, content_type="application/x-ndjson")
+
+    async def _replay(self, request: Request) -> JsonResponse:
+        run_id = request.params["run_id"]
+        try:
+            index = int(request.params["index"])
+        except ValueError:
+            raise ServiceError(400, "replica index must be an integer")
+        self.store.status(run_id)
+        loop = asyncio.get_running_loop()
+        payload = await loop.run_in_executor(
+            None, self._replay_sync, run_id, index
+        )
+        return JsonResponse(payload)
+
+    def _replay_sync(self, run_id: str, index: int) -> Dict[str, Any]:
+        from ..obs import load_manifest, replay_replica
+
+        path = self.store.manifest_path(run_id)
+        if not self.store.manifest_exists(run_id):
+            raise ServiceError(409, "run {} has no manifest yet".format(run_id))
+        manifest = load_manifest(path)
+        try:
+            record = manifest.record(index)
+        except KeyError:
+            raise ServiceError(
+                404,
+                "run {} has no replica {} (cancelled before it ran?)".format(
+                    run_id, index
+                ),
+            )
+        stored = self.store.request(run_id)
+        # a run recorded with an observer replays bit-identically only
+        # with an observer armed (it shapes the batch boundaries)
+        observer = (lambda t, p: None) if stored.observe else None
+        fresh = replay_replica(manifest, index, observer=observer)
+        recorded = {
+            "rounds": record.rounds,
+            "interactions": record.interactions,
+            "converged": record.converged,
+        }
+        replayed = {
+            "rounds": fresh.rounds,
+            "interactions": fresh.interactions,
+            "converged": fresh.converged,
+        }
+        return {
+            "run_id": run_id,
+            "index": index,
+            "match": recorded == replayed,
+            "recorded": recorded,
+            "replayed": replayed,
+        }
+
+    async def _cancel(self, request: Request) -> JsonResponse:
+        run_id = request.params["run_id"]
+        loop = asyncio.get_running_loop()
+        status = await loop.run_in_executor(None, self.jobs.cancel, run_id)
+        return JsonResponse(status)
+
+    # -- serving ---------------------------------------------------------
+    async def create_server(self, host: str, port: int) -> asyncio.AbstractServer:
+        return await asyncio.start_server(
+            lambda r, w: handle_connection(self.router, r, w), host, port
+        )
+
+    def serve(self, host: str = "127.0.0.1", port: int = 8765) -> None:
+        """Serve until interrupted (the ``python -m repro serve`` loop)."""
+
+        async def _run() -> None:
+            server = await self.create_server(host, port)
+            addr = server.sockets[0].getsockname()
+            print("repro service listening on http://{}:{}".format(*addr[:2]))
+            async with server:
+                await server.serve_forever()
+
+        try:
+            asyncio.run(_run())
+        except KeyboardInterrupt:
+            pass
+        finally:
+            self.jobs.shutdown()
+
+    def start_background(
+        self, host: str = "127.0.0.1", port: int = 0
+    ) -> "ServerHandle":
+        """Run the server in a daemon thread; returns a stoppable handle.
+
+        ``port=0`` binds an ephemeral port — read it off the handle.
+        Used by the test suite and the CI service-smoke job.
+        """
+        started = threading.Event()
+        state: Dict[str, Any] = {}
+
+        def runner() -> None:
+            loop = asyncio.new_event_loop()
+            asyncio.set_event_loop(loop)
+            server = loop.run_until_complete(self.create_server(host, port))
+            state["loop"] = loop
+            state["server"] = server
+            state["port"] = server.sockets[0].getsockname()[1]
+            started.set()
+            try:
+                loop.run_forever()
+            finally:
+                server.close()
+                loop.run_until_complete(server.wait_closed())
+                loop.close()
+
+        thread = threading.Thread(
+            target=runner, name="repro-service", daemon=True
+        )
+        thread.start()
+        if not started.wait(10.0):
+            raise RuntimeError("service failed to start within 10s")
+        return ServerHandle(self, thread, state["loop"], state["port"])
+
+
+class ServerHandle:
+    """A background server: host thread + loop + bound port."""
+
+    def __init__(
+        self,
+        app: ServiceApp,
+        thread: threading.Thread,
+        loop: asyncio.AbstractEventLoop,
+        port: int,
+    ):
+        self.app = app
+        self.thread = thread
+        self.loop = loop
+        self.port = port
+
+    def stop(self, timeout: float = 10.0) -> None:
+        self.loop.call_soon_threadsafe(self.loop.stop)
+        self.thread.join(timeout=timeout)
+        self.app.jobs.shutdown(timeout=timeout)
+
+
+def serve(
+    store_root: str,
+    host: str = "127.0.0.1",
+    port: int = 8765,
+    workers: int = 2,
+    capacity: int = 8,
+    retry_after: float = 1.0,
+) -> None:
+    """Build a :class:`ServiceApp` and serve it (CLI entry point)."""
+    ServiceApp(
+        store_root, workers=workers, capacity=capacity,
+        retry_after=retry_after,
+    ).serve(host=host, port=port)

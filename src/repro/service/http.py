@@ -1,0 +1,256 @@
+"""A minimal stdlib-asyncio HTTP/1.1 server for the simulation service.
+
+No third-party web framework is assumed (the reference environment ships
+none), so this module implements the slice of HTTP/1.1 the service
+needs on top of :func:`asyncio.start_server`: request-line + header
+parsing, ``Content-Length``-bounded bodies, JSON responses, and chunked
+transfer encoding for the JSONL event streams.  Connections are
+``Connection: close`` — one request per connection keeps the parser
+trivial and costs nothing at the service's request rates.
+
+Handlers are async callables registered on a :class:`Router` with
+``{param}`` path segments::
+
+    router.add("GET", "/runs/{run_id}/replay/{index}", handler)
+
+and return either a :class:`JsonResponse` or a :class:`StreamResponse`
+wrapping an async iterator of already-encoded lines.  A
+:class:`repro.service.schema.ServiceError` raised anywhere in a handler
+becomes its HTTP status with a JSON error body (plus ``Retry-After``
+when the error carries one).
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+from typing import Any, AsyncIterator, Awaitable, Callable, Dict, List, Optional, Tuple
+
+from .schema import ServiceError
+
+MAX_BODY = 1 << 20  # 1 MiB of JSON is far beyond any legitimate request
+MAX_HEADER = 1 << 14
+
+_REASONS = {
+    200: "OK", 202: "Accepted", 400: "Bad Request", 404: "Not Found",
+    405: "Method Not Allowed", 409: "Conflict", 413: "Payload Too Large",
+    429: "Too Many Requests", 500: "Internal Server Error",
+}
+
+
+class Request:
+    """One parsed HTTP request."""
+
+    def __init__(
+        self,
+        method: str,
+        path: str,
+        query: Dict[str, str],
+        headers: Dict[str, str],
+        body: bytes,
+    ):
+        self.method = method
+        self.path = path
+        self.query = query
+        self.headers = headers
+        self.body = body
+        self.params: Dict[str, str] = {}
+
+    def json(self) -> Any:
+        if not self.body:
+            return {}
+        try:
+            return json.loads(self.body.decode("utf-8"))
+        except (UnicodeDecodeError, json.JSONDecodeError) as exc:
+            raise ServiceError(400, "request body is not valid JSON: {}".format(exc))
+
+
+class JsonResponse:
+    def __init__(
+        self,
+        payload: Any,
+        status: int = 200,
+        headers: Optional[Dict[str, str]] = None,
+        content_type: str = "application/json",
+    ):
+        self.status = status
+        self.headers = dict(headers or {})
+        if isinstance(payload, (bytes, str)):
+            body = payload.encode() if isinstance(payload, str) else payload
+        else:
+            body = (json.dumps(payload, sort_keys=True) + "\n").encode()
+        self.body = body
+        self.content_type = content_type
+
+
+class StreamResponse:
+    """Chunked-transfer response fed by an async iterator of lines."""
+
+    def __init__(
+        self,
+        lines: AsyncIterator[str],
+        status: int = 200,
+        content_type: str = "application/x-ndjson",
+    ):
+        self.status = status
+        self.lines = lines
+        self.content_type = content_type
+
+
+Handler = Callable[[Request], Awaitable[Any]]
+
+
+class Router:
+    """Exact-segment routing with ``{param}`` captures."""
+
+    def __init__(self):
+        self._routes: List[Tuple[str, List[str], Handler]] = []
+
+    def add(self, method: str, pattern: str, handler: Handler) -> None:
+        segments = [s for s in pattern.strip("/").split("/") if s]
+        self._routes.append((method.upper(), segments, handler))
+
+    def resolve(self, method: str, path: str) -> Tuple[Handler, Dict[str, str]]:
+        parts = [s for s in path.strip("/").split("/") if s]
+        path_matched = False
+        for verb, segments, handler in self._routes:
+            params = self._match(segments, parts)
+            if params is None:
+                continue
+            path_matched = True
+            if verb == method.upper():
+                return handler, params
+        if path_matched:
+            raise ServiceError(405, "method {} not allowed on {}".format(method, path))
+        raise ServiceError(404, "no such endpoint: {}".format(path))
+
+    @staticmethod
+    def _match(segments: List[str], parts: List[str]) -> Optional[Dict[str, str]]:
+        if len(segments) != len(parts):
+            return None
+        params: Dict[str, str] = {}
+        for segment, part in zip(segments, parts):
+            if segment.startswith("{") and segment.endswith("}"):
+                params[segment[1:-1]] = part
+            elif segment != part:
+                return None
+        return params
+
+
+def _parse_query(raw: str) -> Dict[str, str]:
+    out: Dict[str, str] = {}
+    for pair in raw.split("&"):
+        if not pair:
+            continue
+        key, _, value = pair.partition("=")
+        out[key] = value
+    return out
+
+
+async def _read_request(reader: asyncio.StreamReader) -> Optional[Request]:
+    try:
+        head = await reader.readuntil(b"\r\n\r\n")
+    except asyncio.IncompleteReadError:
+        return None  # client went away before sending a full request
+    except asyncio.LimitOverrunError:
+        raise ServiceError(413, "request head too large")
+    if len(head) > MAX_HEADER:
+        raise ServiceError(413, "request head too large")
+    lines = head.decode("latin-1").split("\r\n")
+    try:
+        method, target, _version = lines[0].split(" ", 2)
+    except ValueError:
+        raise ServiceError(400, "malformed request line")
+    headers: Dict[str, str] = {}
+    for line in lines[1:]:
+        if not line:
+            continue
+        name, _, value = line.partition(":")
+        headers[name.strip().lower()] = value.strip()
+    path, _, raw_query = target.partition("?")
+    length = int(headers.get("content-length", "0") or "0")
+    if length > MAX_BODY:
+        raise ServiceError(413, "request body too large")
+    body = await reader.readexactly(length) if length else b""
+    return Request(method, path, _parse_query(raw_query), headers, body)
+
+
+def _head(status: int, content_type: str, extra: Dict[str, str], chunked: bool,
+          length: Optional[int] = None) -> bytes:
+    lines = [
+        "HTTP/1.1 {} {}".format(status, _REASONS.get(status, "Unknown")),
+        "Content-Type: {}".format(content_type),
+        "Connection: close",
+    ]
+    if chunked:
+        lines.append("Transfer-Encoding: chunked")
+    elif length is not None:
+        lines.append("Content-Length: {}".format(length))
+    for name, value in extra.items():
+        lines.append("{}: {}".format(name, value))
+    return ("\r\n".join(lines) + "\r\n\r\n").encode("latin-1")
+
+
+async def _send_json(writer: asyncio.StreamWriter, response: JsonResponse) -> None:
+    writer.write(
+        _head(
+            response.status, response.content_type, response.headers,
+            chunked=False, length=len(response.body),
+        )
+    )
+    writer.write(response.body)
+    await writer.drain()
+
+
+async def _send_stream(writer: asyncio.StreamWriter, response: StreamResponse) -> None:
+    writer.write(
+        _head(response.status, response.content_type, {}, chunked=True)
+    )
+    await writer.drain()
+    async for line in response.lines:
+        data = line.encode("utf-8")
+        if not data.endswith(b"\n"):
+            data += b"\n"
+        writer.write(b"%x\r\n" % len(data) + data + b"\r\n")
+        await writer.drain()
+    writer.write(b"0\r\n\r\n")
+    await writer.drain()
+
+
+async def handle_connection(
+    router: Router,
+    reader: asyncio.StreamReader,
+    writer: asyncio.StreamWriter,
+) -> None:
+    """Serve one request on one connection, then close it."""
+    try:
+        try:
+            request = await _read_request(reader)
+            if request is None:
+                return
+            handler, params = router.resolve(request.method, request.path)
+            request.params = params
+            response = await handler(request)
+        except ServiceError as exc:
+            headers: Dict[str, str] = {}
+            retry_after = exc.extra.get("retry_after")
+            if retry_after is not None:
+                headers["Retry-After"] = "{:g}".format(retry_after)
+            response = JsonResponse(exc.payload(), status=exc.status, headers=headers)
+        except Exception as exc:  # noqa: BLE001 - server boundary
+            response = JsonResponse(
+                {"error": "internal error: {}: {}".format(type(exc).__name__, exc)},
+                status=500,
+            )
+        if isinstance(response, StreamResponse):
+            await _send_stream(writer, response)
+        else:
+            await _send_json(writer, response)
+    except (ConnectionError, asyncio.CancelledError):
+        pass  # client hung up mid-response; nothing to salvage
+    finally:
+        try:
+            writer.close()
+            await writer.wait_closed()
+        except (ConnectionError, OSError):
+            pass

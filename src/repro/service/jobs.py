@@ -1,0 +1,321 @@
+"""Bounded job queue driving the supervised replica pool.
+
+A :class:`JobQueue` owns a fixed pool of worker threads and a bounded
+submission queue; when the queue is full, :meth:`JobQueue.submit` raises
+:class:`QueueFull` *before anything is persisted*, which the HTTP layer
+answers with ``429`` + ``Retry-After`` — callers see backpressure, not
+latency.
+
+Each accepted submission becomes a :class:`Job` that executes the sweep
+through :func:`repro.engine.replicas.run_replicas` in *index groups*:
+every group appends its records to the run manifest
+(``manifest_append``) and then checks the cancellation flag, so a
+cancelled run always leaves a well-formed manifest behind that
+:func:`repro.obs.resume_sweep` can pick up.  For the ensemble engine the
+groups are aligned to the runner's own ``ensemble_chunk`` boundaries —
+the chunk a replica lands in shapes its row-stacked RNG consumption, so
+group alignment is what keeps service runs bit-identical to library
+runs and to their own replays.
+
+Jobs run with ``processes=1`` (the *service* provides the concurrency —
+``workers`` jobs in flight at once); that keeps observers callable
+in-process and means every job shares the process-wide compiled-table
+memo and on-disk cache, compiling each protocol fingerprint once across
+requests (see the per-fingerprint lock in :mod:`repro.engine.compiled`).
+
+Progress, per-replica results, and observer grids are appended to an
+in-memory event list (mirrored to ``events.jsonl`` in the store) and
+published under a condition variable, so any number of streaming readers
+can follow a live job without polling.
+"""
+
+from __future__ import annotations
+
+import queue
+import threading
+import time
+import traceback
+from typing import Any, Dict, List, Optional
+
+from ..engine.replicas import DEFAULT_ENSEMBLE_CHUNK, run_replicas
+from .schema import ServiceError, SubmitRequest
+from .store import RunStore
+
+#: Job states; ``done``/``failed``/``cancelled`` are terminal.
+STATES = ("queued", "running", "done", "failed", "cancelled")
+TERMINAL = frozenset({"done", "failed", "cancelled"})
+
+
+class QueueFull(ServiceError):
+    """The submission queue is at capacity; retry after a beat."""
+
+    def __init__(self, retry_after: float):
+        super().__init__(
+            429,
+            "job queue is full; retry after {:g}s".format(retry_after),
+            retry_after=retry_after,
+        )
+        self.retry_after = retry_after
+
+
+class Job:
+    """One accepted sweep: state machine + event log + cancellation flag."""
+
+    def __init__(self, request: SubmitRequest, store: RunStore):
+        self.request = request
+        self.store = store
+        self.run_id: Optional[str] = None
+        self.state = "queued"
+        self._ready = threading.Event()  # run_id assigned, safe to execute
+        self._cancel = threading.Event()
+        self._cond = threading.Condition()
+        self._events: List[Dict[str, Any]] = []
+
+    # -- events ----------------------------------------------------------
+    def _emit(self, kind: str, **data: Any) -> None:
+        event = {"kind": kind}
+        event.update(data)
+        with self._cond:
+            event["seq"] = len(self._events)
+            self._events.append(event)
+            self._cond.notify_all()
+        self.store.append_event(self.run_id, event)
+
+    def events_since(self, start: int) -> List[Dict[str, Any]]:
+        with self._cond:
+            return list(self._events[start:])
+
+    def wait_events(self, start: int, timeout: float = 10.0) -> List[Dict[str, Any]]:
+        """Events past ``start``, blocking until some exist or terminal."""
+        deadline = time.monotonic() + timeout
+        with self._cond:
+            while len(self._events) <= start and self.state not in TERMINAL:
+                remaining = deadline - time.monotonic()
+                if remaining <= 0:
+                    break
+                self._cond.wait(remaining)
+            return list(self._events[start:])
+
+    # -- control ---------------------------------------------------------
+    def cancel(self) -> None:
+        self._cancel.set()
+        with self._cond:
+            self._cond.notify_all()
+
+    @property
+    def terminal(self) -> bool:
+        return self.state in TERMINAL
+
+    def _set_state(self, state: str, **fields: Any) -> None:
+        # the state flip and its event land under one lock acquisition, so
+        # a streaming reader never sees a terminal job without its final
+        # event and closes the stream early
+        event: Dict[str, Any] = {"kind": "state", "state": state}
+        event.update(fields)
+        with self._cond:
+            self.state = state
+            event["seq"] = len(self._events)
+            self._events.append(event)
+            self._cond.notify_all()
+        self.store.set_status(self.run_id, state, **fields)
+        self.store.append_event(self.run_id, event)
+
+    # -- execution -------------------------------------------------------
+    def _index_groups(self) -> List[List[int]]:
+        """Replica indices grouped into checkpoint/cancellation units.
+
+        Non-ensemble engines checkpoint per replica.  The ensemble engine
+        stacks rows, so its groups must match the chunks a plain
+        full-sweep call would form — ``ensemble_chunk``-sized runs from
+        index 0 — or the row-stacked RNG streams (and with them the
+        recorded results) would depend on where the service happened to
+        cut.
+        """
+        total = self.request.replicas
+        if self.request.config.engine == "ensemble":
+            chunk = self.request.config.ensemble_chunk or DEFAULT_ENSEMBLE_CHUNK
+        else:
+            chunk = 1
+        return [
+            list(range(start, min(start + chunk, total)))
+            for start in range(0, total, chunk)
+        ]
+
+    def _observer_for(self, replica: int):
+        """A grid observer streaming count snapshots as events."""
+        if not self.request.observe:
+            return None
+
+        def observer(t: float, population) -> None:
+            self._emit(
+                "grid",
+                replica=replica,
+                t=float(t),
+                counts={str(k): int(v) for k, v in population.counts.items()},
+            )
+
+        return observer
+
+    def execute(self) -> None:
+        if self._cancel.is_set():
+            self._set_state("cancelled", done=0)
+            return
+        self._set_state("running", started=time.time())
+        try:
+            self._execute()
+        except Exception as exc:  # noqa: BLE001 - job boundary
+            self._set_state(
+                "failed",
+                error="{}: {}".format(type(exc).__name__, exc),
+                trace=traceback.format_exc(limit=8),
+            )
+
+    def _execute(self) -> None:
+        request = self.request
+        workload = request.build_workload()
+        manifest = self.store.manifest_path(self.run_id)
+        meta = {
+            "workload": workload.spec(),
+            "service": {"run_id": self.run_id, "label": request.label},
+        }
+        done = 0
+        converged = 0
+        groups = self._index_groups()
+        for k, group in enumerate(groups):
+            if self._cancel.is_set():
+                self._set_state("cancelled", done=done, converged=converged)
+                return
+            run_kwargs = dict(request.run_kwargs)
+            observer = self._observer_for(group[0])
+            if observer is not None:
+                run_kwargs["observer"] = observer
+            rs = run_replicas(
+                workload.protocol,
+                workload.population,
+                replicas=request.replicas,
+                config=request.config,
+                seed=request.seed,
+                processes=1,
+                stop=workload.stop,
+                manifest=manifest,
+                manifest_meta=meta,
+                manifest_append=(k > 0),
+                indices=group,
+                **run_kwargs,
+            )
+            for record in rs:
+                done += 1
+                if record.converged:
+                    converged += 1
+                self._emit(
+                    "replica",
+                    index=record.index,
+                    rounds=record.rounds,
+                    interactions=record.interactions,
+                    converged=record.converged,
+                    status=record.status,
+                    engine=record.engine,
+                    wall=record.wall,
+                )
+            self._emit("progress", done=done, total=request.replicas)
+        if self._cancel.is_set() and done < request.replicas:
+            self._set_state("cancelled", done=done, converged=converged)
+            return
+        self._set_state("done", done=done, converged=converged)
+
+
+class JobQueue:
+    """Fixed worker pool + bounded submission queue with backpressure."""
+
+    def __init__(
+        self,
+        store: RunStore,
+        workers: int = 2,
+        capacity: int = 8,
+        retry_after: float = 1.0,
+    ):
+        if workers < 1:
+            raise ValueError("workers must be >= 1")
+        if capacity < 1:
+            raise ValueError("capacity must be >= 1")
+        self.store = store
+        self.workers = workers
+        self.capacity = capacity
+        self.retry_after = retry_after
+        self._queue: "queue.Queue[Optional[Job]]" = queue.Queue(maxsize=capacity)
+        self._jobs: Dict[str, Job] = {}
+        self._lock = threading.Lock()
+        self._threads = [
+            threading.Thread(
+                target=self._worker, name="repro-service-worker-%d" % k,
+                daemon=True,
+            )
+            for k in range(workers)
+        ]
+        for t in self._threads:
+            t.start()
+
+    # -- submission ------------------------------------------------------
+    def submit(self, request: SubmitRequest) -> Job:
+        """Queue a validated request; :class:`QueueFull` when at capacity.
+
+        The queue slot is claimed *before* the run directory is created,
+        so a rejected submission leaves no trace in the store.
+        """
+        job = Job(request, self.store)
+        try:
+            self._queue.put_nowait(job)
+        except queue.Full:
+            raise QueueFull(self.retry_after) from None
+        job.run_id = self.store.create(request)
+        with self._lock:
+            self._jobs[job.run_id] = job
+        job._ready.set()
+        return job
+
+    def get(self, run_id: str) -> Optional[Job]:
+        with self._lock:
+            return self._jobs.get(run_id)
+
+    def cancel(self, run_id: str) -> Dict[str, Any]:
+        """Request cancellation; returns the (possibly final) status."""
+        job = self.get(run_id)
+        if job is not None:
+            job.cancel()
+            return self.store.status(run_id)
+        # no live job (e.g. a run from a previous server process): settle
+        # a stale queued/running status so pollers terminate
+        status = self.store.status(run_id)
+        if status.get("state") not in TERMINAL:
+            status = self.store.set_status(run_id, "cancelled")
+        return status
+
+    def depth(self) -> int:
+        return self._queue.qsize()
+
+    # -- workers ---------------------------------------------------------
+    def _worker(self) -> None:
+        while True:
+            job = self._queue.get()
+            if job is None:
+                self._queue.task_done()
+                return
+            try:
+                job._ready.wait()
+                job.execute()
+            finally:
+                self._queue.task_done()
+
+    def shutdown(self, timeout: float = 10.0) -> None:
+        """Cancel live jobs and stop the workers (used by tests/serve)."""
+        with self._lock:
+            jobs = list(self._jobs.values())
+        for job in jobs:
+            job.cancel()
+        for _ in self._threads:
+            try:
+                self._queue.put(None, timeout=timeout)
+            except queue.Full:  # a worker is stuck; join below times out
+                break
+        for t in self._threads:
+            t.join(timeout=timeout)

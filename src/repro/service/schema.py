@@ -1,0 +1,195 @@
+"""Request validation for the simulation service.
+
+Submissions are plain JSON; this module turns them into a typed
+:class:`SubmitRequest` or a :class:`ServiceError` carrying the HTTP
+status the transport should answer with.  Engine configuration is not
+re-specified here — the payload's ``config`` object goes through
+:meth:`repro.EngineConfig.from_dict`, the same round-trip the manifest
+header uses, so anything the library accepts the service accepts (and
+anything else fails with a 400 naming the offending keys instead of
+surfacing later as a worker ``TypeError``).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Dict, Mapping, Optional
+
+from ..engine.config import EngineConfig
+from ..workloads import WORKLOADS, Workload, build_workload
+
+#: Hard ceiling on replicas per submission; sweeps beyond this belong in
+#: several runs (the queue schedules them fairly anyway).
+MAX_REPLICAS = 4096
+
+#: run_kwargs the service forwards to ``Engine.run``.  Everything else is
+#: rejected at submit time: observers are installed by the service itself
+#: (they are not JSON), and unknown knobs should fail the request, not
+#: the worker.
+RUN_KEYS = ("rounds", "interactions", "max_events", "observe_every")
+
+
+class ServiceError(Exception):
+    """A request the service refuses, with the HTTP status to answer."""
+
+    def __init__(self, status: int, message: str, **extra: Any):
+        super().__init__(message)
+        self.status = status
+        self.message = message
+        self.extra = extra
+
+    def payload(self) -> Dict[str, Any]:
+        out = {"error": self.message}
+        out.update(self.extra)
+        return out
+
+
+def _require(condition: bool, message: str) -> None:
+    if not condition:
+        raise ServiceError(400, message)
+
+
+@dataclass
+class SubmitRequest:
+    """A validated sweep submission.
+
+    ``workload``/``params`` name a :data:`repro.workloads.WORKLOADS`
+    entry; ``config`` is the typed engine configuration; ``run_kwargs``
+    are the whitelisted ``Engine.run`` knobs; ``observe`` asks the
+    service to stream the observer grid as events (non-ensemble engines
+    only — the ensemble engine rejects observers).
+    """
+
+    workload: str
+    params: Dict[str, Any] = field(default_factory=dict)
+    replicas: int = 1
+    seed: int = 0
+    config: EngineConfig = field(default_factory=EngineConfig)
+    run_kwargs: Dict[str, Any] = field(default_factory=dict)
+    observe: bool = False
+    label: Optional[str] = None
+
+    @classmethod
+    def from_payload(cls, payload: Any) -> "SubmitRequest":
+        _require(isinstance(payload, Mapping), "request body must be a JSON object")
+        data = dict(payload)
+
+        workload = data.pop("workload", None)
+        _require(
+            isinstance(workload, str) and workload in WORKLOADS,
+            "workload must be one of: {}".format(", ".join(sorted(WORKLOADS))),
+        )
+
+        params = data.pop("params", None) or {}
+        _require(isinstance(params, Mapping), "params must be a JSON object")
+        params = dict(params)
+
+        replicas = data.pop("replicas", 1)
+        _require(
+            isinstance(replicas, int) and not isinstance(replicas, bool)
+            and 1 <= replicas <= MAX_REPLICAS,
+            "replicas must be an integer in [1, {}]".format(MAX_REPLICAS),
+        )
+
+        seed = data.pop("seed", 0)
+        _require(
+            isinstance(seed, int) and not isinstance(seed, bool) and seed >= 0,
+            "seed must be a non-negative integer",
+        )
+
+        config_data = data.pop("config", None) or {}
+        _require(isinstance(config_data, Mapping), "config must be a JSON object")
+        try:
+            config = EngineConfig.from_dict(config_data)
+        except (TypeError, ValueError) as exc:
+            raise ServiceError(400, "bad config: {}".format(exc)) from exc
+        if config.extra:
+            raise ServiceError(
+                400,
+                "unknown config keys: {}".format(
+                    ", ".join(sorted(config.extra))
+                ),
+            )
+
+        run_kwargs = data.pop("run", None) or {}
+        _require(isinstance(run_kwargs, Mapping), "run must be a JSON object")
+        run_kwargs = dict(run_kwargs)
+        unknown = sorted(set(run_kwargs) - set(RUN_KEYS))
+        _require(
+            not unknown,
+            "unknown run keys: {} (allowed: {})".format(
+                ", ".join(unknown), ", ".join(RUN_KEYS)
+            ),
+        )
+        for key, value in run_kwargs.items():
+            _require(
+                isinstance(value, (int, float)) and not isinstance(value, bool)
+                and value > 0,
+                "run.{} must be a positive number".format(key),
+            )
+
+        observe = data.pop("observe", False)
+        _require(isinstance(observe, bool), "observe must be a boolean")
+        if observe:
+            _require(
+                config.engine != "ensemble",
+                "observe=true is not supported with the ensemble engine "
+                "(it has no per-interaction observer hook)",
+            )
+            run_kwargs.setdefault("observe_every", 1.0)
+
+        label = data.pop("label", None)
+        _require(
+            label is None or isinstance(label, str),
+            "label must be a string",
+        )
+
+        _require(
+            not data,
+            "unknown request keys: {}".format(", ".join(sorted(data))),
+        )
+
+        request = cls(
+            workload=workload, params=params, replicas=replicas, seed=seed,
+            config=config, run_kwargs=run_kwargs, observe=observe, label=label,
+        )
+        request.build_workload()  # validate the params eagerly (cheap: counts)
+        return request
+
+    def build_workload(self) -> Workload:
+        """The workload this request names; 400 on bad params."""
+        try:
+            return build_workload(self.workload, **self.params)
+        except (TypeError, ValueError) as exc:
+            raise ServiceError(
+                400, "bad workload params: {}".format(exc)
+            ) from exc
+
+    def as_dict(self) -> Dict[str, Any]:
+        """JSON form persisted as ``request.json`` in the run store."""
+        out: Dict[str, Any] = {
+            "workload": self.workload,
+            "params": dict(self.params),
+            "replicas": self.replicas,
+            "seed": self.seed,
+            "config": self.config.as_dict(),
+            "run": dict(self.run_kwargs),
+            "observe": self.observe,
+        }
+        if self.label is not None:
+            out["label"] = self.label
+        return out
+
+    @classmethod
+    def from_dict(cls, data: Mapping[str, Any]) -> "SubmitRequest":
+        """Rebuild from a persisted ``request.json`` (already validated)."""
+        return cls(
+            workload=data["workload"],
+            params=dict(data.get("params") or {}),
+            replicas=int(data.get("replicas", 1)),
+            seed=int(data.get("seed", 0)),
+            config=EngineConfig.from_dict(data.get("config")),
+            run_kwargs=dict(data.get("run") or {}),
+            observe=bool(data.get("observe", False)),
+            label=data.get("label"),
+        )

@@ -1,0 +1,164 @@
+"""Run-id-addressed persistence for service sweeps.
+
+Each submitted run owns one directory under the store root::
+
+    <root>/<run_id>/request.json    the validated submission (replayable)
+    <root>/<run_id>/status.json     queued|running|done|failed|cancelled
+    <root>/<run_id>/manifest.jsonl  the repro.obs run manifest (appended
+                                    group by group, so a cancelled run is
+                                    resumable with repro.obs.resume_sweep)
+    <root>/<run_id>/events.jsonl    the progress/grid event log the
+                                    streaming endpoint replays for
+                                    finished runs
+
+``status.json`` is published with the same write-to-temp + ``os.replace``
+dance the compiled-table cache uses, so a poller never reads a torn
+status.  Run ids are short hex tokens validated on every lookup — a
+request path can never escape the store root.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import re
+import secrets
+import tempfile
+import time
+from typing import Any, Dict, List, Optional
+
+from .schema import ServiceError, SubmitRequest
+
+_RUN_ID = re.compile(r"^[0-9a-f]{12}$")
+
+
+def _atomic_write(path: str, text: str) -> None:
+    directory = os.path.dirname(path)
+    handle, tmp = tempfile.mkstemp(dir=directory, suffix=".tmp")
+    try:
+        with os.fdopen(handle, "w") as fh:
+            fh.write(text)
+            fh.flush()
+            os.fsync(fh.fileno())
+        os.replace(tmp, path)
+    except BaseException:
+        try:
+            os.unlink(tmp)
+        except OSError:
+            pass
+        raise
+
+
+class RunStore:
+    """Filesystem-backed registry of service runs."""
+
+    def __init__(self, root: str):
+        self.root = os.path.abspath(root)
+        os.makedirs(self.root, exist_ok=True)
+
+    # -- paths ---------------------------------------------------------------
+    def run_dir(self, run_id: str) -> str:
+        if not _RUN_ID.match(run_id):
+            raise ServiceError(404, "no such run: {!r}".format(run_id))
+        return os.path.join(self.root, run_id)
+
+    def manifest_path(self, run_id: str) -> str:
+        return os.path.join(self.run_dir(run_id), "manifest.jsonl")
+
+    def events_path(self, run_id: str) -> str:
+        return os.path.join(self.run_dir(run_id), "events.jsonl")
+
+    def _status_path(self, run_id: str) -> str:
+        return os.path.join(self.run_dir(run_id), "status.json")
+
+    def _request_path(self, run_id: str) -> str:
+        return os.path.join(self.run_dir(run_id), "request.json")
+
+    # -- lifecycle -----------------------------------------------------------
+    def create(self, request: SubmitRequest) -> str:
+        """Allocate a run id, persist the request, mark it queued."""
+        while True:
+            run_id = secrets.token_hex(6)
+            path = os.path.join(self.root, run_id)
+            try:
+                os.mkdir(path)
+            except FileExistsError:  # pragma: no cover - 48-bit collision
+                continue
+            break
+        _atomic_write(
+            self._request_path(run_id),
+            json.dumps(request.as_dict(), sort_keys=True),
+        )
+        self.set_status(run_id, "queued", replicas=request.replicas)
+        return run_id
+
+    def set_status(self, run_id: str, state: str, **fields: Any) -> Dict[str, Any]:
+        """Publish ``status.json`` atomically, preserving unnamed fields."""
+        status = self.status(run_id) if self.exists(run_id) else {}
+        status.update(fields)
+        status["run_id"] = run_id
+        status["state"] = state
+        status["updated"] = time.time()
+        _atomic_write(self._status_path(run_id), json.dumps(status, sort_keys=True))
+        return status
+
+    # -- lookups -------------------------------------------------------------
+    def exists(self, run_id: str) -> bool:
+        try:
+            return os.path.exists(self._status_path(run_id))
+        except ServiceError:
+            return False
+
+    def status(self, run_id: str) -> Dict[str, Any]:
+        path = self._status_path(run_id)
+        if not os.path.exists(path):
+            raise ServiceError(404, "no such run: {!r}".format(run_id))
+        with open(path) as fh:
+            return json.load(fh)
+
+    def request(self, run_id: str) -> SubmitRequest:
+        path = self._request_path(run_id)
+        if not os.path.exists(path):
+            raise ServiceError(404, "no such run: {!r}".format(run_id))
+        with open(path) as fh:
+            return SubmitRequest.from_dict(json.load(fh))
+
+    def list_runs(self) -> List[Dict[str, Any]]:
+        """Statuses of every stored run, most recently updated first."""
+        out = []
+        for name in os.listdir(self.root):
+            if _RUN_ID.match(name) and self.exists(name):
+                out.append(self.status(name))
+        out.sort(key=lambda s: s.get("updated", 0.0), reverse=True)
+        return out
+
+    def read_events(self, run_id: str, start: int = 0) -> List[Dict[str, Any]]:
+        """Persisted events from index ``start`` (finished-run streaming)."""
+        path = self.events_path(run_id)
+        if not os.path.exists(path):
+            return []
+        out: List[Dict[str, Any]] = []
+        with open(path) as fh:
+            for k, line in enumerate(fh):
+                line = line.strip()
+                if k >= start and line:
+                    try:
+                        out.append(json.loads(line))
+                    except json.JSONDecodeError:
+                        break  # torn final line mid-crash; stop cleanly
+        return out
+
+    def append_event(self, run_id: str, event: Dict[str, Any]) -> None:
+        with open(self.events_path(run_id), "a") as fh:
+            fh.write(json.dumps(event, sort_keys=True) + "\n")
+            fh.flush()
+
+    def manifest_exists(self, run_id: str) -> bool:
+        return os.path.exists(self.manifest_path(run_id))
+
+    def read_manifest_text(self, run_id: str) -> Optional[str]:
+        path = self.manifest_path(run_id)
+        if not os.path.exists(path):
+            return None
+        with open(path) as fh:
+            return fh.read()

@@ -76,13 +76,32 @@ def _build_epidemic(n: int = 300, infected: int = 1):
     return protocol, population, all_infected
 
 
-def _build_leader(n: int = 300):
+def _build_leader(n: int = 300, leaders: int = None):
+    """Leader fight; ``leaders`` starts mid-fight with that many L agents.
+
+    The default (every agent a leader) is the paper's Theorem 3.1 setup;
+    an explicit ``leaders`` (e.g. 3 at n = 1e8) drops a run straight into
+    the sparse endgame, which is what the silence-floor regression tests
+    and the service smoke sweeps exercise without paying for the bulk of
+    the fight.
+    """
     schema = StateSchema()
     schema.flag("L")
     protocol = single_thread(
         "leader-fight", schema, [Rule(V("L"), V("L"), None, {"L": False})]
     )
-    population = Population.uniform(schema, n, {"L": True})
+    if leaders is None:
+        population = Population.uniform(schema, n, {"L": True})
+    else:
+        if not 1 <= leaders <= n:
+            raise ValueError(
+                "leaders must be in [1, n]; got leaders={} with n={}".format(
+                    leaders, n
+                )
+            )
+        population = Population.from_groups(
+            schema, [({"L": True}, leaders), ({"L": False}, n - leaders)]
+        )
     return protocol, population, unique_leader
 
 

@@ -10,6 +10,8 @@ import json
 import numpy as np
 import pytest
 
+from repro.core import V
+
 from repro import (
     build_workload,
     load_manifest,
@@ -217,3 +219,113 @@ class TestCli:
         ]) == 0
         assert main(["replay", path, "--index", "1"]) == 0
         assert "MATCH" in capsys.readouterr().out
+
+
+class TestFingerprintDiagnostics:
+    def test_mismatch_names_path_and_both_fingerprints(self, tmp_path):
+        from repro.engine.compiled import protocol_fingerprint
+        from repro.obs import verify_fingerprint
+
+        _, path, _ = sweep(tmp_path)
+        other = build_workload("leader", n=64)
+        manifest = load_manifest(path)
+        recorded = manifest.header["protocol"]["fingerprint"]
+        current = protocol_fingerprint(
+            other.protocol, other.population.counts.keys()
+        )
+        with pytest.raises(ValueError) as err:
+            verify_fingerprint(manifest, other.protocol, other.population)
+        message = str(err.value)
+        # a service stores many runs: the error must say which manifest,
+        # which fingerprints, and what each side actually was
+        assert path in message
+        assert recorded in message
+        assert current in message
+        assert "'epidemic'" in message  # the recorded run ...
+        assert "n=120" in message
+        assert "'leader-fight'" in message  # ... vs the freshly built one
+        assert "n=64" in message
+        assert "workload" in message  # the header's workload spec rides along
+        assert "check_fingerprint=False" in message
+
+    def test_replay_and_resume_surface_the_context(self, tmp_path):
+        from repro.obs import resume_sweep
+
+        _, path, _ = sweep(tmp_path)
+        other = build_workload("leader", n=64)
+        with pytest.raises(ValueError, match="n=64"):
+            replay_replica(
+                load_manifest(path), 0, protocol=other.protocol,
+                population=other.population, stop=other.stop,
+            )
+        with pytest.raises(ValueError, match=path.replace("\\", "\\\\")):
+            resume_sweep(
+                path, protocol=other.protocol,
+                population=other.population, stop=other.stop, processes=1,
+            )
+
+    def test_matching_fingerprint_passes(self, tmp_path):
+        from repro.obs import verify_fingerprint
+
+        workload, path, _ = sweep(tmp_path)
+        verify_fingerprint(
+            load_manifest(path), workload.protocol, workload.population
+        )
+
+
+class TestReplayObserver:
+    def observed_sweep(self, tmp_path, grid):
+        workload = build_workload("epidemic", n=150)
+        path = str(tmp_path / "observed.jsonl")
+        rs = run_replicas(
+            workload.protocol,
+            workload.population,
+            replicas=1,
+            engine="batch",
+            seed=11,
+            processes=1,
+            stop=workload.stop,
+            manifest=path,
+            manifest_meta={"workload": workload.spec()},
+            observer=lambda t, p: grid.append((t, p.count(V("I")))),
+            observe_every=0.5,
+        )
+        return workload, path, rs
+
+    def test_observer_passthrough_restores_bit_identity(self, tmp_path):
+        # observer presence arms the engines' observation grid and with it
+        # the batch boundaries, so a run recorded with an observer replays
+        # bit-identically only when the replay re-supplies one
+        original_grid = []
+        _, path, rs = self.observed_sweep(tmp_path, original_grid)
+        record = rs.records[0]
+        assert original_grid, "observer never fired"
+
+        replay_grid = []
+        fresh = replay_replica(
+            load_manifest(path), 0,
+            observer=lambda t, p: replay_grid.append((t, p.count(V("I")))),
+        )
+        assert fresh.interactions == record.interactions
+        assert fresh.rounds == record.rounds
+        assert fresh.converged == record.converged
+        assert replay_grid == original_grid
+
+    def test_ensemble_manifest_rejects_observer(self, tmp_path):
+        workload = build_workload("epidemic", n=80)
+        path = str(tmp_path / "ens.jsonl")
+        run_replicas(
+            workload.protocol,
+            workload.population,
+            replicas=2,
+            engine="ensemble",
+            seed=5,
+            processes=1,
+            stop=workload.stop,
+            manifest=path,
+            manifest_meta={"workload": workload.spec()},
+        )
+        with pytest.raises(ValueError, match="does not support observers"):
+            replay_replica(
+                load_manifest(path), 0, observer=lambda t, p: None
+            )
