@@ -1,0 +1,178 @@
+"""Chaos smoke for the service survivability layer (CI ``chaos-service``).
+
+Boots a **real** ``python -m repro serve`` process, submits a multi-chunk
+sweep over the wire with the retrying client, ``kill -KILL``\\ s the
+server between two checkpoint groups, restarts it on the same store, and
+asserts that the write-ahead journal recovery auto-resumes the run to a
+manifest **bit-identical** to an uninterrupted library control — then
+replays a replica recorded before the kill and one recorded after it
+through the HTTP replay endpoint.
+
+Exits nonzero on any mismatch; prints one summary line per phase.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import re
+import signal
+import subprocess
+import sys
+import tempfile
+import threading
+import time
+
+SRC = os.path.join(os.path.dirname(os.path.dirname(os.path.abspath(__file__))), "src")
+if SRC not in sys.path:
+    sys.path.insert(0, SRC)
+
+from repro import EngineConfig, build_workload, load_manifest, run_replicas  # noqa: E402
+from repro.faults import ServiceFaultPlan  # noqa: E402
+from repro.service.client import ServiceClient  # noqa: E402
+
+LABEL = "chaos-victim"
+
+
+def start_server(store: str, pause: float) -> tuple:
+    env = dict(os.environ)
+    env["PYTHONPATH"] = SRC + os.pathsep + env.get("PYTHONPATH", "")
+    env.update(ServiceFaultPlan(
+        pause_between_groups=pause, only_label=LABEL,
+    ).to_env())
+    proc = subprocess.Popen(
+        [sys.executable, "-m", "repro", "serve",
+         "--store", store, "--port", "0", "--workers", "1"],
+        stdout=subprocess.PIPE, stderr=subprocess.STDOUT, text=True, env=env,
+    )
+    lines: list = []
+    ready = threading.Event()
+    port: dict = {}
+
+    def pump() -> None:
+        for line in proc.stdout:
+            lines.append(line)
+            match = re.search(r"listening on http://[^:]+:(\d+)", line)
+            if match:
+                port["port"] = int(match.group(1))
+                ready.set()
+        ready.set()
+
+    threading.Thread(target=pump, daemon=True).start()
+    if not ready.wait(60.0) or "port" not in port:
+        proc.kill()
+        raise SystemExit("server never came up:\n" + "".join(lines))
+    return proc, port["port"]
+
+
+def wait_checkpoint(store: str, run_id: str, timeout: float = 60.0) -> bool:
+    path = os.path.join(store, run_id, "journal.jsonl")
+    deadline = time.monotonic() + timeout
+    while time.monotonic() < deadline:
+        if os.path.exists(path):
+            with open(path) as fh:
+                for line in fh:
+                    try:
+                        if json.loads(line).get("op") == "checkpoint":
+                            return True
+                    except json.JSONDecodeError:
+                        continue
+        time.sleep(0.05)
+    return False
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--n", type=int, default=500, help="population size")
+    parser.add_argument("--replicas", type=int, default=6)
+    parser.add_argument("--seed", type=int, default=7)
+    parser.add_argument("--pause", type=float, default=0.3,
+                        help="pause between checkpoint groups (the kill window)")
+    args = parser.parse_args()
+
+    spec = {
+        "workload": "epidemic", "params": {"n": args.n},
+        "replicas": args.replicas, "seed": args.seed,
+        "config": {"engine": "batch"}, "label": LABEL,
+    }
+
+    # the uninterrupted control, straight through the library
+    workload = build_workload("epidemic", n=args.n)
+    control = {
+        r.index: r for r in run_replicas(
+            workload.protocol, workload.population, replicas=args.replicas,
+            config=EngineConfig(engine="batch"), seed=args.seed,
+            processes=1, stop=workload.stop,
+        )
+    }
+    print("control: {} replicas run in-library".format(len(control)))
+
+    store = tempfile.mkdtemp(prefix="chaos-service-")
+    proc, port = start_server(store, args.pause)
+    try:
+        client = ServiceClient(port=port)
+        run_id = client.submit(spec)["run_id"]
+        print("submitted {} ({} replicas, paced {}s/group)".format(
+            run_id, args.replicas, args.pause))
+        if not wait_checkpoint(store, run_id):
+            raise SystemExit("no checkpoint ever journaled")
+        os.kill(proc.pid, signal.SIGKILL)
+        proc.wait(timeout=30)
+    finally:
+        proc.kill()
+
+    partial = load_manifest(os.path.join(store, run_id, "manifest.jsonl"))
+    if not 0 < len(partial) < args.replicas:
+        raise SystemExit(
+            "kill window missed: {} of {} replicas recorded".format(
+                len(partial), args.replicas
+            )
+        )
+    print("killed -9 mid-run: {} of {} replicas on disk".format(
+        len(partial), args.replicas))
+
+    proc, port = start_server(store, args.pause)
+    try:
+        client = ServiceClient(port=port)
+        final = client.wait(run_id, timeout=300)
+        if final["state"] != "done":
+            raise SystemExit("recovered run ended {!r}, not done".format(
+                final["state"]))
+        print("restart auto-resumed {} to done ({} replicas)".format(
+            run_id, final["done"]))
+
+        with tempfile.NamedTemporaryFile(
+            "w", suffix=".jsonl", delete=False
+        ) as fh:
+            fh.write(client.manifest_text(run_id))
+            served_path = fh.name
+        served = load_manifest(served_path)
+        mismatches = []
+        for index, record in control.items():
+            loaded = served.record(index)
+            if (loaded.interactions, loaded.rounds, loaded.converged) != (
+                record.interactions, record.rounds, record.converged
+            ):
+                mismatches.append(index)
+        if mismatches:
+            raise SystemExit(
+                "resumed manifest diverges from control at replicas {}".format(
+                    mismatches
+                )
+            )
+        print("manifest bit-identical to the uninterrupted control")
+
+        for index in (0, args.replicas - 1):
+            if client.replay(run_id, index)["match"] is not True:
+                raise SystemExit("replay diverged at replica {}".format(index))
+        print("replay endpoint: pre-kill and post-resume replicas both match")
+    finally:
+        proc.kill()
+        proc.wait(timeout=30)
+    print("chaos-service: PASS")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

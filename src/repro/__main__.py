@@ -332,8 +332,20 @@ def cmd_replay(args) -> int:
 
 
 def cmd_serve(args) -> int:
-    from .service import serve
+    from .service import QuotaSpec, serve
 
+    ceiling = QuotaSpec(
+        cpu_seconds=args.max_cpu_seconds,
+        memory_bytes=(
+            args.max_memory_mb * (1 << 20)
+            if args.max_memory_mb is not None else None
+        ),
+        wall_seconds=args.max_wall_seconds,
+        manifest_bytes=(
+            args.max_manifest_mb * (1 << 20)
+            if args.max_manifest_mb is not None else None
+        ),
+    )
     serve(
         args.store,
         host=args.host,
@@ -341,6 +353,11 @@ def cmd_serve(args) -> int:
         workers=args.workers,
         capacity=args.queue_size,
         retry_after=args.retry_after,
+        quota=ceiling,
+        sandbox=not args.no_sandbox,
+        recover=not args.no_recover,
+        drain_grace=args.drain_grace,
+        retries=args.job_retries,
     )
     return 0
 
@@ -517,6 +534,46 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument(
         "--retry-after", type=float, default=1.0,
         help="Retry-After seconds advertised under backpressure",
+    )
+    p.add_argument(
+        "--drain-grace", type=float, default=10.0,
+        help="seconds SIGTERM waits for running jobs to reach their next "
+        "checkpoint before hard-killing their sandboxes (default: 10)",
+    )
+    p.add_argument(
+        "--job-retries", type=int, default=1,
+        help="respawns granted to a crashed sandbox worker before the run "
+        "is marked failed (default: 1)",
+    )
+    p.add_argument(
+        "--max-cpu-seconds", type=float, default=None,
+        help="ceiling on per-job quota.cpu_seconds (RLIMIT_CPU in the "
+        "sandbox); requests above it are rejected 400",
+    )
+    p.add_argument(
+        "--max-memory-mb", type=int, default=None,
+        help="ceiling on per-job quota.memory_bytes, in MiB (RLIMIT_AS "
+        "in the sandbox)",
+    )
+    p.add_argument(
+        "--max-wall-seconds", type=float, default=None,
+        help="ceiling on per-job quota.wall_seconds (supervisor-side "
+        "kill deadline)",
+    )
+    p.add_argument(
+        "--max-manifest-mb", type=int, default=None,
+        help="ceiling on per-job quota.manifest_bytes, in MiB (checked "
+        "after every checkpoint group)",
+    )
+    p.add_argument(
+        "--no-sandbox", action="store_true",
+        help="run jobs in-process instead of sandbox subprocesses "
+        "(cpu/memory/wall quotas unenforceable; shared fate)",
+    )
+    p.add_argument(
+        "--no-recover", action="store_true",
+        help="skip the startup journal scan that re-enqueues interrupted "
+        "runs",
     )
     p.set_defaults(func=cmd_serve, stats_handled=True, stats=False)
 

@@ -37,9 +37,10 @@ retry/timeout bookkeeping without killing or stalling the test runner.
 from __future__ import annotations
 
 import copy
+import json
 import os
 import time
-from dataclasses import dataclass, field, replace
+from dataclasses import asdict, dataclass, field, replace
 from pathlib import Path
 from typing import Dict, List, Optional
 
@@ -196,3 +197,127 @@ class FaultPlan:
             or index in self.hang
             or index in self.corrupt_table
         )
+
+
+# ---------------------------------------------------------------------------
+# Service-level fault points (the sandbox / journal / quota layer)
+# ---------------------------------------------------------------------------
+
+#: Environment variable carrying a JSON-encoded :class:`ServiceFaultPlan`
+#: into the service's sandbox children (they inherit the server's env).
+SERVICE_FAULT_ENV = "REPRO_SERVICE_FAULTS"
+
+
+def tear_final_line(path) -> str:
+    """Truncate a JSONL file mid-way through its final line.
+
+    Reproduces the on-disk shape of a process killed while appending: the
+    last line loses its tail *and* its newline.  Journal/manifest/status
+    readers must treat the intact prefix as the checkpoint and drop the
+    torn line, never raise.  Returns ``path`` for chaining.
+    """
+    with open(path, "rb") as fh:
+        data = fh.read()
+    body = data.rstrip(b"\n")
+    cut = body.rfind(b"\n") + 1  # 0 when the file holds a single line
+    last = body[cut:]
+    with open(path, "wb") as fh:
+        fh.write(body[:cut] + last[: max(1, len(last) // 2)])
+    return str(path)
+
+
+@dataclass
+class ServiceFaultPlan:
+    """Deterministic fault points for the service survivability layer.
+
+    Travels to sandbox children via :data:`SERVICE_FAULT_ENV` (children
+    inherit the server environment), so chaos tests can steer a *real*
+    subprocess without patching anything inside it.  ``only_label``
+    scopes the plan to submissions carrying that label — a fault job and
+    a healthy control job can share one server.
+
+    * ``kill_after_group`` — ``os._exit(CRASH_EXIT_CODE)`` right after
+      the checkpoint for that group index is emitted: a worker dying
+      mid-checkpoint.  One-shot by construction — on resume the group is
+      already recorded, its checkpoint is never re-emitted, so the retry
+      completes.
+    * ``crash_on_start`` — ``os._exit(CRASH_EXIT_CODE)`` before any work
+      on *every* attempt: the persistent crash loop that must exhaust the
+      retry budget and settle as ``failed``.
+    * ``hog_memory_bytes`` — allocate this much heap (in steps) before
+      the first group: a quota breach under ``RLIMIT_AS``, an actual
+      allocation otherwise.
+    * ``spin_cpu_seconds`` — burn that much CPU time before the first
+      group: breaches ``RLIMIT_CPU`` quotas.
+    * ``sleep_seconds`` — sleep before the first group: breaches the
+      supervisor's wall-clock quota.
+    * ``pause_between_groups`` — sleep between checkpoint groups; not a
+      fault but a pacing knob, so kill/drain tests get a deterministic
+      window to strike in.
+    """
+
+    kill_after_group: Optional[int] = None
+    crash_on_start: bool = False
+    hog_memory_bytes: int = 0
+    spin_cpu_seconds: float = 0.0
+    sleep_seconds: float = 0.0
+    pause_between_groups: float = 0.0
+    only_label: Optional[str] = None
+
+    #: Step size of the memory hog (small enough to land close to any cap).
+    HOG_STEP = 1 << 26
+
+    def to_env(self) -> Dict[str, str]:
+        """The env-var dict that ships this plan to sandbox children."""
+        return {SERVICE_FAULT_ENV: json.dumps(asdict(self))}
+
+    @classmethod
+    def from_env(cls, environ=None) -> Optional["ServiceFaultPlan"]:
+        """The plan in ``environ`` (default ``os.environ``), else None."""
+        raw = (os.environ if environ is None else environ).get(SERVICE_FAULT_ENV)
+        if not raw:
+            return None
+        try:
+            return cls(**json.loads(raw))
+        except (TypeError, ValueError):
+            raise ValueError(
+                "{} holds an invalid ServiceFaultPlan: {!r}".format(
+                    SERVICE_FAULT_ENV, raw
+                )
+            )
+
+    def matches(self, label: Optional[str]) -> bool:
+        """Whether this plan applies to a job with the given label."""
+        return self.only_label is None or self.only_label == label
+
+    def apply_preamble(self) -> None:
+        """Hog / spin / sleep, in that order, before the first group.
+
+        The hog allocates incrementally and *keeps* the references, so
+        under an address-space rlimit it reliably raises ``MemoryError``
+        regardless of the interpreter's baseline footprint.
+        """
+        if self.crash_on_start:
+            os._exit(CRASH_EXIT_CODE)
+        if self.hog_memory_bytes > 0:
+            hog: List[bytearray] = []
+            remaining = self.hog_memory_bytes
+            while remaining > 0:
+                step = min(self.HOG_STEP, remaining)
+                hog.append(bytearray(step))
+                remaining -= step
+            self._hog = hog  # keep alive for the run
+        if self.spin_cpu_seconds > 0:
+            deadline = time.process_time() + self.spin_cpu_seconds
+            x = 0
+            while time.process_time() < deadline:
+                x = (x * 1103515245 + 12345) & 0x7FFFFFFF
+        if self.sleep_seconds > 0:
+            time.sleep(self.sleep_seconds)
+
+    def after_checkpoint(self, group: int) -> None:
+        """Kill/pause hook, called right after group ``group`` checkpoints."""
+        if self.kill_after_group is not None and group == self.kill_after_group:
+            os._exit(CRASH_EXIT_CODE)
+        if self.pause_between_groups > 0:
+            time.sleep(self.pause_between_groups)

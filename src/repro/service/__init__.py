@@ -3,14 +3,25 @@
 The library runs sweeps in-process; this package runs them *for remote
 callers*: submit a workload spec + engine config over HTTP, the request
 is validated (:mod:`repro.service.schema`), queued onto a bounded worker
-pool with backpressure (:mod:`repro.service.jobs`), executed through the
-same :func:`repro.engine.replicas.run_replicas` path the CLI uses —
-checkpointing a run manifest per job into a run-id-addressed store
-(:mod:`repro.service.store`) — and observed live over chunked-JSONL
-progress/grid streams (:mod:`repro.service.http` /
+pool with backpressure (:mod:`repro.service.jobs`), executed inside a
+supervised per-job sandbox subprocess under ``resource.setrlimit``
+quotas (:mod:`repro.service.sandbox`) through the same
+:func:`repro.engine.replicas.run_replicas` path the CLI uses —
+checkpointing a run manifest per job into a run-id-addressed store with
+a write-ahead journal (:mod:`repro.service.store`) — and observed live
+over chunked-JSONL progress/grid streams (:mod:`repro.service.http` /
 :mod:`repro.service.app`).  Any replica of any stored run replays
 bit-identically by run id, exactly like :func:`repro.obs.replay_replica`
 does locally.
+
+The service is built to survive: a ``kill -9`` of the server is repaired
+on the next boot (the journal scan re-enqueues every interrupted run,
+which resumes from its manifest checkpoint bit-identically), ``SIGTERM``
+drains gracefully, and a quota-breaching job dies alone as
+``status="killed"`` naming the violated limit.  The matching
+:class:`~repro.service.client.ServiceClient` retries with capped
+backoff, resumes event streams by cursor, and makes retried submits
+idempotent.
 
 Start a server with ``python -m repro serve`` (see ``docs/SERVICE.md``)
 or embed one::
@@ -21,16 +32,20 @@ or embed one::
 """
 
 from .app import ServiceApp, serve
+from .client import ServiceClient, ServiceClientError
 from .jobs import Job, JobQueue, QueueFull
-from .schema import ServiceError, SubmitRequest
+from .schema import QuotaSpec, ServiceError, SubmitRequest
 from .store import RunStore
 
 __all__ = [
     "Job",
     "JobQueue",
     "QueueFull",
+    "QuotaSpec",
     "RunStore",
     "ServiceApp",
+    "ServiceClient",
+    "ServiceClientError",
     "ServiceError",
     "SubmitRequest",
     "serve",

@@ -3,20 +3,41 @@
 Endpoints (all JSON; streams are chunked JSONL):
 
 ====== =============================== =========================================
-POST   ``/runs``                        submit a sweep → 202 + run id, or 429
-                                        (+ ``Retry-After``) under backpressure
+POST   ``/runs``                        submit a sweep → 202 + run id, 429
+                                        (+ ``Retry-After``) under backpressure,
+                                        503 (+ ``Retry-After``) while draining;
+                                        an ``Idempotency-Key`` header makes the
+                                        submit safely retryable (a duplicate
+                                        returns the original run, 200)
 GET    ``/runs``                        statuses of every stored run
 GET    ``/runs/{id}``                   one run's status + its stored request
 GET    ``/runs/{id}/events``            live progress/replica/grid event stream
-                                        (``?from=N`` resumes mid-stream; for
-                                        finished runs replays the event log)
+                                        (``?from=N`` resumes mid-stream — also
+                                        across server restarts; for finished
+                                        runs replays the event log)
 GET    ``/runs/{id}/manifest``          the raw run manifest (JSONL)
 GET    ``/runs/{id}/replay/{k}``        re-run replica ``k`` from its recorded
                                         seed and report bit-identity
 POST   ``/runs/{id}/cancel``            stop after the current index group,
                                         leaving a resumable manifest
-GET    ``/healthz``                     liveness + queue depth + workloads
+GET    ``/healthz``                     live readiness: queue depth, active
+                                        jobs, store disk usage, checkpoint age
+                                        (503 while draining)
 ====== =============================== =========================================
+
+Submissions may carry a ``quota`` object (``cpu_seconds``,
+``memory_bytes``, ``wall_seconds``, ``manifest_bytes``) bounded by the
+server's ``--max-*`` ceilings; each job then runs inside its own
+supervised sandbox subprocess under those limits (see
+:mod:`repro.service.sandbox`).
+
+Survivability: on startup the app scans the store's write-ahead journals
+and re-enqueues every run that still owes work — a ``kill -9`` of the
+server resumes mid-sweep, bit-identically, with no operator action.  On
+``SIGTERM`` the app stops accepting (503 + ``Retry-After``), lets
+running jobs reach their next checkpoint group, marks them
+``interrupted`` (the next boot picks them up) and exits within the
+drain grace.
 
 The replay endpoint is the service's correctness anchor: it drives the
 very same :func:`repro.obs.replay_replica` path the library exposes, so
@@ -27,13 +48,14 @@ of the local API.
 from __future__ import annotations
 
 import asyncio
+import signal
 import threading
 from typing import Any, AsyncIterator, Dict, Optional
 
 from ..workloads import WORKLOADS
 from .http import JsonResponse, Request, Router, StreamResponse, handle_connection
 from .jobs import TERMINAL, JobQueue
-from .schema import ServiceError, SubmitRequest
+from .schema import QuotaSpec, ServiceError, SubmitRequest
 from .store import RunStore
 
 #: Chunked event streams block at most this long per read before
@@ -50,12 +72,23 @@ class ServiceApp:
         workers: int = 2,
         capacity: int = 8,
         retry_after: float = 1.0,
+        quota: Optional[QuotaSpec] = None,
+        sandbox: bool = True,
+        recover: bool = True,
+        drain_grace: float = 10.0,
+        retries: int = 1,
     ):
         self.store = RunStore(store_root)
+        self.quota_ceiling = quota if quota is not None else QuotaSpec()
+        self.drain_grace = drain_grace
+        self.draining = False
+        self._drained = False
+        self._submit_lock = threading.Lock()
         self.jobs = JobQueue(
             self.store, workers=workers, capacity=capacity,
-            retry_after=retry_after,
+            retry_after=retry_after, sandbox=sandbox, retries=retries,
         )
+        self.recovered = self._recover() if recover else []
         self.router = Router()
         self.router.add("GET", "/healthz", self._healthz)
         self.router.add("POST", "/runs", self._submit)
@@ -66,27 +99,88 @@ class ServiceApp:
         self.router.add("GET", "/runs/{run_id}/replay/{index}", self._replay)
         self.router.add("POST", "/runs/{run_id}/cancel", self._cancel)
 
+    # -- crash recovery --------------------------------------------------
+    def _recover(self) -> list:
+        """Re-enqueue every stored run whose journal still owes work.
+
+        Stored quotas are clamped to *this* server's ceilings (limits may
+        have been lowered since the run was accepted).  Returns the
+        recovered run ids, in original submission order.
+        """
+        recovered = []
+        for run_id in self.store.scan_recoverable():
+            try:
+                request = self.store.request(run_id)
+            except ServiceError:
+                continue  # request.json never landed; nothing to resume
+            effective = request.quota.limited_by(self.quota_ceiling, clamp=True)
+            if self.jobs.enqueue_recovered(run_id, quota=effective) is not None:
+                recovered.append(run_id)
+        return recovered
+
     # -- handlers --------------------------------------------------------
     async def _healthz(self, request: Request) -> JsonResponse:
-        return JsonResponse({
-            "status": "ok",
+        loop = asyncio.get_running_loop()
+        store_bytes = await loop.run_in_executor(None, self.store.disk_usage)
+        payload = {
+            "status": "draining" if self.draining else "ok",
             "queue_depth": self.jobs.depth(),
+            "active_jobs": self.jobs.active(),
             "workers": self.jobs.workers,
             "capacity": self.jobs.capacity,
+            "store_bytes": store_bytes,
+            "last_checkpoint_age": self.jobs.last_checkpoint_age(),
             "workloads": sorted(WORKLOADS),
-        })
+        }
+        if self.draining:
+            return JsonResponse(
+                payload, status=503,
+                headers={"Retry-After": "{:g}".format(self.jobs.retry_after)},
+            )
+        return JsonResponse(payload)
 
     async def _submit(self, request: Request) -> JsonResponse:
+        if self.draining:
+            raise ServiceError(
+                503, "service is draining; resubmit to the next instance",
+                retry_after=self.jobs.retry_after,
+            )
         submission = SubmitRequest.from_payload(request.json())
-        job = self.jobs.submit(submission)  # QueueFull -> 429 upstream
-        return JsonResponse(
-            {
-                "run_id": job.run_id,
-                "state": job.state,
-                "replicas": submission.replicas,
-            },
-            status=202,
+        effective = submission.quota.limited_by(self.quota_ceiling)  # 400 if over
+        key = request.headers.get("idempotency-key")
+        loop = asyncio.get_running_loop()
+        return await loop.run_in_executor(
+            None, self._submit_sync, submission, effective, key
         )
+
+    def _submit_sync(
+        self,
+        submission: SubmitRequest,
+        effective: QuotaSpec,
+        key: Optional[str],
+    ) -> JsonResponse:
+        with self._submit_lock:
+            if key:
+                existing = self.store.idempotent_run(key)
+                if existing is not None and self.store.exists(existing):
+                    status = self.store.status(existing)
+                    return JsonResponse({
+                        "run_id": existing,
+                        "state": status.get("state"),
+                        "replicas": status.get("replicas"),
+                        "deduplicated": True,
+                    })
+            job = self.jobs.submit(submission, quota=effective)  # QueueFull -> 429
+            if key:
+                self.store.record_idempotent(key, job.run_id)
+        payload: Dict[str, Any] = {
+            "run_id": job.run_id,
+            "state": job.state,
+            "replicas": submission.replicas,
+        }
+        if effective.any():
+            payload["quota"] = effective.as_dict()
+        return JsonResponse(payload, status=202)
 
     async def _list_runs(self, request: Request) -> JsonResponse:
         loop = asyncio.get_running_loop()
@@ -205,6 +299,18 @@ class ServiceApp:
         status = await loop.run_in_executor(None, self.jobs.cancel, run_id)
         return JsonResponse(status)
 
+    # -- drain -----------------------------------------------------------
+    def begin_drain(self) -> None:
+        """Flip to draining: submissions answer 503, healthz reports it."""
+        self.draining = True
+
+    def drain(self) -> None:
+        """Full graceful drain (blocks up to the drain grace)."""
+        self.begin_drain()
+        if not self._drained:
+            self._drained = True
+            self.jobs.drain(grace=self.drain_grace)
+
     # -- serving ---------------------------------------------------------
     async def create_server(self, host: str, port: int) -> asyncio.AbstractServer:
         return await asyncio.start_server(
@@ -212,21 +318,46 @@ class ServiceApp:
         )
 
     def serve(self, host: str = "127.0.0.1", port: int = 8765) -> None:
-        """Serve until interrupted (the ``python -m repro serve`` loop)."""
+        """Serve until SIGTERM (graceful drain) or KeyboardInterrupt."""
 
         async def _run() -> None:
             server = await self.create_server(host, port)
             addr = server.sockets[0].getsockname()
-            print("repro service listening on http://{}:{}".format(*addr[:2]))
+            print(
+                "repro service listening on http://{}:{}".format(*addr[:2]),
+                flush=True,
+            )
+            loop = asyncio.get_running_loop()
+            drained = loop.create_future()
+
+            def on_sigterm() -> None:
+                if not self.draining:
+                    self.begin_drain()
+                    print("repro service draining (SIGTERM)", flush=True)
+                    # keep serving (503s + status polls) while jobs drain
+                    task = loop.run_in_executor(None, self.drain)
+                    task.add_done_callback(
+                        lambda _f: drained.done() or drained.set_result(None)
+                    )
+
+            try:
+                loop.add_signal_handler(signal.SIGTERM, on_sigterm)
+            except (NotImplementedError, RuntimeError):  # pragma: no cover
+                pass  # non-unix event loop: ctrl-c shutdown only
             async with server:
-                await server.serve_forever()
+                forever = asyncio.ensure_future(server.serve_forever())
+                await asyncio.wait(
+                    {forever, drained}, return_when=asyncio.FIRST_COMPLETED
+                )
+                forever.cancel()
 
         try:
             asyncio.run(_run())
         except KeyboardInterrupt:
             pass
         finally:
-            self.jobs.shutdown()
+            if not self._drained:
+                self.jobs.shutdown()
 
     def start_background(
         self, host: str = "127.0.0.1", port: int = 0
@@ -291,9 +422,15 @@ def serve(
     workers: int = 2,
     capacity: int = 8,
     retry_after: float = 1.0,
+    quota: Optional[QuotaSpec] = None,
+    sandbox: bool = True,
+    recover: bool = True,
+    drain_grace: float = 10.0,
+    retries: int = 1,
 ) -> None:
     """Build a :class:`ServiceApp` and serve it (CLI entry point)."""
     ServiceApp(
         store_root, workers=workers, capacity=capacity,
-        retry_after=retry_after,
+        retry_after=retry_after, quota=quota, sandbox=sandbox,
+        recover=recover, drain_grace=drain_grace, retries=retries,
     ).serve(host=host, port=port)

@@ -1,0 +1,300 @@
+"""A retrying, resuming client for the simulation service.
+
+Pure stdlib (``http.client`` + ``json``), importable without numpy or
+the engine stack — suitable for thin orchestration scripts that only
+talk to a remote service.
+
+Retry discipline
+----------------
+
+Transient failures — a connection refused while the server restarts,
+``429`` backpressure, ``503`` drain — are retried with capped
+exponential backoff plus jitter; when the response carries a
+``Retry-After`` header, that wins over the computed delay.  Anything
+else (4xx validation errors, 500s) raises :class:`ServiceClientError`
+immediately: those are not transient.
+
+Retried **submits do not duplicate runs**: every ``submit`` carries an
+``Idempotency-Key`` header (a fresh UUID unless the caller pins one),
+and the server returns the original run for a key it has seen —
+essential when a submit times out *after* the server accepted it.
+
+Event streams **resume instead of restarting**: :meth:`events` tracks
+the last seen ``seq`` and reconnects with ``?from=cursor``, so a dropped
+connection (or a server crash + recovery) costs no events and repeats
+none.  Because the server persists event logs and the recovered job
+continues the sequence, a cursor remains valid across a server restart.
+"""
+
+from __future__ import annotations
+
+import http.client
+import json
+import random
+import time
+import uuid
+from typing import Any, Callable, Dict, Iterator, List, Optional, Tuple
+
+#: Statuses worth retrying: the server told us to come back.
+RETRY_STATUSES = frozenset({429, 503})
+
+#: Terminal run states (mirrors ``repro.service.jobs.TERMINAL``; kept
+#: literal so the client stays importable without the engine stack).
+TERMINAL_STATES = frozenset({"done", "failed", "cancelled", "killed"})
+
+
+class ServiceClientError(Exception):
+    """A non-retryable (or retry-exhausted) service response."""
+
+    def __init__(self, status: int, payload: Any):
+        message = payload.get("error") if isinstance(payload, dict) else None
+        super().__init__(
+            "HTTP {}: {}".format(status, message or payload)
+        )
+        self.status = status
+        self.payload = payload
+
+
+class ServiceClient:
+    """Talks to one service instance with retries, backoff and resume."""
+
+    def __init__(
+        self,
+        host: str = "127.0.0.1",
+        port: int = 8765,
+        retries: int = 5,
+        backoff_base: float = 0.2,
+        backoff_cap: float = 5.0,
+        jitter: float = 0.5,
+        timeout: float = 30.0,
+        sleep: Callable[[float], None] = time.sleep,
+        rng: Optional[random.Random] = None,
+    ):
+        self.host = host
+        self.port = port
+        self.retries = retries
+        self.backoff_base = backoff_base
+        self.backoff_cap = backoff_cap
+        self.jitter = jitter
+        self.timeout = timeout
+        self._sleep = sleep
+        self._rng = rng if rng is not None else random.Random()
+
+    # -- transport -------------------------------------------------------
+    def _backoff(self, attempt: int, retry_after: Optional[float]) -> float:
+        """The delay before retry ``attempt`` (0-based); Retry-After wins."""
+        if retry_after is not None:
+            return retry_after
+        delay = min(self.backoff_cap, self.backoff_base * (2 ** attempt))
+        return delay * (1.0 + self.jitter * self._rng.random())
+
+    def _once(
+        self,
+        method: str,
+        path: str,
+        body: Optional[Dict[str, Any]] = None,
+        headers: Optional[Dict[str, str]] = None,
+    ) -> Tuple[int, Dict[str, str], bytes]:
+        conn = http.client.HTTPConnection(
+            self.host, self.port, timeout=self.timeout
+        )
+        try:
+            payload = None
+            send_headers = dict(headers or {})
+            if body is not None:
+                payload = json.dumps(body).encode("utf-8")
+                send_headers["Content-Type"] = "application/json"
+            conn.request(method, path, body=payload, headers=send_headers)
+            response = conn.getresponse()
+            data = response.read()
+            resp_headers = {
+                name.lower(): value for name, value in response.getheaders()
+            }
+            return response.status, resp_headers, data
+        finally:
+            conn.close()
+
+    def _request(
+        self,
+        method: str,
+        path: str,
+        body: Optional[Dict[str, Any]] = None,
+        headers: Optional[Dict[str, str]] = None,
+        retries: Optional[int] = None,
+    ) -> Any:
+        """One JSON request with the retry discipline applied."""
+        budget = self.retries if retries is None else retries
+        attempt = 0
+        while True:
+            retry_after: Optional[float] = None
+            try:
+                status, resp_headers, data = self._once(
+                    method, path, body=body, headers=headers
+                )
+            except (ConnectionError, OSError, http.client.HTTPException):
+                status, data = None, b""
+            else:
+                if status not in RETRY_STATUSES:
+                    payload = self._decode(data)
+                    if status >= 400:
+                        raise ServiceClientError(status, payload)
+                    return payload
+                raw = resp_headers.get("retry-after")
+                if raw is not None:
+                    try:
+                        retry_after = float(raw)
+                    except ValueError:
+                        retry_after = None
+            if attempt >= budget:
+                if status is None:
+                    raise ServiceClientError(
+                        0, {"error": "connection to {}:{} failed after {} "
+                            "attempts".format(self.host, self.port, budget + 1)}
+                    )
+                raise ServiceClientError(status, self._decode(data))
+            self._sleep(self._backoff(attempt, retry_after))
+            attempt += 1
+
+    @staticmethod
+    def _decode(data: bytes) -> Any:
+        if not data:
+            return {}
+        try:
+            return json.loads(data.decode("utf-8"))
+        except (UnicodeDecodeError, json.JSONDecodeError):
+            return {"error": data.decode("utf-8", "replace")[:500]}
+
+    # -- API -------------------------------------------------------------
+    def submit(
+        self,
+        body: Dict[str, Any],
+        idempotency_key: Optional[str] = None,
+    ) -> Dict[str, Any]:
+        """Submit a sweep; retried safely via an ``Idempotency-Key``.
+
+        The key defaults to a fresh UUID, so *this* call's retries can
+        never create duplicate runs; pin a key yourself to make distinct
+        calls idempotent too (e.g. one key per nightly sweep).
+        """
+        key = idempotency_key or uuid.uuid4().hex
+        return self._request(
+            "POST", "/runs", body=body, headers={"Idempotency-Key": key}
+        )
+
+    def status(self, run_id: str) -> Dict[str, Any]:
+        return self._request("GET", "/runs/{}".format(run_id))
+
+    def runs(self) -> List[Dict[str, Any]]:
+        return self._request("GET", "/runs").get("runs", [])
+
+    def cancel(self, run_id: str) -> Dict[str, Any]:
+        return self._request("POST", "/runs/{}/cancel".format(run_id))
+
+    def replay(self, run_id: str, index: int) -> Dict[str, Any]:
+        return self._request(
+            "GET", "/runs/{}/replay/{}".format(run_id, index)
+        )
+
+    def health(self) -> Dict[str, Any]:
+        """One unretried ``/healthz`` probe (health checks never wait)."""
+        status, _headers, data = self._once("GET", "/healthz")
+        payload = self._decode(data)
+        if isinstance(payload, dict):
+            payload.setdefault("status", "unknown")
+            payload["http_status"] = status
+        return payload
+
+    def manifest_text(self, run_id: str) -> str:
+        status, _headers, data = self._once(
+            "GET", "/runs/{}/manifest".format(run_id)
+        )
+        if status >= 400:
+            raise ServiceClientError(status, self._decode(data))
+        return data.decode("utf-8")
+
+    def wait(
+        self, run_id: str, timeout: float = 300.0, poll: float = 0.2
+    ) -> Dict[str, Any]:
+        """Poll until the run reaches a terminal state (or timeout)."""
+        deadline = time.monotonic() + timeout
+        while True:
+            status = self.status(run_id)
+            if status.get("state") in TERMINAL_STATES:
+                return status
+            if time.monotonic() >= deadline:
+                raise TimeoutError(
+                    "run {} still {} after {:g}s".format(
+                        run_id, status.get("state"), timeout
+                    )
+                )
+            self._sleep(poll)
+
+    def events(
+        self,
+        run_id: str,
+        start: int = 0,
+        follow: bool = True,
+    ) -> Iterator[Dict[str, Any]]:
+        """Stream a run's events, resuming across dropped connections.
+
+        Tracks the highest ``seq`` seen and reconnects with
+        ``?from=cursor``, so each event is yielded exactly once even when
+        the connection (or the whole server) goes away mid-stream.  With
+        ``follow=True`` keeps reconnecting until the run is terminal and
+        the stream is exhausted.
+        """
+        cursor = start
+        attempt = 0
+        while True:
+            try:
+                for event in self._stream_once(run_id, cursor):
+                    attempt = 0  # progress resets the retry budget
+                    seq = event.get("seq")
+                    if isinstance(seq, int):
+                        if seq < cursor:
+                            continue  # an overlap after reconnect; drop it
+                        cursor = seq + 1
+                    else:
+                        cursor += 1
+                    yield event
+            except (ConnectionError, OSError, http.client.HTTPException):
+                if attempt >= self.retries:
+                    raise
+                self._sleep(self._backoff(attempt, None))
+                attempt += 1
+                continue
+            if not follow:
+                return
+            state = self.status(run_id).get("state")
+            if state in TERMINAL_STATES or state == "interrupted":
+                return
+            # stream closed but the run lives on (e.g. recovered job not
+            # yet re-registered); back off and reattach at the cursor
+            if attempt >= self.retries:
+                return
+            self._sleep(self._backoff(attempt, None))
+            attempt += 1
+
+    def _stream_once(self, run_id: str, cursor: int) -> Iterator[Dict[str, Any]]:
+        conn = http.client.HTTPConnection(
+            self.host, self.port, timeout=self.timeout
+        )
+        try:
+            conn.request(
+                "GET", "/runs/{}/events?from={}".format(run_id, cursor)
+            )
+            response = conn.getresponse()
+            if response.status >= 400:
+                raise ServiceClientError(
+                    response.status, self._decode(response.read())
+                )
+            for raw in response:
+                line = raw.strip()
+                if not line:
+                    continue
+                try:
+                    yield json.loads(line.decode("utf-8"))
+                except (UnicodeDecodeError, json.JSONDecodeError):
+                    continue  # a torn line from a dying server
+        finally:
+            conn.close()

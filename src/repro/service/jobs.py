@@ -1,4 +1,4 @@
-"""Bounded job queue driving the supervised replica pool.
+"""Bounded job queue driving supervised sandbox subprocesses.
 
 A :class:`JobQueue` owns a fixed pool of worker threads and a bounded
 submission queue; when the queue is full, :meth:`JobQueue.submit` raises
@@ -6,44 +6,61 @@ submission queue; when the queue is full, :meth:`JobQueue.submit` raises
 answers with ``429`` + ``Retry-After`` — callers see backpressure, not
 latency.
 
-Each accepted submission becomes a :class:`Job` that executes the sweep
-through :func:`repro.engine.replicas.run_replicas` in *index groups*:
-every group appends its records to the run manifest
-(``manifest_append``) and then checks the cancellation flag, so a
-cancelled run always leaves a well-formed manifest behind that
-:func:`repro.obs.resume_sweep` can pick up.  For the ensemble engine the
-groups are aligned to the runner's own ``ensemble_chunk`` boundaries —
-the chunk a replica lands in shapes its row-stacked RNG consumption, so
-group alignment is what keeps service runs bit-identical to library
-runs and to their own replays.
+Each accepted submission becomes a :class:`Job`.  By default the job
+executes in a supervised **sandbox subprocess**
+(:mod:`repro.service.sandbox`): the child applies the job's quota via
+``resource.setrlimit``, runs the sweep through
+:func:`repro.engine.replicas.run_replicas` in *checkpoint groups* (for
+the ensemble engine, aligned to the runner's own ``ensemble_chunk``
+boundaries so service runs stay bit-identical to library runs), appends
+each group to the run manifest, and streams its events back over a pipe.
+A quota breach surfaces as ``status="killed"`` naming the violated
+limit; an unexpected child death is retried (the respawn resumes from
+the manifest checkpoint, bit-identically) and, if retries are exhausted,
+recorded as ``failed`` — the server itself never goes down with a job.
+``sandbox=False`` keeps the legacy in-process execution (used by tests
+that gate ``run_replicas`` and by embedders who accept shared fate).
 
-Jobs run with ``processes=1`` (the *service* provides the concurrency —
-``workers`` jobs in flight at once); that keeps observers callable
-in-process and means every job shares the process-wide compiled-table
-memo and on-disk cache, compiling each protocol fingerprint once across
-requests (see the per-fingerprint lock in :mod:`repro.engine.compiled`).
+Every state transition is **journaled write-ahead** (``journal.jsonl``,
+fsynced) before the status is published: accepted → started →
+checkpoint* → done/failed/cancelled/killed, with ``retry``/``recovered``
+/``interrupted`` marking the survivability paths.  On startup
+:meth:`JobQueue.enqueue_recovered` re-admits every run the journal says
+still owes work; graceful drain (:meth:`JobQueue.drain`) SIGTERMs the
+sandbox children so running jobs stop at their next checkpoint group as
+``interrupted``, which the next boot resumes.
 
 Progress, per-replica results, and observer grids are appended to an
-in-memory event list (mirrored to ``events.jsonl`` in the store) and
-published under a condition variable, so any number of streaming readers
-can follow a live job without polling.
+in-memory event list (mirrored to ``events.jsonl`` in the store; a
+recovered job preloads the persisted events so stream cursors span
+restarts) and published under a condition variable, so any number of
+streaming readers can follow a live job without polling.
 """
 
 from __future__ import annotations
 
 import queue
+import subprocess
 import threading
 import time
 import traceback
 from typing import Any, Dict, List, Optional
 
-from ..engine.replicas import DEFAULT_ENSEMBLE_CHUNK, run_replicas
-from .schema import ServiceError, SubmitRequest
+from . import sandbox
+from .schema import QuotaSpec, ServiceError, SubmitRequest
 from .store import RunStore
 
-#: Job states; ``done``/``failed``/``cancelled`` are terminal.
-STATES = ("queued", "running", "done", "failed", "cancelled")
-TERMINAL = frozenset({"done", "failed", "cancelled"})
+#: Job states; ``done``/``failed``/``cancelled``/``killed`` are terminal.
+#: ``interrupted`` (crash/drain) means the run still owes work and will
+#: be re-enqueued by the next server boot.
+STATES = (
+    "queued", "running", "interrupted",
+    "done", "failed", "cancelled", "killed",
+)
+TERMINAL = frozenset({"done", "failed", "cancelled", "killed"})
+
+#: State -> write-ahead journal op (identity except for ``running``).
+_JOURNAL_OPS = {"running": "started"}
 
 
 class QueueFull(ServiceError):
@@ -59,22 +76,39 @@ class QueueFull(ServiceError):
 
 
 class Job:
-    """One accepted sweep: state machine + event log + cancellation flag."""
+    """One accepted sweep: state machine + event log + control flags."""
 
-    def __init__(self, request: SubmitRequest, store: RunStore):
+    def __init__(
+        self,
+        request: SubmitRequest,
+        store: RunStore,
+        quota: Optional[QuotaSpec] = None,
+        run_id: Optional[str] = None,
+        resume: bool = False,
+    ):
         self.request = request
         self.store = store
-        self.run_id: Optional[str] = None
+        self.quota = quota if quota is not None else request.quota
+        self.resume = resume
+        self.run_id: Optional[str] = run_id
         self.state = "queued"
         self._ready = threading.Event()  # run_id assigned, safe to execute
         self._cancel = threading.Event()
+        self._drain = threading.Event()
         self._cond = threading.Condition()
+        self._child: Optional[subprocess.Popen] = None
+        self._child_lock = threading.Lock()
+        self.on_checkpoint = lambda event: None  # set by the owning queue
         self._events: List[Dict[str, Any]] = []
+        if resume and run_id is not None:
+            # continue the persisted event sequence across the restart,
+            # so ?from= stream cursors survive a server crash
+            self._events = store.read_events(run_id)
+            self._ready.set()
 
     # -- events ----------------------------------------------------------
-    def _emit(self, kind: str, **data: Any) -> None:
-        event = {"kind": kind}
-        event.update(data)
+    def _emit(self, event: Dict[str, Any]) -> None:
+        event = dict(event)
         with self._cond:
             event["seq"] = len(self._events)
             self._events.append(event)
@@ -89,7 +123,7 @@ class Job:
         """Events past ``start``, blocking until some exist or terminal."""
         deadline = time.monotonic() + timeout
         with self._cond:
-            while len(self._events) <= start and self.state not in TERMINAL:
+            while len(self._events) <= start and not self._finished():
                 remaining = deadline - time.monotonic()
                 if remaining <= 0:
                     break
@@ -99,17 +133,54 @@ class Job:
     # -- control ---------------------------------------------------------
     def cancel(self) -> None:
         self._cancel.set()
+        self._signal_child(terminate=True)
         with self._cond:
             self._cond.notify_all()
 
+    def drain(self) -> None:
+        """Ask the job to stop at its next checkpoint group (resumable)."""
+        self._drain.set()
+        self._signal_child(terminate=True)
+
+    def kill(self) -> None:
+        """Hard-stop the sandbox child (drain deadline enforcement)."""
+        self._drain.set()
+        self._signal_child(terminate=False)
+
+    def _signal_child(self, terminate: bool) -> None:
+        with self._child_lock:
+            proc = self._child
+            if proc is None:
+                return
+            try:
+                proc.terminate() if terminate else proc.kill()
+            except OSError:
+                pass
+
+    def _attach_child(self, proc: Optional[subprocess.Popen]) -> None:
+        with self._child_lock:
+            self._child = proc
+            if proc is not None and (self._cancel.is_set() or self._drain.is_set()):
+                try:
+                    proc.terminate()
+                except OSError:
+                    pass
+
+    def _finished(self) -> bool:
+        return self.state in TERMINAL or self.state == "interrupted"
+
     @property
     def terminal(self) -> bool:
-        return self.state in TERMINAL
+        return self._finished()
 
     def _set_state(self, state: str, **fields: Any) -> None:
-        # the state flip and its event land under one lock acquisition, so
-        # a streaming reader never sees a terminal job without its final
-        # event and closes the stream early
+        # the journal entry lands first (write-ahead), then the state flip
+        # and its event under one lock acquisition, so a streaming reader
+        # never sees a terminal job without its final event and closes
+        # the stream early
+        self.store.append_journal(
+            self.run_id, _JOURNAL_OPS.get(state, state), **fields
+        )
         event: Dict[str, Any] = {"kind": "state", "state": state}
         event.update(fields)
         with self._cond:
@@ -121,107 +192,101 @@ class Job:
         self.store.append_event(self.run_id, event)
 
     # -- execution -------------------------------------------------------
-    def _index_groups(self) -> List[List[int]]:
-        """Replica indices grouped into checkpoint/cancellation units.
-
-        Non-ensemble engines checkpoint per replica.  The ensemble engine
-        stacks rows, so its groups must match the chunks a plain
-        full-sweep call would form — ``ensemble_chunk``-sized runs from
-        index 0 — or the row-stacked RNG streams (and with them the
-        recorded results) would depend on where the service happened to
-        cut.
-        """
-        total = self.request.replicas
-        if self.request.config.engine == "ensemble":
-            chunk = self.request.config.ensemble_chunk or DEFAULT_ENSEMBLE_CHUNK
-        else:
-            chunk = 1
-        return [
-            list(range(start, min(start + chunk, total)))
-            for start in range(0, total, chunk)
-        ]
-
-    def _observer_for(self, replica: int):
-        """A grid observer streaming count snapshots as events."""
-        if not self.request.observe:
-            return None
-
-        def observer(t: float, population) -> None:
-            self._emit(
-                "grid",
-                replica=replica,
-                t=float(t),
-                counts={str(k): int(v) for k, v in population.counts.items()},
-            )
-
-        return observer
-
-    def execute(self) -> None:
+    def execute(self, use_sandbox: bool = True, retries: int = 1) -> None:
         if self._cancel.is_set():
             self._set_state("cancelled", done=0)
             return
         self._set_state("running", started=time.time())
         try:
-            self._execute()
+            outcome = self._attempts(use_sandbox, retries)
         except Exception as exc:  # noqa: BLE001 - job boundary
-            self._set_state(
-                "failed",
-                error="{}: {}".format(type(exc).__name__, exc),
-                trace=traceback.format_exc(limit=8),
-            )
+            outcome = {
+                "status": "failed",
+                "error": "{}: {}".format(type(exc).__name__, exc),
+                "trace": traceback.format_exc(limit=8),
+            }
+        self._settle(outcome)
 
-    def _execute(self) -> None:
-        request = self.request
-        workload = request.build_workload()
-        manifest = self.store.manifest_path(self.run_id)
-        meta = {
-            "workload": workload.spec(),
-            "service": {"run_id": self.run_id, "label": request.label},
-        }
-        done = 0
-        converged = 0
-        groups = self._index_groups()
-        for k, group in enumerate(groups):
-            if self._cancel.is_set():
-                self._set_state("cancelled", done=done, converged=converged)
-                return
-            run_kwargs = dict(request.run_kwargs)
-            observer = self._observer_for(group[0])
-            if observer is not None:
-                run_kwargs["observer"] = observer
-            rs = run_replicas(
-                workload.protocol,
-                workload.population,
-                replicas=request.replicas,
-                config=request.config,
-                seed=request.seed,
-                processes=1,
-                stop=workload.stop,
-                manifest=manifest,
-                manifest_meta=meta,
-                manifest_append=(k > 0),
-                indices=group,
-                **run_kwargs,
+    def _attempts(self, use_sandbox: bool, retries: int) -> Dict[str, Any]:
+        attempt = 0
+        while True:
+            outcome = self._run_once(use_sandbox)
+            crashed = (
+                outcome["status"] == "interrupted"
+                and outcome.get("reason") == "worker-crash"
             )
-            for record in rs:
-                done += 1
-                if record.converged:
-                    converged += 1
-                self._emit(
-                    "replica",
-                    index=record.index,
-                    rounds=record.rounds,
-                    interactions=record.interactions,
-                    converged=record.converged,
-                    status=record.status,
-                    engine=record.engine,
-                    wall=record.wall,
+            if (
+                crashed
+                and attempt < retries
+                and not self._cancel.is_set()
+                and not self._drain.is_set()
+            ):
+                attempt += 1
+                self.store.append_journal(
+                    self.run_id, "retry",
+                    attempt=attempt, exit_code=outcome.get("exit_code"),
                 )
-            self._emit("progress", done=done, total=request.replicas)
-        if self._cancel.is_set() and done < request.replicas:
-            self._set_state("cancelled", done=done, converged=converged)
-            return
-        self._set_state("done", done=done, converged=converged)
+                continue  # the respawn resumes from the manifest checkpoint
+            return outcome
+
+    def _run_once(self, use_sandbox: bool) -> Dict[str, Any]:
+        def emit(event: Dict[str, Any]) -> None:
+            self._emit(event)
+            if event.get("kind") == "checkpoint":
+                self.store.append_journal(
+                    self.run_id, "checkpoint",
+                    group=event.get("group"), done=event.get("done"),
+                )
+                self.on_checkpoint(event)
+
+        if use_sandbox:
+            return sandbox.run_sandboxed(
+                self.store, self.run_id, self.quota,
+                emit=emit, attach=self._attach_child,
+            )
+        # in-process fallback: shared fate with the server, cpu/memory/wall
+        # quotas unenforceable (the manifest cap still applies)
+        return sandbox.execute_groups(
+            self.request, self.run_id, self.store,
+            emit=emit,
+            should_stop=lambda: self._cancel.is_set() or self._drain.is_set(),
+            quota=self.quota,
+        )
+
+    def _settle(self, outcome: Dict[str, Any]) -> None:
+        status = outcome.get("status")
+        fields = {
+            key: value
+            for key, value in outcome.items()
+            if key not in ("status", "reason", "injected")
+        }
+        if status == "done":
+            self._set_state("done", **fields)
+        elif status == "failed":
+            self._set_state("failed", **fields)
+        elif status == "killed":
+            # a structured quota kill, never a 500; the partial manifest
+            # remains resumable by hand with a raised quota
+            self._set_state("killed", **fields)
+        elif self._cancel.is_set():
+            self._set_state("cancelled", **fields)
+        elif (
+            outcome.get("reason") == "worker-crash"
+            and not self._drain.is_set()
+        ):
+            # retries exhausted on a crash-looping worker: mark it failed
+            # rather than interrupted, or recovery would respawn the loop
+            # on every boot
+            fields.setdefault(
+                "error",
+                "sandbox worker crashed repeatedly "
+                "(last exit code {})".format(outcome.get("exit_code")),
+            )
+            self._set_state("failed", **fields)
+        else:
+            # drain (or a crash while draining): still owes work, the
+            # next server boot re-enqueues it from the journal
+            self._set_state("interrupted", **fields)
 
 
 class JobQueue:
@@ -233,6 +298,8 @@ class JobQueue:
         workers: int = 2,
         capacity: int = 8,
         retry_after: float = 1.0,
+        sandbox: bool = True,
+        retries: int = 1,
     ):
         if workers < 1:
             raise ValueError("workers must be >= 1")
@@ -242,6 +309,10 @@ class JobQueue:
         self.workers = workers
         self.capacity = capacity
         self.retry_after = retry_after
+        self.sandbox = sandbox
+        self.retries = retries
+        self.last_checkpoint: Optional[float] = None
+        self._draining = False
         self._queue: "queue.Queue[Optional[Job]]" = queue.Queue(maxsize=capacity)
         self._jobs: Dict[str, Job] = {}
         self._lock = threading.Lock()
@@ -256,13 +327,16 @@ class JobQueue:
             t.start()
 
     # -- submission ------------------------------------------------------
-    def submit(self, request: SubmitRequest) -> Job:
+    def submit(
+        self, request: SubmitRequest, quota: Optional[QuotaSpec] = None
+    ) -> Job:
         """Queue a validated request; :class:`QueueFull` when at capacity.
 
         The queue slot is claimed *before* the run directory is created,
         so a rejected submission leaves no trace in the store.
         """
-        job = Job(request, self.store)
+        job = Job(request, self.store, quota=quota)
+        job.on_checkpoint = self._note_checkpoint
         try:
             self._queue.put_nowait(job)
         except queue.Full:
@@ -271,6 +345,31 @@ class JobQueue:
         with self._lock:
             self._jobs[job.run_id] = job
         job._ready.set()
+        return job
+
+    def enqueue_recovered(
+        self, run_id: str, quota: Optional[QuotaSpec] = None
+    ) -> Optional[Job]:
+        """Re-admit an interrupted run found by the startup journal scan.
+
+        Returns the queued job, or ``None`` when the queue is already at
+        capacity — the run stays recoverable and the next boot tries
+        again.  The resumed execution is bit-identical to an
+        uninterrupted one (original seeds from the manifest checkpoint).
+        """
+        request = self.store.request(run_id)
+        job = Job(
+            request, self.store, quota=quota, run_id=run_id, resume=True,
+        )
+        job.on_checkpoint = self._note_checkpoint
+        try:
+            self._queue.put_nowait(job)
+        except queue.Full:
+            return None
+        self.store.append_journal(run_id, "recovered")
+        self.store.set_status(run_id, "queued", recovered=True)
+        with self._lock:
+            self._jobs[run_id] = job
         return job
 
     def get(self, run_id: str) -> Optional[Job]:
@@ -287,11 +386,25 @@ class JobQueue:
         # a stale queued/running status so pollers terminate
         status = self.store.status(run_id)
         if status.get("state") not in TERMINAL:
+            self.store.append_journal(run_id, "cancelled")
             status = self.store.set_status(run_id, "cancelled")
         return status
 
     def depth(self) -> int:
         return self._queue.qsize()
+
+    def active(self) -> int:
+        """Jobs currently executing (state ``running``)."""
+        with self._lock:
+            return sum(1 for job in self._jobs.values() if job.state == "running")
+
+    def _note_checkpoint(self, event: Dict[str, Any]) -> None:
+        self.last_checkpoint = time.time()
+
+    def last_checkpoint_age(self) -> Optional[float]:
+        if self.last_checkpoint is None:
+            return None
+        return time.time() - self.last_checkpoint
 
     # -- workers ---------------------------------------------------------
     def _worker(self) -> None:
@@ -301,10 +414,45 @@ class JobQueue:
                 self._queue.task_done()
                 return
             try:
+                if self._draining:
+                    # leave the job queued on disk (journal: accepted);
+                    # the next boot re-enqueues it
+                    continue
                 job._ready.wait()
-                job.execute()
+                job.execute(use_sandbox=self.sandbox, retries=self.retries)
             finally:
                 self._queue.task_done()
+
+    # -- drain / shutdown -------------------------------------------------
+    def drain(self, grace: float = 10.0) -> None:
+        """Graceful SIGTERM path: stop at the next checkpoint, then exit.
+
+        Queued jobs are left ``queued`` (their journal still says
+        ``accepted``); running jobs get a SIGTERM to their sandbox child
+        and stop at the next group boundary as ``interrupted``.  Any job
+        still running past the ``grace`` deadline has its child
+        hard-killed — the manifest checkpoint is fsynced per record, so
+        even that remains resumable.
+        """
+        self._draining = True
+        with self._lock:
+            jobs = list(self._jobs.values())
+        for job in jobs:
+            if not job.terminal:
+                job.drain()
+        for _ in self._threads:
+            try:
+                self._queue.put_nowait(None)
+            except queue.Full:
+                break
+        deadline = time.monotonic() + grace
+        for t in self._threads:
+            t.join(timeout=max(0.1, deadline - time.monotonic()))
+        for job in jobs:
+            if not job.terminal:
+                job.kill()
+        for t in self._threads:
+            t.join(timeout=5.0)
 
     def shutdown(self, timeout: float = 10.0) -> None:
         """Cancel live jobs and stop the workers (used by tests/serve)."""

@@ -1,0 +1,425 @@
+"""Per-job isolation sandboxes: supervised subprocesses with rlimit quotas.
+
+Every accepted job executes in its own child interpreter (``python -m
+repro.service.sandbox``) so that a runaway submission — an n=1e10 sweep,
+a protocol whose compiled table blows memory, a wedged worker — can
+never take the server down with it.  The child:
+
+* applies the job's :class:`~repro.service.schema.QuotaSpec` via
+  ``resource.setrlimit`` (``RLIMIT_CPU`` for ``cpu_seconds``,
+  ``RLIMIT_AS`` for ``memory_bytes``) before touching the workload;
+* runs the same checkpoint-group loop the in-process mode uses
+  (:func:`execute_groups`), appending each group to the run manifest and
+  emitting progress/replica/grid/checkpoint events as JSON lines on
+  stdout;
+* drains at the next group boundary when it receives ``SIGTERM``
+  (cancellation and graceful server drain both ride this), and
+* dies with the server: the parent sets ``PR_SET_PDEATHSIG=SIGKILL``
+  (Linux) so a ``kill -KILL`` of the server can never leave an orphan
+  appending to a manifest the restarted server is about to resume.
+
+The parent half (:func:`run_sandboxed`) relays the child's events into
+the job's stream, enforces the wall-clock quota with a kill timer, and
+classifies the child's death: a structured ``exit`` event when the child
+got to say goodbye, otherwise the exit status — quota breaches become
+``status="killed"`` naming the violated limit (never a 500), anything
+else is ``interrupted`` and eligible for retry/recovery.  Partial
+manifests are always resumable: records are fsynced per replica and a
+line torn mid-write is dropped by the manifest reader.
+
+Exit codes: quota breaches use dedicated codes so the classification
+works even when the child could not emit its exit event (e.g. the
+``SIGXCPU`` arrived inside a kernel).
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import signal
+import subprocess
+import sys
+import threading
+import time
+import traceback
+from collections import deque
+from typing import Any, Callable, Dict, List, Optional
+
+from ..engine.replicas import DEFAULT_ENSEMBLE_CHUNK, run_replicas
+from ..faults import CRASH_EXIT_CODE, ServiceFaultPlan
+from .schema import QuotaSpec, SubmitRequest
+from .store import RunStore
+
+#: Child exit codes for quota breaches the child itself detects.
+EXIT_CPU = 85
+EXIT_MEM = 86
+EXIT_MANIFEST = 87
+
+#: Exit-code -> violated-limit classification fallback (used when the
+#: child died before its ``exit`` event reached the pipe).
+KILL_EXIT_LIMITS = {
+    EXIT_CPU: "cpu_seconds",
+    EXIT_MEM: "memory_bytes",
+    EXIT_MANIFEST: "manifest_bytes",
+}
+
+#: Seconds of hard-limit cushion above the soft ``RLIMIT_CPU``, so the
+#: SIGXCPU handler always gets to report before the kernel's SIGKILL.
+CPU_HARD_GRACE = 5
+
+#: Linux prctl op installing a parent-death signal in the child.
+_PR_SET_PDEATHSIG = 1
+
+
+def index_groups(request: SubmitRequest) -> List[List[int]]:
+    """Replica indices grouped into checkpoint/cancellation units.
+
+    Non-ensemble engines checkpoint per replica.  The ensemble engine
+    stacks rows, so its groups must match the chunks a plain full-sweep
+    call would form — ``ensemble_chunk``-sized runs from index 0 — or
+    the row-stacked RNG streams (and with them the recorded results)
+    would depend on where the service happened to cut.
+    """
+    total = request.replicas
+    if request.config.engine == "ensemble":
+        chunk = request.config.ensemble_chunk or DEFAULT_ENSEMBLE_CHUNK
+    else:
+        chunk = 1
+    return [
+        list(range(start, min(start + chunk, total)))
+        for start in range(0, total, chunk)
+    ]
+
+
+def execute_groups(
+    request: SubmitRequest,
+    run_id: str,
+    store: RunStore,
+    emit: Callable[[Dict[str, Any]], None],
+    should_stop: Callable[[], bool],
+    quota: Optional[QuotaSpec] = None,
+    faults: Optional[ServiceFaultPlan] = None,
+) -> Dict[str, Any]:
+    """The checkpoint-group loop shared by sandbox children and inline mode.
+
+    Detects a pre-existing manifest and **resumes** it: groups whose
+    replicas all carry ``ok`` records are skipped, the rest re-run with
+    their original seeds (``run_replicas(indices=...)``), so a resumed
+    run is bit-identical to an uninterrupted one.  After every group the
+    fresh records are on disk, a ``checkpoint`` event is emitted, and
+    the stop flag and manifest quota are checked — which is what makes
+    cancel, drain and crash all land on a well-formed resumable
+    checkpoint.
+
+    Returns the outcome: ``{"status": "done"|"interrupted"|"killed",
+    ...}`` with progress counters (``done`` counts distinct recorded
+    replica indices, including ones recorded before a resume).
+    """
+    workload = request.build_workload()
+    manifest = store.manifest_path(run_id)
+    meta = {
+        "workload": workload.spec(),
+        "service": {"run_id": run_id, "label": request.label},
+    }
+    groups = index_groups(request)
+    missing = set(range(request.replicas))
+    seen: set = set()
+    converged = 0
+    if os.path.exists(manifest):
+        from ..obs import load_manifest
+
+        prior = load_manifest(manifest)
+        missing = set(prior.missing_indices())
+        for record in prior.records:
+            if record.status == "ok" and record.index not in missing:
+                seen.add(record.index)
+                if record.converged:
+                    converged += 1
+
+    def observer_for(replica: int):
+        if not request.observe:
+            return None
+
+        def observer(t: float, population) -> None:
+            emit({
+                "kind": "grid",
+                "replica": replica,
+                "t": float(t),
+                "counts": {
+                    str(k): int(v) for k, v in population.counts.items()
+                },
+            })
+
+        return observer
+
+    for k, group in enumerate(groups):
+        todo = [i for i in group if i in missing]
+        if not todo:
+            continue
+        if should_stop():
+            return {
+                "status": "interrupted", "reason": "stop",
+                "done": len(seen), "converged": converged,
+            }
+        run_kwargs = dict(request.run_kwargs)
+        observer = observer_for(todo[0])
+        if observer is not None:
+            run_kwargs["observer"] = observer
+        rs = run_replicas(
+            workload.protocol,
+            workload.population,
+            replicas=request.replicas,
+            config=request.config,
+            seed=request.seed,
+            processes=1,
+            stop=workload.stop,
+            manifest=manifest,
+            manifest_meta=meta,
+            manifest_append=os.path.exists(manifest),
+            indices=todo,
+            **run_kwargs,
+        )
+        for record in rs:
+            seen.add(record.index)
+            if record.converged:
+                converged += 1
+            emit({
+                "kind": "replica",
+                "index": record.index,
+                "rounds": record.rounds,
+                "interactions": record.interactions,
+                "converged": record.converged,
+                "status": record.status,
+                "engine": record.engine,
+                "wall": record.wall,
+            })
+        emit({"kind": "progress", "done": len(seen), "total": request.replicas})
+        emit({"kind": "checkpoint", "group": k, "done": len(seen)})
+        if faults is not None:
+            faults.after_checkpoint(k)
+        if quota is not None and quota.manifest_bytes is not None:
+            size = os.path.getsize(manifest)
+            if size > quota.manifest_bytes:
+                return {
+                    "status": "killed", "limit": "manifest_bytes",
+                    "manifest_bytes": size,
+                    "quota": quota.manifest_bytes,
+                    "done": len(seen), "converged": converged,
+                }
+    return {"status": "done", "done": len(seen), "converged": converged}
+
+
+# ---------------------------------------------------------------------------
+# The child half: ``python -m repro.service.sandbox``
+# ---------------------------------------------------------------------------
+
+def _emit_line(event: Dict[str, Any]) -> None:
+    print(json.dumps(event, sort_keys=True), flush=True)
+
+
+def _apply_rlimits(quota: QuotaSpec) -> None:
+    """Enforce CPU and address-space quotas on *this* process."""
+    try:
+        import resource
+    except ImportError:  # pragma: no cover - non-POSIX fallback
+        return
+    if quota.cpu_seconds is not None:
+        soft = max(1, int(quota.cpu_seconds + 0.999))
+
+        def on_xcpu(_signum, _frame):
+            _emit_line({
+                "kind": "exit", "status": "killed", "limit": "cpu_seconds",
+                "quota": quota.cpu_seconds,
+            })
+            os._exit(EXIT_CPU)
+
+        signal.signal(signal.SIGXCPU, on_xcpu)
+        resource.setrlimit(resource.RLIMIT_CPU, (soft, soft + CPU_HARD_GRACE))
+    if quota.memory_bytes is not None:
+        resource.setrlimit(
+            resource.RLIMIT_AS, (quota.memory_bytes, quota.memory_bytes)
+        )
+
+
+def _child_main() -> int:
+    spec = json.load(sys.stdin)
+    store = RunStore(spec["store_root"])
+    run_id = spec["run_id"]
+    quota = QuotaSpec(**(spec.get("quota") or {}))
+    request = store.request(run_id)
+
+    stop = threading.Event()
+    signal.signal(signal.SIGTERM, lambda _s, _f: stop.set())
+    _apply_rlimits(quota)
+
+    faults = ServiceFaultPlan.from_env()
+    if faults is not None and not faults.matches(request.label):
+        faults = None
+    try:
+        if faults is not None:
+            faults.apply_preamble()
+        outcome = execute_groups(
+            request, run_id, store,
+            emit=_emit_line,
+            should_stop=stop.is_set,
+            quota=quota,
+            faults=faults,
+        )
+    except MemoryError:
+        _emit_line({
+            "kind": "exit", "status": "killed", "limit": "memory_bytes",
+            "quota": quota.memory_bytes,
+        })
+        return EXIT_MEM
+    except Exception as exc:  # noqa: BLE001 - job boundary
+        _emit_line({
+            "kind": "exit", "status": "failed",
+            "error": "{}: {}".format(type(exc).__name__, exc),
+            "trace": traceback.format_exc(limit=8),
+        })
+        return 0
+    _emit_line(dict(outcome, kind="exit"))
+    return EXIT_MANIFEST if outcome.get("limit") == "manifest_bytes" else 0
+
+
+# ---------------------------------------------------------------------------
+# The parent half: spawn, relay, enforce wall clock, classify the death
+# ---------------------------------------------------------------------------
+
+def _pdeathsig() -> None:  # pragma: no cover - runs in the forked child
+    """Ask Linux to SIGKILL this child the instant its parent dies."""
+    try:
+        import ctypes
+
+        libc = ctypes.CDLL(None, use_errno=True)
+        libc.prctl(_PR_SET_PDEATHSIG, signal.SIGKILL)
+    except Exception:
+        pass  # non-Linux: the stdin-EOF of a dead parent is the fallback
+
+
+def _child_env() -> Dict[str, str]:
+    """The child's environment, with this repro importable on PYTHONPATH."""
+    env = dict(os.environ)
+    package_root = os.path.dirname(
+        os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+    )
+    existing = env.get("PYTHONPATH")
+    env["PYTHONPATH"] = (
+        package_root if not existing
+        else package_root + os.pathsep + existing
+    )
+    return env
+
+
+def spawn_child(store: RunStore, run_id: str, quota: QuotaSpec) -> subprocess.Popen:
+    """Start (but do not wait for) a sandbox child for this run."""
+    proc = subprocess.Popen(
+        [sys.executable, "-m", "repro.service.sandbox"],
+        stdin=subprocess.PIPE,
+        stdout=subprocess.PIPE,
+        stderr=subprocess.PIPE,
+        text=True,
+        env=_child_env(),
+        preexec_fn=_pdeathsig if os.name == "posix" else None,
+    )
+    spec = {
+        "store_root": store.root,
+        "run_id": run_id,
+        "quota": quota.as_dict(),
+    }
+    try:
+        proc.stdin.write(json.dumps(spec))
+        proc.stdin.close()
+    except (BrokenPipeError, OSError):
+        pass  # child died on startup; the classifier will see the exit code
+    return proc
+
+
+def run_sandboxed(
+    store: RunStore,
+    run_id: str,
+    quota: QuotaSpec,
+    emit: Callable[[Dict[str, Any]], None],
+    attach: Callable[[Optional[subprocess.Popen]], None] = lambda proc: None,
+) -> Dict[str, Any]:
+    """Run one job attempt in a sandbox child and classify its outcome.
+
+    ``emit`` receives the child's replica/progress/grid/checkpoint events
+    as they stream in; ``attach`` is handed the live process (and then
+    ``None``) so the owning job can route cancel/drain signals to it.
+    """
+    proc = spawn_child(store, run_id, quota)
+    attach(proc)
+
+    stderr_tail: deque = deque(maxlen=20)
+
+    def drain_stderr() -> None:
+        for line in proc.stderr:
+            stderr_tail.append(line.rstrip())
+
+    stderr_thread = threading.Thread(target=drain_stderr, daemon=True)
+    stderr_thread.start()
+
+    wall_expired = threading.Event()
+    timer: Optional[threading.Timer] = None
+    if quota.wall_seconds is not None:
+
+        def on_wall() -> None:
+            wall_expired.set()
+            try:
+                proc.kill()
+            except OSError:
+                pass
+
+        timer = threading.Timer(quota.wall_seconds, on_wall)
+        timer.daemon = True
+        timer.start()
+
+    exit_event: Optional[Dict[str, Any]] = None
+    try:
+        for line in proc.stdout:
+            line = line.strip()
+            if not line:
+                continue
+            try:
+                event = json.loads(line)
+            except json.JSONDecodeError:
+                continue  # a torn line from a dying child
+            if event.get("kind") == "exit":
+                event.pop("kind", None)
+                exit_event = event
+            else:
+                emit(event)
+        returncode = proc.wait()
+    finally:
+        if timer is not None:
+            timer.cancel()
+        attach(None)
+        stderr_thread.join(timeout=2.0)
+
+    if exit_event is not None:
+        return exit_event
+    if wall_expired.is_set():
+        return {
+            "status": "killed", "limit": "wall_seconds",
+            "quota": quota.wall_seconds,
+        }
+    limit = KILL_EXIT_LIMITS.get(returncode)
+    if limit is None and returncode == -signal.SIGXCPU:
+        limit = "cpu_seconds"
+    if limit is not None:
+        return {
+            "status": "killed", "limit": limit,
+            "quota": getattr(quota, limit, None),
+        }
+    return {
+        "status": "interrupted",
+        "reason": "worker-crash",
+        "exit_code": returncode,
+        "injected": returncode == CRASH_EXIT_CODE,
+        "stderr": "\n".join(stderr_tail)[-2000:],
+    }
+
+
+if __name__ == "__main__":
+    sys.exit(_child_main())

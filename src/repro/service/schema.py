@@ -49,6 +49,104 @@ def _require(condition: bool, message: str) -> None:
         raise ServiceError(400, message)
 
 
+#: The per-job quota knobs a submission may set (see docs/SERVICE.md
+#: "Quotas").  Integer byte counts for memory/manifest, float seconds for
+#: cpu/wall.
+QUOTA_KEYS = ("cpu_seconds", "memory_bytes", "wall_seconds", "manifest_bytes")
+_QUOTA_INT_KEYS = frozenset({"memory_bytes", "manifest_bytes"})
+
+
+@dataclass(frozen=True)
+class QuotaSpec:
+    """Per-job isolation limits, enforced by the sandbox supervisor.
+
+    ``None`` means unlimited.  ``cpu_seconds`` becomes ``RLIMIT_CPU`` and
+    ``memory_bytes`` ``RLIMIT_AS`` inside the job's sandbox subprocess;
+    ``wall_seconds`` is a supervisor-side kill deadline; and
+    ``manifest_bytes`` caps the on-disk run manifest, checked after every
+    checkpoint group.  A breached quota terminates the job as
+    ``status="killed"`` naming the violated limit — never a 500 — and the
+    partial manifest stays resumable.
+    """
+
+    cpu_seconds: Optional[float] = None
+    memory_bytes: Optional[int] = None
+    wall_seconds: Optional[float] = None
+    manifest_bytes: Optional[int] = None
+
+    @classmethod
+    def from_payload(cls, data: Any) -> "QuotaSpec":
+        """Validate a submission's ``quota`` object (400 on bad keys)."""
+        if data is None:
+            return cls()
+        _require(isinstance(data, Mapping), "quota must be a JSON object")
+        data = dict(data)
+        unknown = sorted(set(data) - set(QUOTA_KEYS))
+        _require(
+            not unknown,
+            "unknown quota keys: {} (allowed: {})".format(
+                ", ".join(unknown), ", ".join(QUOTA_KEYS)
+            ),
+        )
+        values: Dict[str, Any] = {}
+        for key, value in data.items():
+            if value is None:
+                continue
+            if key in _QUOTA_INT_KEYS:
+                _require(
+                    isinstance(value, int) and not isinstance(value, bool)
+                    and value > 0,
+                    "quota.{} must be a positive integer".format(key),
+                )
+                values[key] = value
+            else:
+                _require(
+                    isinstance(value, (int, float))
+                    and not isinstance(value, bool) and value > 0,
+                    "quota.{} must be a positive number".format(key),
+                )
+                values[key] = float(value)
+        return cls(**values)
+
+    def as_dict(self) -> Dict[str, Any]:
+        return {
+            key: getattr(self, key)
+            for key in QUOTA_KEYS
+            if getattr(self, key) is not None
+        }
+
+    def any(self) -> bool:
+        return any(getattr(self, key) is not None for key in QUOTA_KEYS)
+
+    def limited_by(self, ceiling: "QuotaSpec", clamp: bool = False) -> "QuotaSpec":
+        """The effective quota under server-side ceilings.
+
+        Unset request fields inherit the ceiling; a request above the
+        ceiling is a 400 naming both values — or is silently clamped to
+        the ceiling when ``clamp=True`` (recovery re-admits stored runs
+        under the *current* server limits).
+        """
+        effective: Dict[str, Any] = {}
+        for key in QUOTA_KEYS:
+            asked = getattr(self, key)
+            cap = getattr(ceiling, key)
+            if asked is None:
+                value = cap
+            elif cap is not None and asked > cap:
+                if not clamp:
+                    raise ServiceError(
+                        400,
+                        "quota.{} of {:g} exceeds this server's ceiling of "
+                        "{:g}".format(key, asked, cap),
+                    )
+                value = cap
+            else:
+                value = asked
+            if value is not None:
+                effective[key] = value
+        return QuotaSpec(**effective)
+
+
 @dataclass
 class SubmitRequest:
     """A validated sweep submission.
@@ -68,6 +166,7 @@ class SubmitRequest:
     run_kwargs: Dict[str, Any] = field(default_factory=dict)
     observe: bool = False
     label: Optional[str] = None
+    quota: QuotaSpec = field(default_factory=QuotaSpec)
 
     @classmethod
     def from_payload(cls, payload: Any) -> "SubmitRequest":
@@ -144,6 +243,8 @@ class SubmitRequest:
             "label must be a string",
         )
 
+        quota = QuotaSpec.from_payload(data.pop("quota", None))
+
         _require(
             not data,
             "unknown request keys: {}".format(", ".join(sorted(data))),
@@ -152,6 +253,7 @@ class SubmitRequest:
         request = cls(
             workload=workload, params=params, replicas=replicas, seed=seed,
             config=config, run_kwargs=run_kwargs, observe=observe, label=label,
+            quota=quota,
         )
         request.build_workload()  # validate the params eagerly (cheap: counts)
         return request
@@ -178,6 +280,8 @@ class SubmitRequest:
         }
         if self.label is not None:
             out["label"] = self.label
+        if self.quota.any():
+            out["quota"] = self.quota.as_dict()
         return out
 
     @classmethod
@@ -192,4 +296,5 @@ class SubmitRequest:
             run_kwargs=dict(data.get("run") or {}),
             observe=bool(data.get("observe", False)),
             label=data.get("label"),
+            quota=QuotaSpec.from_payload(data.get("quota")),
         )

@@ -21,7 +21,7 @@ from repro import EngineConfig, build_workload, load_manifest, run_replicas
 from repro.obs import replay_replica, resume_sweep
 from repro.service import ServiceApp, SubmitRequest
 from repro.service.schema import ServiceError
-from repro.service import jobs as jobs_module
+from repro.service import sandbox as sandbox_module
 from repro.service.store import RunStore
 
 
@@ -70,7 +70,10 @@ def wait_state(port, run_id, states, timeout=60.0):
 
 @pytest.fixture
 def server(tmp_path):
-    app = ServiceApp(str(tmp_path / "runs"), workers=2, capacity=8)
+    # in-process execution keeps this suite fast; the sandboxed path is
+    # exercised end to end by tests/test_service_survival.py
+    app = ServiceApp(str(tmp_path / "runs"), workers=2, capacity=8,
+                     sandbox=False)
     handle = app.start_background()
     yield handle
     handle.stop()
@@ -214,6 +217,10 @@ class TestSubmitStreamFetch:
         assert status == 200
         assert payload["status"] == "ok"
         assert payload["workloads"] == ["epidemic", "leader"]
+        assert payload["queue_depth"] == 0
+        assert payload["active_jobs"] == 0
+        assert isinstance(payload["store_bytes"], int)
+        assert "last_checkpoint_age" in payload
 
 
 class TestReplayEndpoint:
@@ -318,14 +325,14 @@ def gated_run_replicas(monkeypatch):
     """Make worker jobs block inside their first run_replicas call."""
     gate = threading.Event()
     entered = threading.Event()
-    original = jobs_module.run_replicas
+    original = sandbox_module.run_replicas
 
     def gated(*args, **kwargs):
         entered.set()
         assert gate.wait(60.0), "test never released the worker gate"
         return original(*args, **kwargs)
 
-    monkeypatch.setattr(jobs_module, "run_replicas", gated)
+    monkeypatch.setattr(sandbox_module, "run_replicas", gated)
     yield gate, entered
     gate.set()  # never leave a worker stuck past the test
 
@@ -336,7 +343,8 @@ class TestBackpressure:
     ):
         gate, entered = gated_run_replicas
         app = ServiceApp(
-            str(tmp_path / "runs"), workers=1, capacity=1, retry_after=2.5
+            str(tmp_path / "runs"), workers=1, capacity=1, retry_after=2.5,
+            sandbox=False,
         )
         handle = app.start_background()
         try:
@@ -368,7 +376,7 @@ class TestCancellation:
         # let the first index group through, block before the second, and
         # cancel while blocked: the job must stop at the group boundary
         # with a well-formed manifest that resume_sweep can finish
-        original = jobs_module.run_replicas
+        original = sandbox_module.run_replicas
         first_done = threading.Event()
         release = threading.Event()
         calls = []
@@ -381,8 +389,9 @@ class TestCancellation:
                 assert release.wait(60.0)
             return rs
 
-        monkeypatch.setattr(jobs_module, "run_replicas", gated)
-        app = ServiceApp(str(tmp_path / "runs"), workers=1, capacity=4)
+        monkeypatch.setattr(sandbox_module, "run_replicas", gated)
+        app = ServiceApp(str(tmp_path / "runs"), workers=1, capacity=4,
+                         sandbox=False)
         handle = app.start_background()
         try:
             port = handle.port
@@ -422,6 +431,37 @@ class TestCancellation:
                 assert by_index[record.index].interactions == record.interactions
         finally:
             release.set()
+            handle.stop()
+
+    def test_cancel_while_queued_never_runs(self, tmp_path, gated_run_replicas):
+        # cancelling a job that is still waiting in the queue must settle
+        # it as ``cancelled`` without ever spawning work: no worker run,
+        # no manifest, done == 0
+        gate, entered = gated_run_replicas
+        app = ServiceApp(str(tmp_path / "runs"), workers=1, capacity=4,
+                         sandbox=False)
+        handle = app.start_background()
+        try:
+            port = handle.port
+            _, _, first = call_json(port, "POST", "/runs", SUBMIT)
+            assert entered.wait(30.0)  # the only worker is now held busy
+            _, _, queued = call_json(port, "POST", "/runs", SUBMIT)
+            run_id = queued["run_id"]
+            status, _, payload = call_json(
+                port, "POST", "/runs/{}/cancel".format(run_id)
+            )
+            assert status == 200
+
+            gate.set()
+            final = wait_state(port, run_id, {"cancelled"})
+            assert final["done"] == 0
+            assert final["manifest"] is False
+            assert not app.store.manifest_exists(run_id)
+            # the job ahead of it is untouched by the cancellation
+            done = wait_state(port, first["run_id"], {"done"})
+            assert done["done"] == 3
+        finally:
+            gate.set()
             handle.stop()
 
 
