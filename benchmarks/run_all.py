@@ -36,6 +36,16 @@ pooled KS equivalence (p > 0.001) on both the E1-style convergence-time
 distribution and the E3 oscillator observer grid.  Under ``--quick``
 the race downscales to n = 10^6 (bar >= 2x) so quick runs stay seconds.
 
+The *dense* run races the bghkpu engine against itself on the composed
+oscillator + phase-clock workload C_o: dense-support fast path (hybrid
+top-K epoch sampler + incremental alias patching + batch autotune, the
+defaults) vs the classic whole-grid sampler (all three knobs off),
+walls summed over 3 seeds so trajectory luck averages out.  Pooled KS
+tests against the ``batch`` engine on the E3 (hybrid forced on) and E4
+(default knobs) observer grids gate statistical equivalence; results go
+to ``BENCH_dense.json`` and the acceptance bar is >= 3x (>= 2x under
+``--quick``, which downscales n).
+
 The *backends* run advances the same 1024-row stacked ensemble once per
 available array backend (numpy always; cupy/jax when installed — see
 ``repro.engine.backend``) from the same seed stream and records per-
@@ -574,6 +584,205 @@ bghkpu_scale.__doc__ = bghkpu_scale.__doc__.format(
 )
 
 
+DENSE_N = 10 ** 6
+DENSE_QUICK_N = 10 ** 5
+DENSE_ROUNDS = 200.0
+DENSE_QUICK_ROUNDS = 80.0
+DENSE_SEEDS = 3
+DENSE_KS_N = 2000
+DENSE_KS_ALPHA = 0.001
+
+#: Knobs that turn the dense fast path off, leaving the classic
+#: whole-grid bghkpu sampler of PR 8 as the race's reference contender.
+DENSE_CLASSIC_OPTS = {
+    "dense_top_k": 0, "alias_patch_frac": 0.0, "batch_autotune": False,
+}
+
+
+def _time_dense_contender(opts, n, rounds, seeds, seed):
+    """Summed-wall clock race leg over ``seeds`` trajectories.
+
+    The phase-clock wall is dominated by trajectory luck (when the
+    oscillator collapses, the active grid shrinks and batches grow), so
+    a single-seed ratio is noise; summing walls over several seeds races
+    the contenders on the same set of trajectories.
+    """
+    from repro.engine.config import EngineConfig
+    from repro.simulate import make_engine
+
+    cfg = EngineConfig(engine="bghkpu", **opts)
+    totals = {
+        "wall_seconds": 0.0, "interactions": 0, "events": 0, "batches": 0,
+        "fallbacks": 0, "collision_events": 0, "alias_rebuilds": 0,
+        "alias_patches": 0, "alias_build_seconds": 0.0,
+        "alias_refresh_seconds": 0.0, "cell_draw_seconds": 0.0,
+        "outcome_split_seconds": 0.0,
+    }
+    for k in range(seeds):
+        protocol, population = _clock_workload(n)
+        eng = make_engine(
+            protocol, population,
+            engine=cfg, rng=np.random.default_rng(seed + 7 + k),
+        )
+        start = time.perf_counter()
+        eng.run(rounds=rounds)
+        totals["wall_seconds"] += time.perf_counter() - start
+        for key in totals:
+            if key != "wall_seconds":
+                totals[key] += int(getattr(eng, key)) if isinstance(
+                    totals[key], int
+                ) else float(getattr(eng, key))
+    for key, value in totals.items():
+        if isinstance(value, float):
+            totals[key] = round(value, 4)
+    return totals
+
+
+def _dense_ks_oscillator(seeds, seed):
+    """Pooled E3 observer series, batch vs the *forced* hybrid sampler.
+
+    The oscillator grid (<= 100 cells) never crosses the default
+    ``dense_top_k`` = 512 engagement threshold, so this leg forces
+    ``dense_top_k`` = 16 to put the top-K split + searchsorted tail on
+    the E3 shape too.
+    """
+    from repro.engine import Trace
+    from repro.engine.config import EngineConfig
+    from repro.oscillator import make_oscillator_protocol, species
+    from repro.simulate import make_engine
+
+    protocol = make_oscillator_protocol()
+    formulas = {"A1": species(0), "A2": species(1), "A3": species(2)}
+    dense_cfg = EngineConfig(
+        engine="bghkpu", dense_top_k=16, alias_patch_frac=0.5
+    )
+    pooled = {"batch": [], "dense": []}
+    for key, engine in (("batch", "batch"), ("dense", dense_cfg)):
+        for k in range(seeds):
+            population = _oscillator_population(protocol.schema, 600)
+            trace = Trace(formulas)
+            eng = make_engine(
+                protocol, population,
+                engine=engine, rng=np.random.default_rng(seed + 450 + k),
+            )
+            eng.run(rounds=30.0, observer=trace)
+            for name in formulas:
+                pooled[key].append(trace.series(name))
+    return np.concatenate(pooled["batch"]), np.concatenate(pooled["dense"])
+
+
+def _dense_ks_clock(seeds, seed):
+    """Pooled E4 phase-clock observer series, batch vs dense defaults."""
+    from repro.engine import Trace
+    from repro.oscillator import species
+    from repro.simulate import make_engine
+
+    formulas = {"A1": species(0), "A2": species(1), "A3": species(2)}
+    pooled = {"batch": [], "bghkpu": []}
+    for engine in pooled:
+        for k in range(seeds):
+            protocol, population = _clock_workload(DENSE_KS_N)
+            trace = Trace(formulas)
+            eng = make_engine(
+                protocol, population,
+                engine=engine, rng=np.random.default_rng(seed + 550 + k),
+            )
+            eng.run(rounds=20.0, observer=trace)
+            for name in formulas:
+                pooled[engine].append(trace.series(name))
+    return np.concatenate(pooled["batch"]), np.concatenate(pooled["bghkpu"])
+
+
+def dense_scale(n=DENSE_N, seed=0, quick=False):
+    """Dense-support fast path vs the classic bghkpu sampler on E4.
+
+    Races the hybrid epoch sampler (``dense_top_k``/``alias_patch_frac``
+    /``batch_autotune`` at their defaults) against the classic whole-grid
+    bghkpu configuration (all three off) on the composed oscillator +
+    phase-clock workload C_o — the many-state shape the fast path
+    targets — summing walls over {seeds} seeds at n = 10^6 and 200
+    parallel rounds.  Distributional equivalence is gated twice against
+    the ``batch`` engine: pooled KS over the E3 oscillator observer grid
+    with the hybrid *forced* on (the E3 grid is below the default
+    engagement threshold) and pooled KS over the E4 phase-clock observer
+    grid at default knobs, both at alpha = {alpha}.  The acceptance bar
+    is >= 3x summed wall (>= 2x under ``--quick``, which downscales to
+    n = 10^5).  Results go to ``BENCH_dense.json``.
+    """
+    from scipy.stats import ks_2samp
+
+    target = 2.0 if quick else 3.0
+    rounds = DENSE_QUICK_ROUNDS if quick else DENSE_ROUNDS
+    osc_seeds = 6 if quick else 10
+    clock_seeds = 5 if quick else 8
+    print("dense: C_o phase clock, n={:.0e}, {} rounds x {} seeds".format(
+        n, rounds, DENSE_SEEDS
+    ))
+    results = {}
+    for name, opts in (("classic", DENSE_CLASSIC_OPTS), ("dense", {})):
+        print("  {} bghkpu ...".format(name), end=" ", flush=True)
+        results[name] = _time_dense_contender(
+            opts, n, rounds, DENSE_SEEDS, seed
+        )
+        print("{:.2f}s ({} batches, {} events)".format(
+            results[name]["wall_seconds"],
+            results[name]["batches"],
+            results[name]["events"],
+        ))
+    speedup = results["classic"]["wall_seconds"] / max(
+        results["dense"]["wall_seconds"], 1e-9
+    )
+    print("  KS equivalence ...", end=" ", flush=True)
+    e3_batch, e3_dense = _dense_ks_oscillator(osc_seeds, seed)
+    e3_p = float(ks_2samp(e3_batch, e3_dense).pvalue)
+    e4_batch, e4_dense = _dense_ks_clock(clock_seeds, seed)
+    e4_p = float(ks_2samp(e4_batch, e4_dense).pvalue)
+    distribution_ok = bool(e3_p > DENSE_KS_ALPHA and e4_p > DENSE_KS_ALPHA)
+    print("E3 p={:.3g}, E4 p={:.3g} ({})".format(
+        e3_p, e4_p, "ok" if distribution_ok else "FAIL"
+    ))
+    payload = {
+        "experiment": "dense_support_fast_path",
+        "description": (
+            "composed oscillator + phase-clock C_o: bghkpu with the "
+            "hybrid top-K epoch sampler, sum patching and batch autotune "
+            "at defaults vs the classic whole-grid bghkpu sampler, walls "
+            "summed over {} seeds; pooled KS vs the batch engine on the "
+            "E3 (hybrid forced) and E4 (default knobs) observer grids "
+            "gates statistical equivalence".format(DENSE_SEEDS)
+        ),
+        "n": n,
+        "seed": seed,
+        "rounds": rounds,
+        "race_seeds": DENSE_SEEDS,
+        "classic_opts": dict(DENSE_CLASSIC_OPTS),
+        "engines": results,
+        "ks_pvalue_e3_oscillator": round(e3_p, 6),
+        "ks_pvalue_e4_clock": round(e4_p, 6),
+        "ks_alpha": DENSE_KS_ALPHA,
+        "distribution_ok": distribution_ok,
+        "speedup_classic_over_dense": round(speedup, 2),
+        "target_speedup": target,
+        "meets_target": bool(speedup >= target and distribution_ok),
+    }
+    print("  speedup: {:.1f}x (target >= {:.0f}x)".format(speedup, target))
+    os.makedirs(RESULTS_DIR, exist_ok=True)
+    for path in (
+        os.path.join(REPO_ROOT, "BENCH_dense.json"),
+        os.path.join(RESULTS_DIR, "BENCH_dense.json"),
+    ):
+        with open(path, "w") as handle:
+            json.dump(payload, handle, indent=2)
+            handle.write("\n")
+    print("  wrote BENCH_dense.json")
+    return payload
+
+
+dense_scale.__doc__ = dense_scale.__doc__.format(
+    seeds=DENSE_SEEDS, alpha=DENSE_KS_ALPHA
+)
+
+
 BACKENDS_N = 4000
 BACKENDS_ROUNDS = 10.0
 BACKENDS_ROWS = 1024
@@ -964,6 +1173,11 @@ def main(argv=None) -> int:
         help="population size for the bghkpu scale race (default 10^8, "
         "or 10^6 under --quick)",
     )
+    ap.add_argument(
+        "--dense-n", type=int, default=None,
+        help="population size for the dense fast-path race (default 10^6, "
+        "or 10^5 under --quick)",
+    )
     ap.add_argument("--seed", type=int, default=0)
     ap.add_argument("--engine", choices=ENGINE_CHOICES, default="auto",
                     help="engine for the E1/E2 sweeps")
@@ -1009,6 +1223,9 @@ def main(argv=None) -> int:
     baseline_bghkpu = load_baseline(
         os.path.join(args.baseline_dir, "BENCH_bghkpu.json")
     )
+    baseline_dense = load_baseline(
+        os.path.join(args.baseline_dir, "BENCH_dense.json")
+    )
 
     payload = headline(n=args.n, seed=args.seed)
     kernel_payload = kernels(
@@ -1020,6 +1237,8 @@ def main(argv=None) -> int:
     # stay seconds; the gate skips the mismatched-config comparison.
     bghkpu_n = args.bghkpu_n or (BGHKPU_QUICK_N if args.quick else BGHKPU_N)
     bghkpu_payload = bghkpu_scale(n=bghkpu_n, seed=args.seed, quick=args.quick)
+    dense_n = args.dense_n or (DENSE_QUICK_N if args.quick else DENSE_N)
+    dense_payload = dense_scale(n=dense_n, seed=args.seed, quick=args.quick)
     if not args.quick:
         full_sweeps(engine=args.engine, processes=args.processes)
     ok = (
@@ -1028,6 +1247,7 @@ def main(argv=None) -> int:
         and ensemble_payload["meets_target"]
         and backends_payload["meets_target"]
         and bghkpu_payload["meets_target"]
+        and dense_payload["meets_target"]
     )
     if not args.no_gate:
         gate_ok = run_gate(
@@ -1041,6 +1261,8 @@ def main(argv=None) -> int:
                  ("n", "seed", "rounds", "rows")),
                 (bghkpu_payload, baseline_bghkpu, "engines",
                  ("n", "seed", "ks_replicas")),
+                (dense_payload, baseline_dense, "engines",
+                 ("n", "seed", "rounds", "race_seeds")),
             ],
             args.gate_wall_threshold,
             args.gate_interactions_tol,

@@ -70,9 +70,17 @@ def _config_from_args(args, auto: str = None):
             raise SystemExit(2)
     collision_frac = getattr(args, "collision_frac", None)
     alias_rebuild_tol = getattr(args, "alias_rebuild_tol", None)
+    dense_top_k = getattr(args, "dense_top_k", None)
+    alias_patch_frac = getattr(args, "alias_patch_frac", None)
+    batch_autotune = getattr(args, "batch_autotune", None)
+    if batch_autotune is not None:
+        batch_autotune = batch_autotune == "on"
     for flag, value in (
         ("--collision-frac", collision_frac),
         ("--alias-rebuild-tol", alias_rebuild_tol),
+        ("--dense-top-k", dense_top_k),
+        ("--alias-patch-frac", alias_patch_frac),
+        ("--batch-autotune", batch_autotune),
     ):
         if value is not None:
             if engine == "auto":
@@ -93,6 +101,9 @@ def _config_from_args(args, auto: str = None):
         ensemble_chunk=chunk,
         collision_frac=collision_frac,
         alias_rebuild_tol=alias_rebuild_tol,
+        dense_top_k=dense_top_k,
+        alias_patch_frac=alias_patch_frac,
+        batch_autotune=batch_autotune,
     )
 
 
@@ -404,6 +415,23 @@ def build_parser() -> argparse.ArgumentParser:
         help="relative count drift above which the bghkpu engine "
         "re-freezes its alias epoch (implies --engine bghkpu; engine "
         "default 0.05)",
+    )
+    common.add_argument(
+        "--dense-top-k", type=int, default=None, metavar="K",
+        help="heavy-cell count of the bghkpu dense-support hybrid "
+        "sampler (implies --engine bghkpu; engine default 512, 0 "
+        "disables the hybrid split)",
+    )
+    common.add_argument(
+        "--alias-patch-frac", type=float, default=None, metavar="F",
+        help="touched-fraction ceiling for the bghkpu epoch-sum patch "
+        "on drift refreshes (implies --engine bghkpu; engine default "
+        "0.25, 0 disables patching)",
+    )
+    common.add_argument(
+        "--batch-autotune", choices=["on", "off"], default=None,
+        help="feedback controller on the bghkpu batch cap plus overdraw "
+        "repair (implies --engine bghkpu; engine default on)",
     )
     common.add_argument(
         "--no-guards", action="store_true",

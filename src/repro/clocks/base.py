@@ -103,21 +103,39 @@ def expected_species(phase: int) -> int:
     return phase % NUM_SPECIES
 
 
-def clock_rules(params: ClockParams) -> List[Rule]:
-    """The clock-advance rule (as one dynamic rule over the ring)."""
-    field = params.field
-    osc_field = params.osc.field
-    x_flag = params.osc.x_flag
-    k = params.k
-    ring = params.ring_size
+class _ClockAdvance:
+    """The clock-advance rule body, as a picklable callable.
 
-    sync_jump = params.sync_jump
-    module = params.module
+    A module-level class instead of a closure over the params so the
+    composed protocol survives pickling into replica worker processes
+    (the ``clock`` workload of :mod:`repro.workloads` fans out sweeps).
+    """
 
-    def advance(a, b):
+    __slots__ = (
+        "field", "osc_field", "x_flag", "k", "ring", "sync_jump", "module"
+    )
+
+    def __init__(self, params: ClockParams) -> None:
+        self.field = params.field
+        self.osc_field = params.osc.field
+        self.x_flag = params.osc.x_flag
+        self.k = params.k
+        self.ring = params.ring_size
+        self.sync_jump = params.sync_jump
+        self.module = params.module
+
+    def __getstate__(self):
+        return {name: getattr(self, name) for name in self.__slots__}
+
+    def __setstate__(self, state):
+        for name, value in state.items():
+            setattr(self, name, value)
+
+    def __call__(self, a, b):
+        field, k, module = self.field, self.k, self.module
         s = a[field]
         phase = s // k
-        if sync_jump:
+        if self.sync_jump:
             # Catch-up synchronization.  Cohorts whose phases differ by a
             # multiple of 3 await the same species and are invisible to
             # the missing-species mechanism, so they would stay separated
@@ -138,19 +156,22 @@ def clock_rules(params: ClockParams) -> List[Rule]:
             if d == module // 2:
                 return [({field: phase_b * k}, {}, 0.5)]
         wanted = expected_species(phase)
-        is_wanted = (not b[x_flag]) and b[osc_field] in (
+        is_wanted = (not b[self.x_flag]) and b[self.osc_field] in (
             weak_value(wanted),
             strong_value(wanted),
         )
         if is_wanted:
-            new_s = (s + 1) % ring
+            new_s = (s + 1) % self.ring
         else:
             new_s = phase * k
         if new_s == s:
             return []
         return [({field: new_s}, {}, 1.0)]
 
-    return [DynamicRule(None, None, advance, name="clock-advance")]
+
+def clock_rules(params: ClockParams) -> List[Rule]:
+    """The clock-advance rule (as one dynamic rule over the ring)."""
+    return [DynamicRule(None, None, _ClockAdvance(params), name="clock-advance")]
 
 
 def clock_thread(params: ClockParams) -> Thread:

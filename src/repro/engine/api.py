@@ -111,7 +111,12 @@ class EngineStats:
         "kernel_seconds",
         "alias_rebuilds",
         "alias_build_seconds",
+        "alias_refresh_seconds",
+        "alias_patches",
+        "cell_draw_seconds",
+        "outcome_split_seconds",
         "collision_events",
+        "repair_events",
         "active_states",
         "active_pairs_max",
         "active_pairs_mean",
@@ -138,7 +143,12 @@ class EngineStats:
         "kernel_seconds",
         "alias_rebuilds",
         "alias_build_seconds",
+        "alias_refresh_seconds",
+        "alias_patches",
+        "cell_draw_seconds",
+        "outcome_split_seconds",
         "collision_events",
+        "repair_events",
         "active_states",
         "active_pairs_max",
         "active_pairs_mean",
@@ -176,7 +186,12 @@ class EngineStats:
             "kernel_seconds",
             "alias_rebuilds",
             "alias_build_seconds",
+            "alias_refresh_seconds",
+            "alias_patches",
+            "cell_draw_seconds",
+            "outcome_split_seconds",
             "collision_events",
+            "repair_events",
         ):
             value = getattr(engine, attr, None)
             if value is not None:

@@ -20,9 +20,12 @@ array kernels per batch:
     outcome distribution (:func:`repro.engine.jump.split_outcomes_grouped`);
 
 plus the dense ``gather_p_change`` sub-matrix gather feeding
-``pair_weights``.  This module abstracts those kernels behind a small
-backend object so the same engine loops can run them on NumPy (the
-default — a zero-copy passthrough), CuPy or JAX.
+``pair_weights``, the O(1)-per-draw ``alias_pick`` lookup of the BGHKPU
+epochs, and ``split_topk`` — the grouped ``K + 1``-bin draw of the
+dense-support hybrid sampler (K heavy cells + pooled light tail).  This
+module abstracts those kernels behind a small backend object so the same
+engine loops can run them on NumPy (the default — a zero-copy
+passthrough), CuPy or JAX.
 
 Kernel contract
 ---------------
@@ -158,6 +161,23 @@ class ArrayBackend:
         split_outcomes_grouped(
             rng, delta, counts, start, width, out_p, out_a, out_b, rows=rows
         )
+
+    def split_topk(
+        self,
+        rng: np.random.Generator,
+        fired: int,
+        pvals: np.ndarray,
+    ) -> np.ndarray:
+        """Grouped multinomial over the hybrid top-K bins.
+
+        ``pvals`` has ``K + 1`` entries — the K frozen heavy cells plus
+        the pooled light tail (normalized by the caller).  One host draw
+        splits ``fired`` effective events across the bins; the dense-path
+        sampler then splits only the tail bin over the remaining cells.
+        Host generator per the kernel contract: accelerator backends
+        inherit this so sample paths stay backend-independent.
+        """
+        return rng.multinomial(fired, pvals)
 
     def alias_pick(
         self,

@@ -28,7 +28,20 @@ top of the compiled count representation of
    machinery — the gap to the next effective event is geometric in the
    frozen ``p̄`` and the event is drawn from the (refreshed-within-
    tolerance) cell distribution, so endgame convergence times are not
-   quantized to batch boundaries.
+   quantized to batch boundaries;
+5. **dense supports** (oscillator-sized active sets, E3/E4) get the
+   adaptive hybrid path: the sampler draws the ``dense_top_k`` heaviest
+   cells through one grouped ``K + 1``-bin kernel with only the light
+   tail going through the alias table, small-drift refreshes are served
+   by the O(touched·a) sum patch (``alias_patch_frac``), and — with
+   ``batch_autotune`` on — a feedback controller scales the batch cap
+   from observed batch outcomes: clean batches grow it past the
+   feasibility half-cap (never past the ``collision_frac/γ`` birthday
+   bound), infeasible draws and repair bursts shrink it.  Autotuned
+   batches may overdraw a scarce state;
+   instead of rejecting the whole draw, the overdrawing cells are
+   clamped to the feasible region and the clamped-away events join the
+   colliding tail redrawn against fresh counts (``repair_events``).
 
 Unlike the parent engine, applying a batch never touches the per-support
 ``_c``/``_v`` bookkeeping of :class:`~repro.engine.sequential.CountEngine`
@@ -77,9 +90,42 @@ class BGHKPUEngine(BatchCountEngine):
         Relative per-state count drift above which the frozen epoch is
         re-frozen (partial refresh of the touched rows/columns).  ``0``
         re-freezes every batch.
+    dense_top_k:
+        Heavy-cell count of the hybrid dense-support sampler: the K
+        heaviest frozen cells are drawn through one grouped
+        ``K + 1``-bin kernel and only the light tail goes through the
+        alias table.  Engages when the active grid has more than ``2K``
+        nonzero cells; ``0`` disables the hybrid split.
+    alias_patch_frac:
+        Touched-fraction ceiling below which a drift refresh delta-
+        updates the epoch sums in O(touched·a) instead of rescanning
+        O(a²) (patch-vs-scan further arbitrated by measured cost).
+        ``0`` disables patching.
+    batch_autotune:
+        Feedback controller on the batch cap: clean batches grow it
+        ×1.2 past the feasibility half-cap (up to a ×64 ceiling, and
+        never past the ``collision_frac/γ`` birthday bound — the
+        fidelity wall), infeasible draws and repair bursts shrink it
+        ×0.5 (floor ×0.25).  Also enables overdraw *repair* — clamping
+        a scarce-state overdraw to the feasible region and pushing the
+        clamped events into the fresh-count tail — in place of
+        wholesale batch rejection.  Off reproduces the static
+        ``collision_frac`` sizing exactly.
     """
 
     name = "bghkpu"
+
+    #: Autotune multiplier range.  The ceiling matters when the static
+    #: sizing is pinned by the feasibility cap (scarce states with O(1)
+    #: agents keep ``½ min_s c_s/μ_s`` small while the collision bound
+    #: scales with n): repair lifts the feasibility constraint, so the
+    #: multiplier may climb until the ``collision_frac/γ`` bound takes
+    #: over.  The collision bound itself is never relaxed — batches
+    #: longer than the birthday sizing visibly damp oscillatory
+    #: dynamics (trajectory variance collapses well before mean
+    #: statistics move), so it is the fidelity wall for autotune too.
+    _AUTOTUNE_SCALE_MIN = 0.25
+    _AUTOTUNE_SCALE_MAX = 64.0
 
     def __init__(
         self,
@@ -98,11 +144,18 @@ class BGHKPUEngine(BatchCountEngine):
         backend: object = None,
         collision_frac: float = 0.2,
         alias_rebuild_tol: float = 0.05,
+        dense_top_k: int = 512,
+        alias_patch_frac: float = 0.25,
+        batch_autotune: bool = True,
     ):
         if not 0.0 < collision_frac <= 1.0:
             raise ValueError("collision_frac must be in (0, 1]")
         if not 0.0 <= alias_rebuild_tol <= 1.0:
             raise ValueError("alias_rebuild_tol must be in [0, 1]")
+        if int(dense_top_k) < 0:
+            raise ValueError("dense_top_k must be >= 0")
+        if not 0.0 <= alias_patch_frac <= 1.0:
+            raise ValueError("alias_patch_frac must be in [0, 1]")
         super().__init__(
             protocol, population, rng=rng, table=table, batch=batch,
             accuracy=accuracy, min_batch_events=min_batch_events,
@@ -111,11 +164,21 @@ class BGHKPUEngine(BatchCountEngine):
         )
         self.collision_frac = float(collision_frac)
         self.alias_rebuild_tol = float(alias_rebuild_tol)
+        self.dense_top_k = int(dense_top_k)
+        self.alias_patch_frac = float(alias_patch_frac)
+        self.batch_autotune = bool(batch_autotune)
         #: Tail events re-drawn against fresh counts (collision resolution).
         self.collision_events = 0
+        #: Overdrawn events clamped out of a batch and pushed to the tail.
+        self.repair_events = 0
+        #: Wall time in the grouped outcome split (cells → per-state delta).
+        self.outcome_split_seconds = 0.0
         self._sampler: Optional[ActivePairSampler] = None
         self._support_stale = False  # _c/_v behind the lean count vector
         self._need_rebuild = True  # active set changed since last epoch
+        self._tune_scale = 1.0  # autotune multiplier on the batch cap
+        self._act_mask: Optional[np.ndarray] = None  # state ∈ sampler act
+        self._act_mask_src: Optional[np.ndarray] = None
 
     # -- stats surface -------------------------------------------------------
     @property
@@ -126,9 +189,27 @@ class BGHKPUEngine(BatchCountEngine):
 
     @property
     def alias_build_seconds(self) -> float:
-        """Wall time spent building/refreshing the frozen epochs."""
+        """Wall time spent in full epoch rebuilds (fresh freezes)."""
         s = self._sampler
         return s.build_seconds if s is not None else 0.0
+
+    @property
+    def alias_refresh_seconds(self) -> float:
+        """Wall time spent in drift refreshes (touched-slice scan + patch)."""
+        s = self._sampler
+        return s.refresh_seconds if s is not None else 0.0
+
+    @property
+    def alias_patches(self) -> int:
+        """Drift refreshes served by the O(touched·a) sum patch."""
+        s = self._sampler
+        return s.patches if s is not None else 0
+
+    @property
+    def cell_draw_seconds(self) -> float:
+        """Wall time spent drawing batch cells from the frozen epochs."""
+        s = self._sampler
+        return s.draw_seconds if s is not None else 0.0
 
     # -- lean count bookkeeping ----------------------------------------------
     def _sync_exact(self) -> None:
@@ -137,22 +218,43 @@ class BGHKPUEngine(BatchCountEngine):
             self._rebuild()
             self._support_stale = False
 
+    def _act_member_mask(self) -> Optional[np.ndarray]:
+        """Boolean membership of each global state in the sampler's act.
+
+        Cached by the identity of the sampler's act array — a rebuild
+        that keeps the (sticky) active set also keeps the mask.
+        """
+        s = self._sampler
+        act = s.act if s is not None else None
+        if act is None:
+            return None
+        if self._act_mask_src is not act:
+            mask = np.zeros(self._ct.num_states, dtype=bool)
+            mask[act] = True
+            self._act_mask = mask
+            self._act_mask_src = act
+        return self._act_mask
+
     def _apply_delta_lean(self, delta: np.ndarray) -> None:
         """Apply an int64 per-state delta without the ``_bump`` machinery.
 
         Lands directly on the compiled count vector and the population
         dict; the exact-path state is marked stale and rebuilt only if
-        the engine later delegates.  A delta creating a previously-empty
-        state schedules a full epoch rebuild (the frozen active set no
-        longer covers the support).
+        the engine later delegates.  A delta creating a state *outside*
+        the sampler's (sticky) active set schedules a full epoch rebuild
+        — creation inside the tracked union only drifts counts, which
+        the next staleness check resolves with a refresh.
         """
         nz = np.nonzero(delta)[0]
         if not nz.size:
             return
         full_c = self._full_c
         dn = delta[nz]
-        if ((dn > 0) & (full_c[nz] == 0.0)).any():
-            self._need_rebuild = True
+        created = (dn > 0) & (full_c[nz] == 0.0)
+        if created.any():
+            mask = self._act_member_mask()
+            if mask is None or not mask[nz[created]].all():
+                self._need_rebuild = True
         full_c[nz] += dn
         codes = self._ct.codes
         pop = self._population
@@ -168,6 +270,15 @@ class BGHKPUEngine(BatchCountEngine):
     # -- frozen-distribution event sampling -----------------------------------
     def _cells_to_delta(self, cells: np.ndarray, counts: np.ndarray) -> np.ndarray:
         """Per-state delta of ``counts[k]`` events in flattened cell ``cells[k]``."""
+        start = time.perf_counter()
+        try:
+            return self._cells_to_delta_inner(cells, counts)
+        finally:
+            self.outcome_split_seconds += time.perf_counter() - start
+
+    def _cells_to_delta_inner(
+        self, cells: np.ndarray, counts: np.ndarray
+    ) -> np.ndarray:
         ct = self._ct
         act = self._sampler.act
         a = len(act)
@@ -199,9 +310,11 @@ class BGHKPUEngine(BatchCountEngine):
             return delta
         gi = act[cells // a]
         gj = act[cells % a]
-        delta = np.zeros(ct.num_states, dtype=np.int64)
-        np.add.at(delta, gi, -counts)
-        np.add.at(delta, gj, -counts)
+        # bincount beats np.add.at by an order of magnitude for these
+        # scatter shapes; float64 weights are exact for counts < 2^53
+        cons = np.bincount(gi, weights=counts, minlength=ct.num_states)
+        cons += np.bincount(gj, weights=counts, minlength=ct.num_states)
+        delta = -cons.astype(np.int64)
         pair_flat = gi * ct.num_states + gj
         start = ct.off[pair_flat]
         width = ct.off[pair_flat + 1] - start
@@ -211,25 +324,67 @@ class BGHKPUEngine(BatchCountEngine):
         )
         return delta
 
-    def _try_delta(self, events: int) -> Optional[np.ndarray]:
-        """Delta of ``events`` frozen-distribution events; None if infeasible."""
+    def _repair_draw(self, cells: np.ndarray, counts: np.ndarray) -> tuple:
+        """Clamp an overdrawing cell draw onto the feasible region.
+
+        Per-state consumption of the draw is compared against the
+        *current* counts; cells touching an overdrawn state are scaled
+        by that state's feasible fraction (floored), which guarantees
+        every state's clamped consumption fits its count.  Returns
+        ``(cells, counts, excess)`` — the ``excess`` clamped-away events
+        are the caller's to redraw against fresh counts (the same
+        resolution as the colliding tail, recorded in
+        ``repair_events``).
+        """
+        sampler = self._sampler
+        a = len(sampler.act)
+        gi = cells // a
+        gj = cells % a
+        consumed = np.bincount(gi, weights=counts, minlength=a)
+        consumed += np.bincount(gj, weights=counts, minlength=a)
+        cap = self._full_c[sampler.act]
+        over = consumed > cap
+        if not over.any():
+            return cells, counts, 0
+        factor = np.ones(a)
+        factor[over] = np.maximum(cap[over], 0.0) / consumed[over]
+        fcell = np.minimum(factor[gi], factor[gj])
+        clamped = np.floor(counts * fcell).astype(np.int64)
+        excess = int(counts.sum() - clamped.sum())
+        keep = clamped > 0
+        return cells[keep], clamped[keep], excess
+
+    def _try_delta(self, events: int, repair: bool = False) -> tuple:
+        """``(delta, excess)`` of ``events`` frozen-distribution events.
+
+        ``delta`` is ``None`` if the draw is infeasible (overdraws some
+        state and repair is off or clamped everything away).
+        """
         cells, counts = self._sampler.sample_cells(self.rng, events)
+        excess = 0
+        if repair:
+            cells, counts, excess = self._repair_draw(cells, counts)
+            if not cells.size:
+                return None, 0
         delta = self._cells_to_delta(cells, counts)
         if np.any(self._full_c + delta < 0):
-            return None
-        return delta
+            return None, 0
+        return delta, excess
 
-    def _feasible_delta(self, events: int) -> tuple:
-        """``(delta, events)`` with refresh-then-halve retries on infeasibility.
+    def _feasible_delta(self, events: int, repair: bool = False) -> tuple:
+        """``(delta, applied, excess)`` with refresh-then-halve retries.
 
         A single event drawn from freshly re-frozen weights is always
         feasible (a positive cell weight implies the counts support one
         event there), so the retry ladder — refresh once, then halve,
         then rebuild — terminates; the attempts cap is a safety net.
-        Returns ``(None, 0)`` only if the configuration went silent.
+        ``applied = events − excess`` is the event count actually in the
+        returned delta (events may have been halved on retries, and
+        ``excess`` clamped-away events await a fresh-count redraw).
+        Returns ``(None, 0, 0)`` only if the configuration went silent.
         """
         sampler = self._sampler
-        delta = self._try_delta(events)
+        delta, excess = self._try_delta(events, repair)
         refreshed = False
         attempts = 64
         while delta is None and attempts:
@@ -243,14 +398,14 @@ class BGHKPUEngine(BatchCountEngine):
             else:
                 sampler.rebuild(self._full_c)
             if sampler.total <= 0.0:
-                return None, 0
-            delta = self._try_delta(events)
+                return None, 0, 0
+            delta, excess = self._try_delta(events, repair)
         if delta is None:
             raise RuntimeError(
                 "bghkpu could not draw a feasible batch of 1 event from "
                 "fresh weights (corrupt table or counts)"
             )
-        return delta, events
+        return delta, events - excess, excess
 
     def _lone_event(self) -> Optional[int]:
         """Apply one event in scalars when a single cell is active.
@@ -325,6 +480,8 @@ class BGHKPUEngine(BatchCountEngine):
             sampler = self._sampler = ActivePairSampler(
                 self.backend, self._ct.p_change_matrix,
                 self.alias_rebuild_tol,
+                top_k=self.dense_top_k,
+                patch_frac=self.alias_patch_frac,
             )
             self._need_rebuild = True
         if self._need_rebuild or sampler.act is None or sampler.stale(self._full_c):
@@ -538,6 +695,24 @@ class BGHKPUEngine(BatchCountEngine):
             f_cap = 0.5 * sampler.cap_events
             if gamma > 0.0:
                 f_cap = min(f_cap, self.collision_frac / gamma)
+            autotuned = (
+                self.batch_autotune
+                and self.batch is None
+                and f_cap >= self.min_batch_events
+            )
+            if autotuned:
+                # feedback-scaled cap: observed batch outcomes move the
+                # multiplier past the feasibility half-cap (repair keeps
+                # scarce-state overdraws safe), but never past the
+                # collision bound — that is the fidelity wall.
+                scaled = f_cap * self._tune_scale
+                if gamma > 0.0:
+                    coll_bound = self.collision_frac / gamma
+                    if scaled > coll_bound:
+                        scaled = coll_bound
+                if scaled < self.min_batch_events:
+                    scaled = self.min_batch_events
+                f_cap = scaled
 
             if self.batch is None and f_cap < self.min_batch_events:
                 # sparse regime: one exact-gap event on the lean machinery
@@ -553,7 +728,7 @@ class BGHKPUEngine(BatchCountEngine):
                 self.interactions = event_at
                 applied = self._lone_event()
                 if applied is None:
-                    delta, applied = self._feasible_delta(1)
+                    delta, applied, _ = self._feasible_delta(1)
                     if delta is not None:
                         self._apply_delta_lean(delta)
                 self.events += applied
@@ -578,6 +753,8 @@ class BGHKPUEngine(BatchCountEngine):
 
             fired = int(self.backend.fired_counts(rng, batch, min(p_change, 1.0)))
             applied = 0
+            fallbacks_before = self.fallbacks
+            repaired = 0
             if fired:
                 # colliding tail per the birthday bound: resolved against
                 # fresh counts after the main split lands
@@ -586,18 +763,40 @@ class BGHKPUEngine(BatchCountEngine):
                     tail = min(fired, int(gamma * fired * fired + 0.5))
                 main = fired - tail
                 if main > 0:
-                    delta, main = self._feasible_delta(main)
+                    delta, done, excess = self._feasible_delta(
+                        main, repair=autotuned
+                    )
                     if delta is not None:
                         self._apply_delta_lean(delta)
-                        applied += main
+                        applied += done
+                        if excess:
+                            # clamped overdraw joins the fresh-count tail
+                            repaired += excess
+                            tail += excess
                 if tail > 0:
-                    sampler.refresh(full_c)
-                    if sampler.total > 0.0:
-                        delta, tail = self._feasible_delta(tail)
-                        if delta is not None:
-                            self._apply_delta_lean(delta)
-                            applied += tail
-                            self.collision_events += tail
+                    left = tail
+                    tries = 4
+                    while left > 0 and tries:
+                        tries -= 1
+                        sampler.refresh(full_c)
+                        if sampler.total <= 0.0:
+                            break
+                        delta, done, excess = self._feasible_delta(
+                            left, repair=autotuned
+                        )
+                        if delta is None:
+                            break
+                        self._apply_delta_lean(delta)
+                        applied += done
+                        self.collision_events += done
+                        repaired += excess
+                        # halving/clamp leftovers retry against refreshed
+                        # counts a few times, then drop — the frozen p̄
+                        # overestimates the drained weight by at least as
+                        # much (KS-gated)
+                        left -= done
+                if repaired:
+                    self.repair_events += repaired
 
             self.interactions += batch
             self.events += applied
@@ -609,6 +808,19 @@ class BGHKPUEngine(BatchCountEngine):
             if cells > self._active_pairs_max:
                 self._active_pairs_max = cells
             self._active_states_last = len(sampler.act)
+            if autotuned:
+                # feedback: a clean batch earns a longer epoch next time;
+                # an infeasible draw or a repair burst means the frozen
+                # weights overreached — back off fast
+                burst = repaired > max(8.0, 1e-3 * fired)
+                if self.fallbacks > fallbacks_before or burst:
+                    self._tune_scale = max(
+                        self._AUTOTUNE_SCALE_MIN, self._tune_scale * 0.5
+                    )
+                elif self._tune_scale < self._AUTOTUNE_SCALE_MAX:
+                    self._tune_scale = min(
+                        self._AUTOTUNE_SCALE_MAX, self._tune_scale * 1.2
+                    )
             self.kernel_seconds += time.perf_counter() - kernel_start
             if self.guards is not None:
                 self.guards.after_batch(self)

@@ -52,6 +52,9 @@ _TYPED_OPTS = (
     "guards",
     "collision_frac",
     "alias_rebuild_tol",
+    "dense_top_k",
+    "alias_patch_frac",
+    "batch_autotune",
 )
 
 
@@ -84,6 +87,9 @@ class EngineConfig:
     guards: Optional[Any] = None
     collision_frac: Optional[float] = None
     alias_rebuild_tol: Optional[float] = None
+    dense_top_k: Optional[int] = None
+    alias_patch_frac: Optional[float] = None
+    batch_autotune: Optional[bool] = None
     ensemble_chunk: Optional[int] = None
     extra: Mapping[str, Any] = field(default_factory=dict)
 

@@ -11,8 +11,11 @@ spec.
 
 These are deliberately the small closed-form processes the paper leans
 on everywhere: the one-way epidemic (the O(log n) broadcast primitive
-behind every phase clock) and the leader fight ``L + L -> L + F`` (the
-pairwise-elimination core of Theorem 3.1's leader election).
+behind every phase clock), the leader fight ``L + L -> L + F`` (the
+pairwise-elimination core of Theorem 3.1's leader election), and the
+composed oscillator + phase clock C_o (Theorem 5.2's q = 168-state
+construction — the dense-support workload that exercises the bghkpu
+hybrid epoch sampler end to end).
 """
 
 from __future__ import annotations
@@ -32,6 +35,20 @@ def all_infected(population: Population) -> bool:
 def unique_leader(population: Population) -> bool:
     """Stop predicate of the ``leader`` workload: exactly one L left."""
     return population.count(V("L")) == 1
+
+
+def clock_quarter_turn(population: Population) -> bool:
+    """Stop predicate of the ``clock`` workload: a quarter ring advanced.
+
+    True once the majority phase of the C_o clock (module 12, k = 2)
+    has reached phase 3 at a 60% quorum — a few Θ(log n)-round ticks
+    from the all-phase-0 start, so sweeps converge in seconds while
+    still crossing several full epochs of the dense active grid.
+    """
+    from .clocks import ClockParams, majority_phase
+
+    phase, frac = majority_phase(population, ClockParams(module=12, k=2))
+    return frac >= 0.6 and phase >= 3
 
 
 def _flag_mask(codes, schema, name: str):
@@ -120,10 +137,37 @@ class Workload:
         return {"name": self.name, "params": dict(self.params)}
 
 
+def _build_clock(n: int = 50_000, n_x: int = 3):
+    """Composed oscillator + phase clock C_o, from the E4 deep start.
+
+    168 reachable states with the k = 2 ring: the dense-support
+    workload of the bghkpu hybrid sampler benchmarks and the CI
+    dense-determinism leg.
+    """
+    from .clocks import ClockParams, make_clock_protocol
+    from .oscillator import strong_value, weak_value
+
+    params = ClockParams(module=12, k=2)
+    protocol = make_clock_protocol(params=params)
+    c1 = int(0.8 * (n - n_x))
+    c2 = int(0.17 * (n - n_x))
+    population = Population.from_groups(
+        protocol.schema,
+        [
+            ({"osc": strong_value(0), "clk": 0}, c1),
+            ({"osc": weak_value(1), "clk": 0}, c2),
+            ({"osc": weak_value(2), "clk": 0}, (n - n_x) - c1 - c2),
+            ({"osc": weak_value(0), "X": True, "clk": 0}, n_x),
+        ],
+    )
+    return protocol, population, clock_quarter_turn
+
+
 #: Registry of workload builders by name.
 WORKLOADS: Dict[str, Callable[..., Tuple[Protocol, Population, Callable]]] = {
     "epidemic": _build_epidemic,
     "leader": _build_leader,
+    "clock": _build_clock,
 }
 
 

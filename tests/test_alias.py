@@ -196,3 +196,246 @@ class TestActivePairSampler:
         assert s.mu[0] == pytest.approx(2.0)
         assert s.gamma == pytest.approx(4.0 / (2.0 * 8.0))
         assert s.cap_events == pytest.approx(8.0 / 2.0)
+
+    def test_knob_validation(self):
+        backend = get_backend("numpy")
+        with pytest.raises(ValueError, match="top_k"):
+            ActivePairSampler(backend, self.MATRIX, 0.05, top_k=-1)
+        with pytest.raises(ValueError, match="patch_frac"):
+            ActivePairSampler(backend, self.MATRIX, 0.05, patch_frac=1.5)
+
+    def test_sticky_union_active_set(self):
+        """Rebuilds union the support with the lineage's past states.
+
+        A state that drains to zero keeps its (zero-weight) row, so
+        boundary states oscillating around zero stop forcing the active
+        set to churn; the zero-weight rows are never sampled.
+        """
+        s = self.make()
+        s.rebuild(np.array([10.0, 5.0, 0.0]))
+        np.testing.assert_array_equal(s.act, [0, 1])
+        s.rebuild(np.array([10.0, 0.0, 4.0]))  # 1 drained, 2 appeared
+        np.testing.assert_array_equal(s.act, [0, 1, 2])
+        a = len(s.act)
+        # every cell touching the drained state carries zero weight
+        assert s.w[1, :].sum() == 0.0 and s.w[:, 1].sum() == 0.0
+        cells, _ = s.sample_cells(np.random.default_rng(0), 5_000)
+        assert not ((cells // a == 1) | (cells % a == 1)).any()
+
+
+def _dense_matrix(q=12, seed=0):
+    """A strictly positive random p_change matrix (every cell live)."""
+    rng = np.random.default_rng(seed)
+    return rng.uniform(0.05, 1.0, size=(q, q))
+
+
+def _lumped_chisquare(observed, expected, floor=5.0):
+    """Chi-square GOF with the small-expectation cells pooled into one bin.
+
+    The asymptotic chi-square law needs each bin's expectation above ~5;
+    the light tail of a dense pair grid has many cells far below that, so
+    they are lumped into a single rest bin (standard Cochran pooling).
+    """
+    big = expected >= floor
+    obs, exp = observed[big], expected[big]
+    rest = expected[~big].sum()
+    if rest > 0.0:
+        obs = np.append(obs, observed[~big].sum())
+        exp = np.append(exp, rest)
+    else:
+        # zero-weight cells must never be drawn at all
+        assert observed[~big].sum() == 0
+    return chisquare(obs, exp)
+
+
+def _dense_counts(q=12, seed=1, scale=1000.0):
+    rng = np.random.default_rng(seed)
+    return np.floor(rng.uniform(10.0, scale, size=q))
+
+
+class TestHybridSampler:
+    """The top-K heavy-cell split against the whole-grid distribution."""
+
+    def make(self, top_k, tol=0.05, patch_frac=0.0):
+        return ActivePairSampler(
+            get_backend("numpy"), _dense_matrix(), tol,
+            top_k=top_k, patch_frac=patch_frac,
+        )
+
+    def test_heavy_partition_selected(self):
+        s = self.make(top_k=8)
+        s.rebuild(_dense_counts())
+        assert s.heavy_cells is not None and len(s.heavy_cells) == 8
+        # the top-K cells really are the heaviest of the frozen grid
+        flat = s.w.ravel()
+        cutoff = np.sort(flat)[-8]
+        assert (flat[s.heavy_cells] >= cutoff).all()
+        assert s.heavy_mass == pytest.approx(flat[s.heavy_cells].sum())
+
+    def test_hybrid_disengages_on_small_grids(self):
+        s = self.make(top_k=512)  # 144 cells <= 2K: whole-grid path
+        s.rebuild(_dense_counts())
+        assert s.heavy_cells is None
+
+    def test_hybrid_chisquare_vs_exact_distribution(self):
+        """The split draw matches the frozen cell law (GOF, alpha 0.001).
+
+        Multinomial aggregation makes the heavy/tail split exact for any
+        fixed partition; this pins the implementation (grouped K+1-bin
+        draw + searchsorted tail placement) to the whole-grid pvals.
+        """
+        s = self.make(top_k=8)
+        full_c = _dense_counts()
+        s.rebuild(full_c)
+        rng = np.random.default_rng(11)
+        totals = np.zeros(s.w.size)
+        for _ in range(300):
+            cells, counts = s.sample_cells(rng, 200)
+            np.add.at(totals, cells, counts)
+        assert (
+            _lumped_chisquare(totals, 300 * 200 * s.pvals).pvalue > GOF_ALPHA
+        )
+
+    def test_tail_sees_weight_created_after_selection(self):
+        """A cell silent at epoch start is sampleable after a refresh.
+
+        The tail CDF is rebuilt from the *fresh* weight matrix at every
+        refresh, so weight drifting into a formerly-zero cell reaches
+        the draw immediately — no staleness window.
+        """
+        matrix = _dense_matrix()
+        s = ActivePairSampler(get_backend("numpy"), matrix, 0.0, top_k=8)
+        full_c = _dense_counts()
+        dead = 3
+        full_c[dead] = 0.0
+        s.rebuild(full_c.copy())
+        # union-grow the set so the dead state is tracked with zero count
+        grown = full_c.copy()
+        grown[dead] = 400.0
+        s.rebuild(grown)
+        s.rebuild(full_c)  # back to zero: still in the union, weight 0
+        a = len(s.act)
+        row = int(np.searchsorted(s.act, dead))
+        assert s.w[row, :].sum() == 0.0  # silent at selection time
+        s.refresh(grown)  # drifts the dead state to 400 within the epoch
+        rng = np.random.default_rng(5)
+        hits = 0
+        for _ in range(50):
+            cells, counts = s.sample_cells(rng, 500)
+            hits += counts[(cells // a == row) | (cells % a == row)].sum()
+        expected_frac = (
+            s.w[row, :].sum() + s.w[:, row].sum() - s.w[row, row]
+        ) / s.total
+        assert hits > 0
+        assert hits / (50 * 500) == pytest.approx(expected_frac, rel=0.25)
+
+
+class TestPartialRefreshExactness:
+    """refresh()/patch must be indistinguishable from a fresh rebuild."""
+
+    def drifted_pairs(self, tol=0.05, patch_frac=1.0, top_k=8):
+        """(incrementally refreshed, freshly rebuilt) sampler pair."""
+        matrix = _dense_matrix()
+        s = ActivePairSampler(
+            get_backend("numpy"), matrix, tol,
+            top_k=top_k, patch_frac=patch_frac,
+        )
+        full_c = _dense_counts()
+        s.rebuild(full_c)
+        rng = np.random.default_rng(42)
+        # adversarial drift: interleave tiny single-state nudges (patch
+        # path), wide multi-state kicks (scan path), drains to zero and
+        # rebuild-tolerance boundary hits (count moved by exactly tol)
+        for step in range(60):
+            which = step % 4
+            if which == 0:
+                full_c[rng.integers(len(full_c))] += 1.0
+            elif which == 1:
+                kick = rng.integers(0, 3, size=len(full_c)).astype(float)
+                full_c = np.maximum(full_c - kick, 1.0)
+            elif which == 2:
+                full_c[step % len(full_c)] = np.floor(
+                    full_c[step % len(full_c)] * (1.0 + tol)
+                )
+            else:
+                idx = rng.integers(len(full_c))
+                full_c[idx] = 0.0 if full_c[idx] < 50.0 else full_c[idx]
+            s.refresh(full_c)
+        fresh = ActivePairSampler(
+            get_backend("numpy"), matrix, tol,
+            top_k=top_k, patch_frac=patch_frac,
+        )
+        fresh.act = s.act  # same (sticky) active set, fresh derivation
+        fresh.psub = fresh.backend.to_numpy(
+            fresh.backend.gather_p_change(matrix, s.act)
+        )
+        fresh.ca = full_c[s.act].copy()
+        fresh.w = fresh.backend.pair_weights(fresh.ca, fresh.psub)
+        fresh._select_heavy()
+        fresh._finalize()
+        return s, fresh
+
+    def test_epoch_quantities_match_fresh_rebuild(self):
+        s, fresh = self.drifted_pairs()
+        assert s.patches > 0  # the patch path actually ran
+        np.testing.assert_allclose(s.w, fresh.w, rtol=1e-12, atol=1e-9)
+        assert s.total == pytest.approx(fresh.total, rel=1e-9)
+        np.testing.assert_allclose(
+            s.row_sums, fresh.row_sums, rtol=1e-9, atol=1e-6
+        )
+        np.testing.assert_allclose(
+            s.col_sums, fresh.col_sums, rtol=1e-9, atol=1e-6
+        )
+        np.testing.assert_allclose(s.mu, fresh.mu, rtol=1e-8, atol=1e-12)
+        assert s.gamma == pytest.approx(fresh.gamma, rel=1e-8)
+        assert s.cap_events == pytest.approx(fresh.cap_events, rel=1e-8)
+
+    def test_chisquare_vs_fresh_rebuild(self):
+        """Draws from the patched epoch fit the fresh-rebuild law."""
+        s, fresh = self.drifted_pairs()
+        rng = np.random.default_rng(7)
+        totals = np.zeros(s.w.size)
+        for _ in range(300):
+            cells, counts = s.sample_cells(rng, 200)
+            np.add.at(totals, cells, counts)
+        assert (
+            _lumped_chisquare(totals, 300 * 200 * fresh.pvals).pvalue
+            > GOF_ALPHA
+        )
+
+    def test_patch_vs_scan_arbitration_counts(self):
+        s, _ = self.drifted_pairs(patch_frac=1.0)
+        assert s.refreshes == 60
+        assert 0 < s.patches <= s.refreshes
+
+
+class TestScratchReuse:
+    def test_no_buffer_regrowth_in_steady_state(self):
+        """Steady-state epochs allocate nothing (perf satellite pin).
+
+        After the first rebuild sizes the per-epoch buffers, any number
+        of refreshes, rebuilds and draws at the same active-set size
+        must leave ``scratch_allocs`` flat.
+        """
+        s = ActivePairSampler(
+            get_backend("numpy"), _dense_matrix(), 0.0,
+            top_k=8, patch_frac=0.5,
+        )
+        full_c = _dense_counts()
+        rng = np.random.default_rng(3)
+        s.rebuild(full_c)
+        for _ in range(3):  # warm every lazy buffer (pvals, tail CDF)
+            s.sample_cells(rng, 50)
+            s.sample_cells(rng, 5_000)
+        s.pvals
+        warm = s.scratch_allocs
+        for step in range(40):
+            full_c[step % len(full_c)] += 1.0
+            if step % 10 == 0:
+                s.rebuild(full_c)
+            else:
+                s.refresh(full_c)
+            s.sample_cells(rng, 50)
+            s.sample_cells(rng, 5_000)
+            s.pvals
+        assert s.scratch_allocs == warm

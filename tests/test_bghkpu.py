@@ -79,6 +79,36 @@ class TestRegistry:
         with pytest.raises(ValueError, match="alias_rebuild_tol"):
             BGHKPUEngine(protocol, pop, alias_rebuild_tol=1.01)
 
+    def test_dense_knob_validation(self):
+        protocol, schema = leader_fight()
+        pop = leader_population(schema, 100)
+        with pytest.raises(ValueError, match="dense_top_k"):
+            BGHKPUEngine(protocol, pop, dense_top_k=-1)
+        with pytest.raises(ValueError, match="alias_patch_frac"):
+            BGHKPUEngine(protocol, pop, alias_patch_frac=-0.5)
+        with pytest.raises(ValueError, match="alias_patch_frac"):
+            BGHKPUEngine(protocol, pop, alias_patch_frac=1.5)
+
+    def test_config_round_trip_dense_knobs(self):
+        cfg = EngineConfig(
+            engine="bghkpu", dense_top_k=128, alias_patch_frac=0.1,
+            batch_autotune=False,
+        )
+        assert EngineConfig.from_dict(cfg.as_dict()) == cfg
+
+    def test_kwargs_projection_dense_knobs(self):
+        cfg = EngineConfig(
+            engine="bghkpu", dense_top_k=128, alias_patch_frac=0.1,
+            batch_autotune=False,
+        )
+        assert cfg.engine_kwargs(BGHKPUEngine) == {
+            "dense_top_k": 128,
+            "alias_patch_frac": 0.1,
+            "batch_autotune": False,
+        }
+        # foreign engines never see the bghkpu-only knobs
+        assert cfg.engine_kwargs(BatchCountEngine) == {}
+
 
 class TestExactness:
     @pytest.mark.parametrize("n", [100, 5_000, 200_000])
@@ -104,6 +134,16 @@ class TestExactness:
 
     def test_batch_one_delegates_to_exact_path(self):
         a, _ = run_leader("bghkpu", 500, seed=7, batch=1)
+        b, _ = run_leader("batch", 500, seed=7, batch=1)
+        assert a.interactions == b.interactions
+        assert a.events == b.events == 499
+
+    def test_batch_one_bit_identity_with_dense_knobs(self):
+        """batch=1 stays on the exact path with every dense knob set."""
+        a, _ = run_leader(
+            "bghkpu", 500, seed=7, batch=1,
+            dense_top_k=512, alias_patch_frac=0.25, batch_autotune=True,
+        )
         b, _ = run_leader("batch", 500, seed=7, batch=1)
         assert a.interactions == b.interactions
         assert a.events == b.events == 499
@@ -244,6 +284,82 @@ class TestKSEquivalence:
         for engine in pooled:
             for seed in range(10):
                 trace = trace_of(engine, 300 + seed)
+                for name in ("A1", "A2", "A3"):
+                    pooled[engine].append(trace.series(name))
+        batch = np.concatenate(pooled["batch"])
+        bghkpu = np.concatenate(pooled["bghkpu"])
+        assert ks_2samp(batch, bghkpu).pvalue > KS_ALPHA
+
+    def test_oscillator_observer_series_hybrid_forced(self):
+        """E3 with the hybrid split forced on (the grid is too small to
+        engage it at the default ``dense_top_k``): same pooled KS gate."""
+        from repro.oscillator import make_oscillator_protocol, species, weak_value
+
+        protocol = make_oscillator_protocol()
+        n, third = 600, (600 - 3) // 3
+        dense_cfg = EngineConfig(
+            engine="bghkpu", dense_top_k=16, alias_patch_frac=0.5
+        )
+
+        def trace_of(engine, seed):
+            pop = Population.from_groups(
+                protocol.schema,
+                [
+                    ({"osc": weak_value(0)}, third + (n - 3) - 3 * third),
+                    ({"osc": weak_value(1)}, third),
+                    ({"osc": weak_value(2)}, third),
+                    ({"osc": weak_value(0), "X": True}, 3),
+                ],
+            )
+            trace = Trace(
+                {"A1": species(0), "A2": species(1), "A3": species(2)}
+            )
+            eng = make_engine(
+                protocol, pop, engine=engine, rng=np.random.default_rng(seed)
+            )
+            eng.run(rounds=30.0, observer=trace)
+            return trace, eng
+
+        pooled = {"batch": [], "dense": []}
+        hybrid_engaged = False
+        for key, engine in (("batch", "batch"), ("dense", dense_cfg)):
+            for seed in range(10):
+                trace, eng = trace_of(engine, 700 + seed)
+                if key == "dense" and eng._sampler is not None:
+                    hybrid_engaged |= eng._sampler.heavy_cells is not None
+                for name in ("A1", "A2", "A3"):
+                    pooled[key].append(trace.series(name))
+        assert hybrid_engaged  # the forced top-K partition actually ran
+        batch = np.concatenate(pooled["batch"])
+        dense = np.concatenate(pooled["dense"])
+        assert ks_2samp(batch, dense).pvalue > KS_ALPHA
+
+    def test_phase_clock_observer_series_dense_defaults(self):
+        """E4 composed oscillator + clock vs ``batch``, knobs at defaults.
+
+        The 168-state composed protocol is the dense-support shape the
+        hybrid sampler targets; the pooled KS over the species observer
+        series is the standard equivalence gate.
+        """
+        from repro.oscillator import species
+        from repro.workloads import build_workload
+
+        def trace_of(engine, seed):
+            wl = build_workload("clock", n=2_000)
+            trace = Trace(
+                {"A1": species(0), "A2": species(1), "A3": species(2)}
+            )
+            eng = make_engine(
+                wl.protocol, wl.population, engine=engine,
+                rng=np.random.default_rng(seed),
+            )
+            eng.run(rounds=20.0, observer=trace)
+            return trace
+
+        pooled = {"batch": [], "bghkpu": []}
+        for engine in pooled:
+            for seed in range(8):
+                trace = trace_of(engine, 500 + seed)
                 for name in ("A1", "A2", "A3"):
                     pooled[engine].append(trace.series(name))
         batch = np.concatenate(pooled["batch"])

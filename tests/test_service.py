@@ -216,7 +216,7 @@ class TestSubmitStreamFetch:
         status, _, payload = call_json(server.port, "GET", "/healthz")
         assert status == 200
         assert payload["status"] == "ok"
-        assert payload["workloads"] == ["epidemic", "leader"]
+        assert payload["workloads"] == ["clock", "epidemic", "leader"]
         assert payload["queue_depth"] == 0
         assert payload["active_jobs"] == 0
         assert isinstance(payload["store_bytes"], int)
